@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation (DESIGN.md §5): random-forest capacity (tree count x depth)
+ * vs proxy accuracy, on the same DRAMGym diverse dataset used by the
+ * Fig. 10-12 benches. Locates the capacity needed before the proxy's
+ * RMSE saturates.
+ */
+
+#include <cstdio>
+
+#include "proxy_common.h"
+#include "bench_util.h"
+#include "proxy/proxy_model.h"
+
+using namespace archgym;
+using namespace archgym::bench;
+
+int
+main()
+{
+    printHeader("Ablation: forest capacity vs proxy relative RMSE "
+                "(mean over latency/power/energy)");
+
+    DramGymEnv env = makeProxyEnv();
+    const Dataset dataset = collectProxyDataset(env, 3, 400);
+    const auto test = makeHeldOutSet(env, 150);
+    Rng rng(88);
+    const auto train = dataset.sampleDiverse(1200, proxyAgents(), rng);
+
+    std::printf("%-8s", "trees\\d");
+    for (int depth : {4, 8, 12, 16})
+        std::printf(" depth=%-8d", depth);
+    std::printf("\n");
+
+    for (std::size_t trees : {5, 15, 40, 80}) {
+        std::printf("%-8zu", trees);
+        for (std::size_t depth : {4, 8, 12, 16}) {
+            ForestConfig cfg;
+            cfg.numTrees = trees;
+            cfg.maxDepth = depth;
+            ProxyCostModel model(env.actionSpace(), env.metricNames(),
+                                 cfg);
+            model.train(train);
+            const ProxyAccuracy acc = model.evaluate(test);
+            std::printf(" %6.2f%%%7s",
+                        acc.meanRelativeRmse() * 100.0, "");
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

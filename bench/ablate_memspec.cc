@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ablation: DRAM device choice (DDR4-2400 / DDR4-3200 / LPDDR4-3200)
+ * under the same controller configuration and traces. Verifies the DSE
+ * substrate generalizes across device presets and quantifies how much of
+ * the design-point cost is device- vs controller-determined — the
+ * "exchange ArchitectureFoo's internals, keep the interface" property.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dramsys/controller.h"
+#include "dramsys/memspec_presets.h"
+#include "dramsys/trace_gen.h"
+#include "envs/dram_gym_env.h"
+
+using namespace archgym;
+using namespace archgym::bench;
+
+int
+main()
+{
+    printHeader("Ablation: DRAM device preset vs performance/power "
+                "(same controller config)");
+
+    std::printf("%-14s %-12s %-12s %-12s %-12s\n", "device", "trace",
+                "latency ns", "power W", "bw GB/s");
+    for (const auto &name : dram::memSpecNames()) {
+        for (auto pattern :
+             {dram::TracePattern::Streaming, dram::TracePattern::Random}) {
+            dram::TraceConfig tc;
+            tc.pattern = pattern;
+            tc.numRequests = 512;
+            tc.seed = 3;
+            dram::DramController ctrl(dram::memSpecByName(name),
+                                      dram::ControllerConfig{});
+            const auto r = ctrl.run(dram::generateTrace(tc));
+            std::printf("%-14s %-12s %-12.1f %-12.3f %-12.2f\n",
+                        name.c_str(), toString(pattern), r.avgLatencyNs,
+                        r.power.avgPowerW, r.bandwidthGBps);
+        }
+    }
+
+    // The lottery result is device-independent: rerun one Fig. 4 cell on
+    // the mobile part.
+    std::printf("\n[lottery spot-check on LPDDR4-3200, cloud-1, "
+                "low-power]\n");
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Cloud1;
+    o.objective = DramObjective::LowPower;
+    o.powerTargetW = 0.6;  // mobile envelope
+    o.traceLength = 160;
+    o.spec = dram::lpddr4_3200();
+    DramGymEnv env(o);
+    for (const auto &agent : agentNames()) {
+        const auto best = lotterySweep(env, agent, 8, 80, 505);
+        printBoxRow(agent, best);
+    }
+    return 0;
+}

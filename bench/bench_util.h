@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: agent
+ * hyperparameter sweeps, box-plot style printing, and scaled-down sweep
+ * budgets (see EXPERIMENTS.md for the paper-vs-repo scale mapping).
+ */
+
+#ifndef ARCHGYM_BENCH_BENCH_UTIL_H
+#define ARCHGYM_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/registry.h"
+#include "core/driver.h"
+#include "core/environment.h"
+#include "mathutil/stats.h"
+
+namespace archgym::bench {
+
+/**
+ * Run a hyperparameter-lottery sweep for one agent family: draw
+ * `num_configs` configurations from the agent's default grid and run each
+ * against the environment, returning the best reward of every
+ * configuration (one lottery "ticket" each).
+ */
+inline std::vector<double>
+lotterySweep(Environment &env, const std::string &agent_name,
+             std::size_t num_configs, std::size_t samples,
+             std::uint64_t seed)
+{
+    Rng rng(seed);
+    HyperGrid grid = defaultHyperGrid(agent_name);
+    // Keep BO's cubic GP cost bounded in sweep settings.
+    if (agent_name == "BO") {
+        grid.add("num_candidates", {64});
+        grid.add("max_history", {64});
+    }
+    const auto configs = grid.randomSample(num_configs, rng);
+
+    const AgentBuilder builder = [&agent_name](const ParamSpace &space,
+                                               const HyperParams &hp,
+                                               std::uint64_t s) {
+        return makeAgent(agent_name, space, hp, s);
+    };
+    RunConfig runCfg;
+    runCfg.maxSamples = samples;
+    const SweepResult sweep =
+        runSweep(env, agent_name, builder, configs, runCfg, seed);
+    return sweep.bestRewards;
+}
+
+/**
+ * Parallel variant of lotterySweep: identical results (seeds are
+ * schedule-independent), one private environment per worker thread.
+ */
+inline std::vector<double>
+lotterySweepParallel(const EnvFactory &env_factory,
+                     const std::string &agent_name,
+                     std::size_t num_configs, std::size_t samples,
+                     std::uint64_t seed)
+{
+    Rng rng(seed);
+    HyperGrid grid = defaultHyperGrid(agent_name);
+    if (agent_name == "BO") {
+        grid.add("num_candidates", {64});
+        grid.add("max_history", {64});
+    }
+    const auto configs = grid.randomSample(num_configs, rng);
+    const AgentBuilder builder = [&agent_name](const ParamSpace &space,
+                                               const HyperParams &hp,
+                                               std::uint64_t s) {
+        return makeAgent(agent_name, space, hp, s);
+    };
+    RunConfig runCfg;
+    runCfg.maxSamples = samples;
+    const SweepResult sweep = runSweepParallel(
+        env_factory, agent_name, builder, configs, runCfg, seed);
+    return sweep.bestRewards;
+}
+
+/** Print one box-plot row: label plus the five-number summary. */
+inline void
+printBoxRow(const std::string &label, const std::vector<double> &values)
+{
+    const Summary s = summarize(values);
+    std::printf("  %-6s n=%-3zu min %10.4g | q1 %10.4g | med %10.4g | "
+                "q3 %10.4g | max %10.4g | iqr %10.4g\n",
+                label.c_str(), s.count, s.min, s.q1, s.median, s.q3,
+                s.max, s.iqr());
+}
+
+/** Relative IQR spread in percent, the paper's headline metric. */
+inline double
+spreadPercent(const std::vector<double> &values)
+{
+    return summarize(values).relativeSpread() * 100.0;
+}
+
+inline void
+printHeader(const std::string &title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("==============================================================\n");
+}
+
+} // namespace archgym::bench
+
+#endif // ARCHGYM_BENCH_BENCH_UTIL_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 8: wall-clock time to completion of each agent on
+ * DRAMGym and FARSIGym for a fixed simulator sample budget, measured
+ * with google-benchmark.
+ *
+ * The paper's point: wall-clock comparisons are distorted by per-agent
+ * implementation/overlap differences (BO's cubic surrogate, RL's network
+ * updates, population agents' batching), which is exactly why sample
+ * efficiency — not runtime — is the right normalization metric (§6.2).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "agents/registry.h"
+#include "core/driver.h"
+#include "envs/dram_gym_env.h"
+#include "envs/farsi_gym_env.h"
+
+using namespace archgym;
+
+namespace {
+
+constexpr std::size_t kSamples = 400;
+
+void
+runAgentOnEnv(benchmark::State &state, Environment &env,
+              const std::string &agent_name)
+{
+    for (auto _ : state) {
+        HyperParams hp;
+        if (agent_name == "BO")
+            hp.set("num_candidates", 64).set("max_history", 64);
+        auto agent = makeAgent(agent_name, env.actionSpace(), hp, 17);
+        RunConfig cfg;
+        cfg.maxSamples = kSamples;
+        const RunResult r = runSearch(env, *agent, cfg);
+        benchmark::DoNotOptimize(r.bestReward);
+    }
+    state.counters["samples"] =
+        benchmark::Counter(static_cast<double>(kSamples));
+}
+
+void
+BM_Dram(benchmark::State &state, const std::string &agent)
+{
+    static DramGymEnv env = [] {
+        DramGymEnv::Options o;
+        o.pattern = dram::TracePattern::Cloud1;
+        o.traceLength = 128;
+        return DramGymEnv(o);
+    }();
+    runAgentOnEnv(state, env, agent);
+}
+
+void
+BM_Farsi(benchmark::State &state, const std::string &agent)
+{
+    static FarsiGymEnv env;
+    runAgentOnEnv(state, env, agent);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (const auto &agent : agentNames()) {
+        benchmark::RegisterBenchmark(
+            ("Fig8/DRAMGym/" + agent).c_str(),
+            [agent](benchmark::State &s) { BM_Dram(s, agent); })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("Fig8/FARSIGym/" + agent).c_str(),
+            [agent](benchmark::State &s) { BM_Farsi(s, agent); })
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reproduces Figure 12: (a) speedup of the ML proxy over the cycle-level
+ * simulator and (b) per-target RMSE of the proxy models, single-source
+ * vs diverse.
+ *
+ * google-benchmark measures a simulator evaluation vs a proxy
+ * prediction. Note on magnitudes: the paper's baseline is DRAMSys, a
+ * full SystemC TLM simulator (tens of ms per trace), giving ~2000x; our
+ * ground truth is this repo's transaction-level simulator, which is
+ * itself orders of magnitude faster than SystemC, so the measured ratio
+ * is smaller at equal trace length. The bench also scales the trace to
+ * show the ratio growing with simulator cost while proxy cost stays
+ * flat — the mechanism behind the paper's number.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "proxy_common.h"
+#include "proxy/proxy_model.h"
+
+using namespace archgym;
+using namespace archgym::bench;
+
+namespace {
+
+struct Setup
+{
+    std::unique_ptr<DramGymEnv> env;
+    std::unique_ptr<ProxyCostModel> single;
+    std::unique_ptr<ProxyCostModel> diverse;
+    Action probe;
+};
+
+Setup &
+setup()
+{
+    static Setup s = [] {
+        Setup out;
+        out.env = std::make_unique<DramGymEnv>(makeProxyEnv());
+        const Dataset dataset = collectProxyDataset(*out.env, 4, 450);
+        Rng rng(77);
+        ForestConfig cfg;
+        cfg.numTrees = 40;
+
+        out.diverse = std::make_unique<ProxyCostModel>(
+            out.env->actionSpace(), out.env->metricNames(), cfg);
+        out.diverse->train(
+            dataset.sampleDiverse(1600, proxyAgents(), rng));
+
+        Dataset aco;
+        for (std::size_t i = 0; i < dataset.logCount(); ++i)
+            if (dataset.log(i).agentName() == "ACO")
+                aco.add(dataset.log(i));
+        out.single = std::make_unique<ProxyCostModel>(
+            out.env->actionSpace(), out.env->metricNames(), cfg);
+        out.single->train(aco.sample(1600, rng));
+
+        out.probe = out.env->actionSpace().sample(rng);
+        return out;
+    }();
+    return s;
+}
+
+void
+BM_Simulator(benchmark::State &state)
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Cloud1;
+    o.traceLength = static_cast<std::size_t>(state.range(0));
+    DramGymEnv env(o);
+    Rng rng(5);
+    const Action a = env.actionSpace().sample(rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(env.simulate(a).avgLatencyNs);
+    }
+}
+BENCHMARK(BM_Simulator)
+    ->Arg(160)
+    ->Arg(640)
+    ->Arg(2560)
+    ->Unit(benchmark::kMicrosecond)
+    ->Name("Fig12a/Simulator/traceLen");
+
+void
+BM_Proxy(benchmark::State &state)
+{
+    Setup &s = setup();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(s.diverse->predict(s.probe));
+    }
+}
+BENCHMARK(BM_Proxy)->Unit(benchmark::kMicrosecond)->Name("Fig12a/Proxy");
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Fig 12b: RMSE table, single-source vs diverse.
+    Setup &s = setup();
+    const auto test = makeHeldOutSet(*s.env, 200);
+    const ProxyAccuracy accS = s.single->evaluate(test);
+    const ProxyAccuracy accD = s.diverse->evaluate(test);
+    std::printf("\nFig 12b: proxy RMSE per target model "
+                "(relative RMSE, %% of mean)\n");
+    std::printf("  %-14s %-16s %-16s\n", "model", "single-source",
+                "diverse");
+    for (std::size_t m = 0; m < accS.metricNames.size(); ++m) {
+        std::printf("  %-14s %-16.3f %-16.3f\n",
+                    accS.metricNames[m].c_str(),
+                    accS.relativeRmse[m] * 100.0,
+                    accD.relativeRmse[m] * 100.0);
+    }
+    std::printf("\nPaper: diverse-dataset proxies reach <1%% RMSE and "
+                "~2000x speedup over SystemC-based DRAMSys;\n"
+                "our ground-truth simulator is transaction-level "
+                "(~1000x faster than SystemC to begin with),\nso the "
+                "measured ratio is correspondingly smaller at equal "
+                "trace length and grows with trace cost.\n");
+    return 0;
+}

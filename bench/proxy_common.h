@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared dataset-collection setup for the §7 proxy-model benches
+ * (Figs. 10-12): run ACO/GA/RW/BO hyperparameter explorations on
+ * DRAMGym, log every transition, and build a held-out test set of fresh
+ * random designs evaluated on the ground-truth simulator.
+ */
+
+#ifndef ARCHGYM_BENCH_PROXY_COMMON_H
+#define ARCHGYM_BENCH_PROXY_COMMON_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/registry.h"
+#include "core/driver.h"
+#include "core/trajectory.h"
+#include "envs/dram_gym_env.h"
+
+namespace archgym::bench {
+
+/** Agents contributing to the diverse dataset (paper §7.1). */
+inline const std::vector<std::string> &
+proxyAgents()
+{
+    static const std::vector<std::string> agents = {"ACO", "GA", "RW",
+                                                    "BO"};
+    return agents;
+}
+
+inline DramGymEnv
+makeProxyEnv()
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Cloud1;
+    o.objective = DramObjective::LatencyAndPower;
+    o.latencyTargetNs = 150.0;
+    o.traceLength = 160;
+    return DramGymEnv(o);
+}
+
+/**
+ * Collect `runs_per_agent` exploration runs of `samples_per_run`
+ * transitions from each proxy agent (different hyperparameters per run),
+ * as the Fig. 9 aggregation pipeline prescribes.
+ */
+inline Dataset
+collectProxyDataset(DramGymEnv &env, std::size_t runs_per_agent,
+                    std::size_t samples_per_run)
+{
+    Dataset dataset;
+    Rng rng(701);
+    for (const auto &agentName : proxyAgents()) {
+        HyperGrid grid = defaultHyperGrid(agentName);
+        if (agentName == "BO") {
+            grid.add("num_candidates", {48}).add("max_history", {64});
+        }
+        const auto configs = grid.randomSample(runs_per_agent, rng);
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            auto agent = makeAgent(agentName, env.actionSpace(),
+                                   configs[c], 7000 + c);
+            RunConfig cfg;
+            cfg.maxSamples = samples_per_run;
+            cfg.logTrajectory = true;
+            RunResult r = runSearch(env, *agent, cfg);
+            dataset.add(std::move(r.trajectory));
+        }
+    }
+    return dataset;
+}
+
+/** Fresh uniformly random designs evaluated on the simulator. */
+inline std::vector<Transition>
+makeHeldOutSet(DramGymEnv &env, std::size_t n, std::uint64_t seed = 909)
+{
+    std::vector<Transition> test;
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        Transition t;
+        t.action = env.actionSpace().sample(rng);
+        const StepResult sr = env.step(t.action);
+        t.observation = sr.observation;
+        t.reward = sr.reward;
+        test.push_back(std::move(t));
+    }
+    return test;
+}
+
+} // namespace archgym::bench
+
+#endif // ARCHGYM_BENCH_PROXY_COMMON_H

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * archgym_cli — command-line front end for the whole gymnasium: pick an
+ * environment and workload, pick an agent, set a simulator budget, and
+ * optionally dump the exploration trajectory as CSV for later dataset
+ * aggregation.
+ *
+ * Usage:
+ *   archgym_cli [--env NAME] [--agent NAME] [--samples N] [--seed N]
+ *               [--hyper k=v[,k=v...]] [--log FILE]
+ *
+ *   --env     dram-streaming | dram-random | dram-cloud1 | dram-cloud2 |
+ *             timeloop-resnet50 | timeloop-resnet18 | timeloop-alexnet |
+ *             timeloop-mobilenet | farsi-edge | farsi-audio | farsi-ar |
+ *             maestro-resnet18 | maestro-vgg16      (default dram-cloud1)
+ *   --agent   ACO | BO | GA | RL | RW | SA          (default GA)
+ *   --samples simulator budget                      (default 500)
+ *   --seed    agent seed                            (default 1)
+ *   --hyper   comma-separated hyperparameter overrides, e.g.
+ *             population_size=32,mutation_prob=0.05
+ *   --log     write the trajectory CSV to this path
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "agents/registry.h"
+#include "core/driver.h"
+#include "envs/dram_gym_env.h"
+#include "envs/farsi_gym_env.h"
+#include "envs/maestro_gym_env.h"
+#include "envs/timeloop_gym_env.h"
+
+namespace {
+
+using namespace archgym;
+
+std::unique_ptr<Environment>
+makeEnv(const std::string &name)
+{
+    if (name.rfind("dram-", 0) == 0) {
+        DramGymEnv::Options o;
+        const std::string trace = name.substr(5);
+        if (trace == "streaming")
+            o.pattern = dram::TracePattern::Streaming;
+        else if (trace == "random")
+            o.pattern = dram::TracePattern::Random;
+        else if (trace == "cloud1")
+            o.pattern = dram::TracePattern::Cloud1;
+        else if (trace == "cloud2")
+            o.pattern = dram::TracePattern::Cloud2;
+        else
+            return nullptr;
+        o.objective = DramObjective::LatencyAndPower;
+        o.latencyTargetNs =
+            o.pattern == dram::TracePattern::Random ? 30.0 : 150.0;
+        o.traceLength = 256;
+        return std::make_unique<DramGymEnv>(o);
+    }
+    if (name.rfind("timeloop-", 0) == 0) {
+        TimeloopGymEnv::Options o;
+        const std::string net = name.substr(9);
+        if (net == "resnet50")
+            o.network = timeloop::resNet50();
+        else if (net == "resnet18")
+            o.network = timeloop::resNet18();
+        else if (net == "alexnet")
+            o.network = timeloop::alexNet();
+        else if (net == "mobilenet")
+            o.network = timeloop::mobileNet();
+        else
+            return nullptr;
+        return std::make_unique<TimeloopGymEnv>(o);
+    }
+    if (name.rfind("farsi-", 0) == 0) {
+        FarsiGymEnv::Options o;
+        const std::string graph = name.substr(6);
+        if (graph == "edge")
+            o.graph = farsi::edgeDetection();
+        else if (graph == "audio")
+            o.graph = farsi::audioDecoder();
+        else if (graph == "ar")
+            o.graph = farsi::arOverlay();
+        else
+            return nullptr;
+        return std::make_unique<FarsiGymEnv>(o);
+    }
+    if (name.rfind("maestro-", 0) == 0) {
+        MaestroGymEnv::Options o;
+        const std::string net = name.substr(8);
+        if (net == "resnet18")
+            o.network = timeloop::resNet18();
+        else if (net == "vgg16")
+            o.network = timeloop::vgg16();
+        else
+            return nullptr;
+        return std::make_unique<MaestroGymEnv>(o);
+    }
+    return nullptr;
+}
+
+HyperParams
+parseHyper(const std::string &spec)
+{
+    HyperParams hp;
+    std::stringstream ss(spec);
+    std::string pair;
+    while (std::getline(ss, pair, ',')) {
+        const auto eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0)
+            throw std::invalid_argument("bad --hyper entry: " + pair);
+        hp.set(pair.substr(0, eq), std::stod(pair.substr(eq + 1)));
+    }
+    return hp;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string envName = "dram-cloud1";
+    std::string agentName = "GA";
+    std::size_t samples = 500;
+    std::uint64_t seed = 1;
+    std::string hyperSpec;
+    std::string logPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--env")
+            envName = next();
+        else if (arg == "--agent")
+            agentName = next();
+        else if (arg == "--samples")
+            samples = std::stoul(next());
+        else if (arg == "--seed")
+            seed = std::stoull(next());
+        else if (arg == "--hyper")
+            hyperSpec = next();
+        else if (arg == "--log")
+            logPath = next();
+        else {
+            std::fprintf(stderr,
+                         "unknown option %s (see file header for usage)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    auto env = makeEnv(envName);
+    if (!env) {
+        std::fprintf(stderr, "unknown environment '%s'\n",
+                     envName.c_str());
+        return 2;
+    }
+
+    HyperParams hp;
+    try {
+        hp = parseHyper(hyperSpec);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+    if (agentName == "BO" && !hp.has("max_history"))
+        hp.set("max_history", 96).set("num_candidates", 96);
+
+    std::unique_ptr<Agent> agent;
+    try {
+        agent = makeAgent(agentName, env->actionSpace(), hp, seed);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+
+    std::printf("env=%s agent=%s samples=%zu seed=%llu hyper={%s}\n",
+                envName.c_str(), agentName.c_str(), samples,
+                static_cast<unsigned long long>(seed),
+                agent->hyperParams().str().c_str());
+
+    RunConfig cfg;
+    cfg.maxSamples = samples;
+    cfg.logTrajectory = !logPath.empty();
+    const RunResult r = runSearch(*env, *agent, cfg);
+
+    std::printf("best reward %.6g at sample %zu (%.3f s wall)\n",
+                r.bestReward, r.bestSampleIndex, r.wallSeconds);
+    std::printf("best design: %s\n",
+                env->actionSpace().describe(r.bestAction).c_str());
+    for (std::size_t m = 0; m < env->metricNames().size(); ++m) {
+        std::printf("  %-24s %.6g\n", env->metricNames()[m].c_str(),
+                    r.bestMetrics[m]);
+    }
+
+    if (!logPath.empty()) {
+        std::ofstream out(logPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open %s\n", logPath.c_str());
+            return 1;
+        }
+        r.trajectory.writeCsv(out, env->actionSpace(),
+                              env->metricNames());
+        std::printf("trajectory (%zu transitions) -> %s\n",
+                    r.trajectory.size(), logPath.c_str());
+    }
+    return 0;
+}

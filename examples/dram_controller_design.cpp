@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The §6.3 workflow: design a low-power (1 W target) DRAM memory
+ * controller for a pointer-chasing trace with every seeded agent, and
+ * print the resulting architecture parameters side by side (the Table 4
+ * layout).
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agents/registry.h"
+#include "core/driver.h"
+#include "envs/dram_gym_env.h"
+
+int
+main()
+{
+    using namespace archgym;
+
+    DramGymEnv::Options options;
+    options.pattern = dram::TracePattern::Random;  // pointer chasing
+    options.objective = DramObjective::LowPower;
+    options.powerTargetW = 1.0;
+    options.traceLength = 256;
+
+    std::printf("Designing a 1 W DRAM memory controller "
+                "(pointer-chasing trace)\n\n");
+
+    std::map<std::string, Action> bestActions;
+    std::map<std::string, Metrics> bestMetrics;
+    for (const std::string &name : agentNames()) {
+        DramGymEnv env(options);
+        HyperParams hp;
+        if (name == "BO")
+            hp.set("num_candidates", 64).set("max_history", 64);
+        auto agent = makeAgent(name, env.actionSpace(), hp, 2023);
+        RunConfig cfg;
+        cfg.maxSamples = 800;
+        const RunResult r = runSearch(env, *agent, cfg);
+        bestActions[name] = r.bestAction;
+        bestMetrics[name] = r.bestMetrics;
+        std::printf("%-4s best reward %8.2f  power %.3f W  "
+                    "latency %.1f ns\n",
+                    name.c_str(), r.bestReward, r.bestMetrics[1],
+                    r.bestMetrics[0]);
+    }
+
+    // Render the Table 4 style parameter comparison.
+    DramGymEnv env(options);
+    const ParamSpace &space = env.actionSpace();
+    std::printf("\n%-22s", "Parameter");
+    for (const auto &name : agentNames())
+        std::printf(" %-14s", name.c_str());
+    std::printf("\n");
+    for (std::size_t d = 0; d < space.size(); ++d) {
+        std::printf("%-22s", space.dim(d).name().c_str());
+        for (const auto &name : agentNames()) {
+            std::printf(" %-14s",
+                        space.dim(d)
+                            .valueName(bestActions[name][d])
+                            .c_str());
+        }
+        std::printf("\n");
+    }
+    std::printf("%-22s", "Achieved power (W)");
+    for (const auto &name : agentNames())
+        std::printf(" %-14.3f", bestMetrics[name][1]);
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,136 @@
+#include "ant_colony.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace archgym {
+
+AntColonyAgent::AntColonyAgent(const ParamSpace &space, HyperParams hp,
+                               std::uint64_t seed)
+    : Agent("ACO", space, std::move(hp)), rng_(seed), seed_(seed)
+{
+    numAnts_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, hp_.getInt("num_ants", 10)));
+    evaporation_ = std::clamp(hp_.get("evaporation", 0.1), 0.0, 1.0);
+    alpha_ = hp_.get("alpha", 1.0);
+    q0_ = std::clamp(hp_.get("q0", 0.2), 0.0, 1.0);
+    depositQ_ = hp_.get("deposit", 1.0);
+    depositCount_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, hp_.getInt("deposit_count", 3)));
+    tau0_ = hp_.get("tau0", 1.0);
+    elitist_ = hp_.getInt("elitist", 1) != 0;
+    initPheromones();
+}
+
+void
+AntColonyAgent::initPheromones()
+{
+    tau_.clear();
+    tau_.reserve(space_.size());
+    for (std::size_t d = 0; d < space_.size(); ++d)
+        tau_.emplace_back(space_.dim(d).levels(), tau0_);
+}
+
+std::vector<std::size_t>
+AntColonyAgent::constructSolution()
+{
+    std::vector<std::size_t> levels(space_.size());
+    for (std::size_t d = 0; d < space_.size(); ++d) {
+        const auto &row = tau_[d];
+        if (rng_.chance(q0_)) {
+            // Exploitation: pick the strongest trail.
+            levels[d] = static_cast<std::size_t>(std::distance(
+                row.begin(), std::max_element(row.begin(), row.end())));
+        } else {
+            // Biased exploration proportional to tau^alpha.
+            std::vector<double> weights(row.size());
+            for (std::size_t l = 0; l < row.size(); ++l)
+                weights[l] = std::pow(std::max(row[l], 1e-12), alpha_);
+            levels[d] = rng_.weightedIndex(weights);
+        }
+    }
+    return levels;
+}
+
+void
+AntColonyAgent::depositTrail(const std::vector<std::size_t> &levels,
+                             double amount)
+{
+    for (std::size_t d = 0; d < levels.size(); ++d)
+        tau_[d][levels[d]] += amount;
+}
+
+void
+AntColonyAgent::updatePheromones()
+{
+    // Evaporation on every trail.
+    for (auto &row : tau_)
+        for (auto &t : row)
+            t = std::max(t * (1.0 - evaporation_), 1e-9);
+
+    // Rank-based deposits by the cohort's best ants.
+    std::vector<std::size_t> order(cohort_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return cohort_[a].reward > cohort_[b].reward;
+              });
+    const std::size_t depositors = std::min(depositCount_, cohort_.size());
+    for (std::size_t r = 0; r < depositors; ++r) {
+        const double amount = depositQ_ / static_cast<double>(r + 1);
+        depositTrail(cohort_[order[r]].levels, amount);
+    }
+
+    // Track and optionally reinforce the global best (elitist strategy).
+    const Ant &best = cohort_[order.front()];
+    if (!hasGlobalBest_ || best.reward > globalBestReward_) {
+        hasGlobalBest_ = true;
+        globalBestReward_ = best.reward;
+        globalBestLevels_ = best.levels;
+    }
+    if (elitist_ && hasGlobalBest_)
+        depositTrail(globalBestLevels_, depositQ_);
+
+    cohort_.clear();
+}
+
+Action
+AntColonyAgent::selectAction()
+{
+    assert(!hasInFlight_);
+    inFlight_ = constructSolution();
+    hasInFlight_ = true;
+    return space_.fromLevels(inFlight_);
+}
+
+void
+AntColonyAgent::observe(const Action &action, const Metrics &metrics,
+                        double reward)
+{
+    (void)action;
+    (void)metrics;
+    assert(hasInFlight_);
+    Ant ant;
+    ant.levels = std::move(inFlight_);
+    ant.reward = reward;
+    cohort_.push_back(std::move(ant));
+    hasInFlight_ = false;
+    if (cohort_.size() >= numAnts_)
+        updatePheromones();
+}
+
+void
+AntColonyAgent::reset()
+{
+    rng_ = Rng(seed_);
+    initPheromones();
+    cohort_.clear();
+    hasInFlight_ = false;
+    hasGlobalBest_ = false;
+    globalBestReward_ = 0.0;
+    globalBestLevels_.clear();
+}
+
+} // namespace archgym

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ant-colony-optimization agent (paper §3.2, Table 2).
+ *
+ * The policy is a pheromone table tau[dim][level]. Each ant constructs a
+ * design point dimension by dimension using the pseudo-random proportional
+ * rule: with probability q0 it exploits (argmax pheromone), otherwise it
+ * samples a level proportionally to tau^alpha. After a cohort of
+ * "num_ants" ants is evaluated, pheromones evaporate by rho and the
+ * highest-fitness ants deposit trail on the levels they chose. Deposits
+ * are rank-based so the algorithm is indifferent to reward sign and scale
+ * (FARSI rewards are negative distances).
+ */
+
+#ifndef ARCHGYM_AGENTS_ANT_COLONY_H
+#define ARCHGYM_AGENTS_ANT_COLONY_H
+
+#include <vector>
+
+#include "core/agent.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+class AntColonyAgent : public Agent
+{
+  public:
+    /**
+     * Hyperparameters:
+     *  - num_ants       (cohort size, default 10)
+     *  - evaporation    (rho in [0,1], default 0.1)
+     *  - alpha          (pheromone exponent, default 1.0)
+     *  - q0             (exploitation probability, default 0.2)
+     *  - deposit        (Q, trail added by the cohort-best ant, default 1)
+     *  - deposit_count  (how many top ants deposit, default 3)
+     *  - tau0           (initial pheromone, default 1.0)
+     *  - elitist        (0/1: global-best also deposits, default 1)
+     */
+    AntColonyAgent(const ParamSpace &space, HyperParams hp,
+                   std::uint64_t seed);
+
+    Action selectAction() override;
+    void observe(const Action &action, const Metrics &metrics,
+                 double reward) override;
+    void reset() override;
+
+    /** Pheromone level for tests/diagnostics. */
+    double pheromone(std::size_t dim, std::size_t level) const
+    {
+        return tau_[dim][level];
+    }
+
+  private:
+    struct Ant
+    {
+        std::vector<std::size_t> levels;
+        double reward = 0.0;
+    };
+
+    void initPheromones();
+    std::vector<std::size_t> constructSolution();
+    void updatePheromones();
+    void depositTrail(const std::vector<std::size_t> &levels,
+                      double amount);
+
+    Rng rng_;
+    std::uint64_t seed_;
+
+    std::size_t numAnts_;
+    double evaporation_;
+    double alpha_;
+    double q0_;
+    double depositQ_;
+    std::size_t depositCount_;
+    double tau0_;
+    bool elitist_;
+
+    std::vector<std::vector<double>> tau_;  ///< [dim][level]
+    std::vector<Ant> cohort_;
+    bool hasInFlight_ = false;
+    std::vector<std::size_t> inFlight_;
+
+    bool hasGlobalBest_ = false;
+    double globalBestReward_ = 0.0;
+    std::vector<std::size_t> globalBestLevels_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_ANT_COLONY_H

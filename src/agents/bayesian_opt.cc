@@ -1,0 +1,265 @@
+#include "bayesian_opt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace archgym {
+
+namespace {
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::numbers::sqrt2);
+}
+
+double
+normalPdf(double z)
+{
+    return std::exp(-0.5 * z * z) /
+           std::sqrt(2.0 * std::numbers::pi);
+}
+
+} // namespace
+
+GaussianProcess::GaussianProcess(double length_scale, double signal_var,
+                                 double noise_var, GpKernel kernel)
+    : lengthScale_(length_scale), signalVar_(signal_var),
+      noiseVar_(noise_var), kernelKind_(kernel)
+{
+}
+
+double
+GaussianProcess::kernel(const std::vector<double> &a,
+                        const std::vector<double> &b) const
+{
+    const double d2 = squaredDistance(a, b);
+    if (kernelKind_ == GpKernel::Matern52) {
+        const double r = std::sqrt(d2) / lengthScale_;
+        const double s = std::sqrt(5.0) * r;
+        return signalVar_ * (1.0 + s + 5.0 * r * r / 3.0) *
+               std::exp(-s);
+    }
+    return signalVar_ *
+           std::exp(-d2 / (2.0 * lengthScale_ * lengthScale_));
+}
+
+void
+GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
+                     const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    xs_ = xs;
+    ysRaw_ = ys;
+    fitted_ = false;
+    if (xs_.empty())
+        return;
+
+    // Standardize targets for numerical conditioning.
+    yMean_ = std::accumulate(ys.begin(), ys.end(), 0.0) /
+             static_cast<double>(ys.size());
+    double var = 0.0;
+    for (double y : ys)
+        var += (y - yMean_) * (y - yMean_);
+    var /= static_cast<double>(ys.size());
+    yStd_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+    const std::size_t n = xs_.size();
+    Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double v = kernel(xs_[i], xs_[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += noiseVar_;
+    }
+    chol_ = std::make_unique<Cholesky>(k);
+    if (!chol_->ok())
+        return;
+
+    std::vector<double> yStd(n);
+    for (std::size_t i = 0; i < n; ++i)
+        yStd[i] = (ys[i] - yMean_) / yStd_;
+    alpha_ = chol_->solve(yStd);
+    fitted_ = true;
+}
+
+void
+GaussianProcess::predict(const std::vector<double> &x, double &mean,
+                         double &variance) const
+{
+    if (!fitted_) {
+        mean = yMean_;
+        variance = signalVar_;
+        return;
+    }
+    const std::size_t n = xs_.size();
+    std::vector<double> kStar(n);
+    for (std::size_t i = 0; i < n; ++i)
+        kStar[i] = kernel(x, xs_[i]);
+    const double mu = dot(kStar, alpha_);
+    // var = k(x,x) - k*^T K^-1 k*, computed through the Cholesky factor.
+    const std::vector<double> v = chol_->solveLower(kStar);
+    double reduction = 0.0;
+    for (double vi : v)
+        reduction += vi * vi;
+    const double rawVar = std::max(kernel(x, x) - reduction, 1e-12);
+    mean = yMean_ + yStd_ * mu;
+    variance = yStd_ * yStd_ * rawVar;
+}
+
+BayesianOptAgent::BayesianOptAgent(const ParamSpace &space, HyperParams hp,
+                                   std::uint64_t seed)
+    : Agent("BO", space, std::move(hp)), rng_(seed), seed_(seed),
+      gp_(hp_.get("length_scale", 0.2), hp_.get("signal_var", 1.0),
+          hp_.get("noise_var", 1e-4),
+          static_cast<GpKernel>(hp_.getInt("kernel", 0)))
+{
+    nInit_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, hp_.getInt("n_init", 8)));
+    acq_ = static_cast<Acquisition>(hp_.getInt("acquisition", 0));
+    kappa_ = hp_.get("kappa", 2.0);
+    xi_ = hp_.get("xi", 0.01);
+    numCandidates_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(8, hp_.getInt("num_candidates", 256)));
+    maxHistory_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(16, hp_.getInt("max_history", 150)));
+}
+
+double
+BayesianOptAgent::acquisitionValue(double mean, double variance) const
+{
+    const double sigma = std::sqrt(std::max(variance, 1e-12));
+    switch (acq_) {
+      case Acquisition::UCB:
+        return mean + kappa_ * sigma;
+      case Acquisition::PI: {
+        const double z = (mean - bestY_ - xi_) / sigma;
+        return normalCdf(z);
+      }
+      case Acquisition::EI:
+      default: {
+        const double improve = mean - bestY_ - xi_;
+        const double z = improve / sigma;
+        return improve * normalCdf(z) + sigma * normalPdf(z);
+      }
+    }
+}
+
+void
+BayesianOptAgent::refit()
+{
+    gp_.fit(xs_, ys_);
+    dirty_ = false;
+}
+
+Action
+BayesianOptAgent::selectAction()
+{
+    if (xs_.size() < nInit_)
+        return space_.sample(rng_);
+
+    if (dirty_)
+        refit();
+
+    // Candidate set: random points plus local moves around the incumbent.
+    double bestAcq = -std::numeric_limits<double>::infinity();
+    std::vector<double> bestCand;
+    const std::size_t localCands = hasBest_ ? numCandidates_ / 4 : 0;
+    for (std::size_t c = 0; c < numCandidates_; ++c) {
+        std::vector<double> cand(space_.size());
+        if (c < localCands) {
+            for (std::size_t d = 0; d < cand.size(); ++d) {
+                cand[d] = std::clamp(
+                    bestX_[d] + rng_.gaussian(0.0, 0.08), 0.0, 1.0);
+            }
+        } else {
+            for (auto &u : cand)
+                u = rng_.uniform();
+        }
+        double mean, variance;
+        gp_.predict(cand, mean, variance);
+        const double a = acquisitionValue(mean, variance);
+        if (a > bestAcq) {
+            bestAcq = a;
+            bestCand = std::move(cand);
+        }
+    }
+    return space_.fromUnit(bestCand);
+}
+
+void
+BayesianOptAgent::trimHistory()
+{
+    if (xs_.size() <= maxHistory_)
+        return;
+    // Keep the top quarter by reward plus the most recent observations —
+    // bounding the cubic GP cost while retaining the incumbent region.
+    const std::size_t keepBest = maxHistory_ / 4;
+    const std::size_t keepRecent = maxHistory_ - keepBest;
+
+    std::vector<std::size_t> order(xs_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return ys_[a] > ys_[b];
+              });
+    std::vector<bool> keep(xs_.size(), false);
+    for (std::size_t i = 0; i < keepBest && i < order.size(); ++i)
+        keep[order[i]] = true;
+    std::size_t kept = keepBest;
+    for (std::size_t i = xs_.size(); i > 0 && kept < keepBest + keepRecent;
+         --i) {
+        if (!keep[i - 1]) {
+            keep[i - 1] = true;
+            ++kept;
+        }
+    }
+    std::vector<std::vector<double>> nx;
+    std::vector<double> ny;
+    nx.reserve(maxHistory_);
+    ny.reserve(maxHistory_);
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+        if (keep[i]) {
+            nx.push_back(std::move(xs_[i]));
+            ny.push_back(ys_[i]);
+        }
+    }
+    xs_ = std::move(nx);
+    ys_ = std::move(ny);
+}
+
+void
+BayesianOptAgent::observe(const Action &action, const Metrics &metrics,
+                          double reward)
+{
+    (void)metrics;
+    std::vector<double> u = space_.toUnit(action);
+    if (!hasBest_ || reward > bestY_) {
+        hasBest_ = true;
+        bestY_ = reward;
+        bestX_ = u;
+    }
+    xs_.push_back(std::move(u));
+    ys_.push_back(reward);
+    trimHistory();
+    dirty_ = true;
+}
+
+void
+BayesianOptAgent::reset()
+{
+    rng_ = Rng(seed_);
+    xs_.clear();
+    ys_.clear();
+    hasBest_ = false;
+    bestY_ = 0.0;
+    bestX_.clear();
+    dirty_ = true;
+}
+
+} // namespace archgym

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bayesian-optimization agent (paper §3.2, Table 2).
+ *
+ * The policy is a Gaussian-process surrogate model over the unit-cube
+ * embedding of the parameter space with a squared-exponential kernel.
+ * Exploration/exploitation is governed by the acquisition function (Q3):
+ * expected improvement, upper confidence bound, or probability of
+ * improvement. The acquisition is maximized over a random candidate set
+ * augmented with local perturbations of the incumbent.
+ *
+ * GP regression is cubic in the number of observations — the scalability
+ * limit the paper attributes to BO — so the surrogate keeps a sliding
+ * window of the most recent observations plus the best ones seen
+ * ("max_history"). The window size is itself a hyperparameter and has a
+ * dedicated ablation bench (see DESIGN.md §5).
+ */
+
+#ifndef ARCHGYM_AGENTS_BAYESIAN_OPT_H
+#define ARCHGYM_AGENTS_BAYESIAN_OPT_H
+
+#include <memory>
+#include <vector>
+
+#include "core/agent.h"
+#include "mathutil/matrix.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+/** Covariance function family for the GP surrogate. */
+enum class GpKernel
+{
+    SquaredExponential = 0,  ///< infinitely smooth
+    Matern52 = 1             ///< twice-differentiable, heavier tails
+};
+
+/**
+ * Standalone GP regressor exposed for tests: fit on (x, y) pairs and
+ * predict mean/variance at new points.
+ */
+class GaussianProcess
+{
+  public:
+    /**
+     * @param length_scale  kernel length scale
+     * @param signal_var    kernel signal variance sigma_f^2
+     * @param noise_var     observation noise sigma_n^2
+     * @param kernel        covariance family
+     */
+    GaussianProcess(double length_scale, double signal_var,
+                    double noise_var,
+                    GpKernel kernel = GpKernel::SquaredExponential);
+
+    /** Fit on the given points; y is internally standardized. */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys);
+
+    bool fitted() const { return fitted_; }
+    std::size_t sampleCount() const { return xs_.size(); }
+
+    /** Posterior mean and variance at x (in the original y units). */
+    void predict(const std::vector<double> &x, double &mean,
+                 double &variance) const;
+
+    double kernel(const std::vector<double> &a,
+                  const std::vector<double> &b) const;
+
+  private:
+    double lengthScale_;
+    double signalVar_;
+    double noiseVar_;
+    GpKernel kernelKind_;
+
+    std::vector<std::vector<double>> xs_;
+    std::vector<double> ysRaw_;
+    double yMean_ = 0.0;
+    double yStd_ = 1.0;
+    std::vector<double> alpha_;  ///< K^-1 y (standardized)
+    std::unique_ptr<Cholesky> chol_;
+    bool fitted_ = false;
+};
+
+class BayesianOptAgent : public Agent
+{
+  public:
+    enum class Acquisition { EI = 0, UCB = 1, PI = 2 };
+
+    /**
+     * Hyperparameters:
+     *  - n_init         (random warmup samples, default 8)
+     *  - length_scale   (default 0.2)
+     *  - signal_var     (default 1.0)
+     *  - noise_var      (default 1e-4)
+     *  - kernel         (0 squared-exponential, 1 Matern-5/2; default 0)
+     *  - acquisition    (0 EI, 1 UCB, 2 PI; default 0)
+     *  - kappa          (UCB exploration weight, default 2.0)
+     *  - xi             (EI/PI improvement margin, default 0.01)
+     *  - num_candidates (acquisition search points, default 256)
+     *  - max_history    (GP window size, default 150)
+     */
+    BayesianOptAgent(const ParamSpace &space, HyperParams hp,
+                     std::uint64_t seed);
+
+    Action selectAction() override;
+    void observe(const Action &action, const Metrics &metrics,
+                 double reward) override;
+    void reset() override;
+
+    std::size_t historySize() const { return xs_.size(); }
+
+  private:
+    void refit();
+    double acquisitionValue(double mean, double variance) const;
+    void trimHistory();
+
+    Rng rng_;
+    std::uint64_t seed_;
+
+    std::size_t nInit_;
+    Acquisition acq_;
+    double kappa_;
+    double xi_;
+    std::size_t numCandidates_;
+    std::size_t maxHistory_;
+
+    GaussianProcess gp_;
+    std::vector<std::vector<double>> xs_;  ///< unit-space observations
+    std::vector<double> ys_;
+    double bestY_ = 0.0;
+    std::vector<double> bestX_;
+    bool hasBest_ = false;
+    bool dirty_ = true;  ///< GP needs refit before next prediction
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_BAYESIAN_OPT_H

@@ -1,0 +1,233 @@
+#include "genetic_algorithm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace archgym {
+
+GeneticAlgorithmAgent::GeneticAlgorithmAgent(const ParamSpace &space,
+                                             HyperParams hp,
+                                             std::uint64_t seed)
+    : Agent("GA", space, std::move(hp)), rng_(seed), seed_(seed)
+{
+    populationSize_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, hp_.getInt("population_size", 20)));
+    mutationProb_ = hp_.get("mutation_prob", 0.1);
+    crossoverProb_ = hp_.get("crossover_prob", 0.9);
+    tournamentSize_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, hp_.getInt("tournament_size", 3)));
+    eliteCount_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, hp_.getInt("elite_count", 1)));
+    eliteCount_ = std::min(eliteCount_, populationSize_ - 1);
+    rouletteSelection_ = hp_.getInt("selection", 0) == 1;
+    onePointCrossover_ = hp_.getInt("crossover", 0) == 1;
+    reorderProb_ = hp_.get("reorder_prob", 0.0);
+    maxAge_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, hp_.getInt("max_age", 0)));
+    growthAdd_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, hp_.getInt("growth_add", 0)));
+    growthCap_ = static_cast<std::size_t>(std::max<std::int64_t>(
+        static_cast<std::int64_t>(populationSize_),
+        hp_.getInt("growth_cap",
+                   static_cast<std::int64_t>(4 * populationSize_))));
+}
+
+GeneticAlgorithmAgent::Genome
+GeneticAlgorithmAgent::randomGenome()
+{
+    Genome g(space_.size());
+    for (std::size_t d = 0; d < space_.size(); ++d)
+        g[d] = static_cast<std::size_t>(rng_.below(space_.dim(d).levels()));
+    return g;
+}
+
+void
+GeneticAlgorithmAgent::seedPopulation()
+{
+    population_.clear();
+    pendingEval_.clear();
+    for (std::size_t i = 0; i < populationSize_; ++i) {
+        Individual ind;
+        ind.genome = randomGenome();
+        population_.push_back(std::move(ind));
+        pendingEval_.push_back(i);
+    }
+}
+
+const GeneticAlgorithmAgent::Individual &
+GeneticAlgorithmAgent::selectParent() const
+{
+    auto &rng = const_cast<Rng &>(rng_);
+    if (rouletteSelection_) {
+        // Shift fitnesses to be non-negative for the roulette wheel.
+        double minFit = population_.front().fitness;
+        for (const auto &ind : population_)
+            minFit = std::min(minFit, ind.fitness);
+        std::vector<double> weights;
+        weights.reserve(population_.size());
+        for (const auto &ind : population_)
+            weights.push_back(ind.fitness - minFit + 1e-12);
+        return population_[rng.weightedIndex(weights)];
+    }
+    // Tournament selection.
+    const Individual *best = nullptr;
+    for (std::size_t t = 0; t < tournamentSize_; ++t) {
+        const auto &cand = population_[rng.below(population_.size())];
+        if (best == nullptr || cand.fitness > best->fitness)
+            best = &cand;
+    }
+    return *best;
+}
+
+GeneticAlgorithmAgent::Genome
+GeneticAlgorithmAgent::crossover(const Genome &a, const Genome &b)
+{
+    Genome child(a.size());
+    if (onePointCrossover_) {
+        const std::size_t cut =
+            static_cast<std::size_t>(rng_.below(a.size() + 1));
+        for (std::size_t i = 0; i < a.size(); ++i)
+            child[i] = i < cut ? a[i] : b[i];
+    } else {
+        for (std::size_t i = 0; i < a.size(); ++i)
+            child[i] = rng_.chance(0.5) ? a[i] : b[i];
+    }
+    return child;
+}
+
+void
+GeneticAlgorithmAgent::mutate(Genome &g)
+{
+    for (std::size_t d = 0; d < g.size(); ++d) {
+        if (rng_.chance(mutationProb_)) {
+            g[d] = static_cast<std::size_t>(
+                rng_.below(space_.dim(d).levels()));
+        }
+    }
+}
+
+void
+GeneticAlgorithmAgent::reorderSegment(Genome &g)
+{
+    if (g.size() < 2)
+        return;
+    // Permute the level assignments within a random subsegment. On
+    // homogeneous encodings (Maestro loop-order priorities) this is
+    // exactly GAMMA's reorder move; on heterogeneous spaces the values
+    // are re-snapped onto each dimension's range.
+    std::size_t lo = static_cast<std::size_t>(rng_.below(g.size()));
+    std::size_t hi = static_cast<std::size_t>(rng_.below(g.size()));
+    if (lo > hi)
+        std::swap(lo, hi);
+    if (lo == hi)
+        return;
+    std::vector<std::size_t> segment(g.begin() + lo, g.begin() + hi + 1);
+    rng_.shuffle(segment);
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+        const std::size_t levels = space_.dim(lo + i).levels();
+        g[lo + i] = std::min(segment[i], levels - 1);
+    }
+}
+
+void
+GeneticAlgorithmAgent::breedNextGeneration()
+{
+    ++generation_;
+
+    // Aging: retire individuals that exceed their lifespan by replacing
+    // them with fresh random genomes before selection happens.
+    if (maxAge_ > 0) {
+        for (auto &ind : population_) {
+            ++ind.age;
+            if (ind.age > maxAge_) {
+                ind.genome = randomGenome();
+                ind.fitness = 0.0;
+                ind.evaluated = false;
+                ind.age = 0;
+            }
+        }
+    }
+
+    // Growth: enlarge the population.
+    std::size_t nextSize = population_.size();
+    if (growthAdd_ > 0)
+        nextSize = std::min(growthCap_, nextSize + growthAdd_);
+
+    // Rank incumbents best-first for elitism.
+    std::vector<std::size_t> order(population_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [this](std::size_t a, std::size_t b) {
+                  return population_[a].fitness > population_[b].fitness;
+              });
+
+    std::vector<Individual> next;
+    next.reserve(nextSize);
+    for (std::size_t e = 0; e < eliteCount_ && e < order.size(); ++e) {
+        Individual elite = population_[order[e]];
+        next.push_back(std::move(elite));
+    }
+    while (next.size() < nextSize) {
+        const Individual &p1 = selectParent();
+        const Individual &p2 = selectParent();
+        Individual child;
+        child.genome = rng_.chance(crossoverProb_)
+                           ? crossover(p1.genome, p2.genome)
+                           : p1.genome;
+        mutate(child.genome);
+        if (reorderProb_ > 0.0 && rng_.chance(reorderProb_))
+            reorderSegment(child.genome);
+        next.push_back(std::move(child));
+    }
+
+    population_ = std::move(next);
+    pendingEval_.clear();
+    for (std::size_t i = 0; i < population_.size(); ++i) {
+        if (!population_[i].evaluated)
+            pendingEval_.push_back(i);
+    }
+    // Degenerate case: everything is elite/evaluated (tiny populations) —
+    // force re-evaluation so the search keeps sampling.
+    if (pendingEval_.empty()) {
+        for (std::size_t i = 0; i < population_.size(); ++i)
+            pendingEval_.push_back(i);
+    }
+}
+
+Action
+GeneticAlgorithmAgent::selectAction()
+{
+    if (population_.empty())
+        seedPopulation();
+    if (pendingEval_.empty())
+        breedNextGeneration();
+    inFlight_ = pendingEval_.front();
+    pendingEval_.pop_front();
+    hasInFlight_ = true;
+    return space_.fromLevels(population_[inFlight_].genome);
+}
+
+void
+GeneticAlgorithmAgent::observe(const Action &action, const Metrics &metrics,
+                               double reward)
+{
+    (void)action;
+    (void)metrics;
+    assert(hasInFlight_);
+    population_[inFlight_].fitness = reward;
+    population_[inFlight_].evaluated = true;
+    hasInFlight_ = false;
+}
+
+void
+GeneticAlgorithmAgent::reset()
+{
+    rng_ = Rng(seed_);
+    population_.clear();
+    pendingEval_.clear();
+    hasInFlight_ = false;
+    generation_ = 0;
+}
+
+} // namespace archgym

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Genetic-algorithm agent (paper §3.2; Fig. 6 GAMMA study).
+ *
+ * The policy is the population's genomes (Table 2): each genome is a
+ * vector of level indices, one per parameter dimension. Generations are
+ * serialized through the ask-tell interface — selectAction() drains the
+ * current generation one individual at a time, and once every individual
+ * has a fitness the next generation is bred.
+ *
+ * Besides the vanilla operators (tournament/roulette selection, uniform or
+ * one-point crossover, per-gene mutation, elitism), the agent implements
+ * GAMMA's three domain-specific operators so Fig. 6's comparison can be
+ * reproduced:
+ *  - aging:      individuals are retired after "max_age" generations
+ *                (regularized evolution);
+ *  - growth:     the population grows by "growth_add" per generation up to
+ *                "growth_cap";
+ *  - reordering: a mutation that permutes a random genome subsegment,
+ *                matching GAMMA's loop-(re)ordering move on mapping
+ *                encodings.
+ */
+
+#ifndef ARCHGYM_AGENTS_GENETIC_ALGORITHM_H
+#define ARCHGYM_AGENTS_GENETIC_ALGORITHM_H
+
+#include <deque>
+#include <vector>
+
+#include "core/agent.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+class GeneticAlgorithmAgent : public Agent
+{
+  public:
+    /**
+     * Hyperparameters:
+     *  - population_size (default 20)
+     *  - mutation_prob   (per gene, default 0.1)
+     *  - crossover_prob  (default 0.9)
+     *  - tournament_size (default 3)
+     *  - elite_count     (default 1)
+     *  - selection       (0 tournament, 1 roulette; default 0)
+     *  - crossover       (0 uniform, 1 one-point; default 0)
+     *  - reorder_prob    (default 0 = reordering off)
+     *  - max_age         (default 0 = aging off)
+     *  - growth_add      (default 0 = growth off)
+     *  - growth_cap      (default 4x population_size)
+     */
+    GeneticAlgorithmAgent(const ParamSpace &space, HyperParams hp,
+                          std::uint64_t seed);
+
+    Action selectAction() override;
+    void observe(const Action &action, const Metrics &metrics,
+                 double reward) override;
+    void reset() override;
+
+    /** Completed generations (diagnostics). */
+    std::size_t generation() const { return generation_; }
+    std::size_t populationSize() const { return population_.size(); }
+
+  private:
+    using Genome = std::vector<std::size_t>;
+
+    struct Individual
+    {
+        Genome genome;
+        double fitness = 0.0;
+        bool evaluated = false;
+        std::size_t age = 0;
+    };
+
+    void seedPopulation();
+    void breedNextGeneration();
+    const Individual &selectParent() const;
+    Genome crossover(const Genome &a, const Genome &b);
+    void mutate(Genome &g);
+    void reorderSegment(Genome &g);
+    Genome randomGenome();
+
+    Rng rng_;
+    std::uint64_t seed_;
+
+    // Hyperparameters (resolved once).
+    std::size_t populationSize_;
+    double mutationProb_;
+    double crossoverProb_;
+    std::size_t tournamentSize_;
+    std::size_t eliteCount_;
+    bool rouletteSelection_;
+    bool onePointCrossover_;
+    double reorderProb_;
+    std::size_t maxAge_;
+    std::size_t growthAdd_;
+    std::size_t growthCap_;
+
+    std::vector<Individual> population_;
+    std::deque<std::size_t> pendingEval_;  ///< indices awaiting fitness
+    std::size_t inFlight_ = 0;             ///< index of last asked genome
+    bool hasInFlight_ = false;
+    std::size_t generation_ = 0;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_GENETIC_ALGORITHM_H

@@ -1,0 +1,49 @@
+#include "random_walker.h"
+
+#include <algorithm>
+
+namespace archgym {
+
+RandomWalkerAgent::RandomWalkerAgent(const ParamSpace &space, HyperParams hp,
+                                     std::uint64_t seed)
+    : Agent("RW", space, std::move(hp)), rng_(seed), seed_(seed)
+{
+    walkMode_ = hp_.getInt("walk", 0) != 0;
+    stepSize_ = hp_.get("step_size", 0.1);
+    restartProb_ = hp_.get("restart_prob", 0.05);
+}
+
+Action
+RandomWalkerAgent::selectAction()
+{
+    if (!walkMode_ || !hasBest_ || rng_.chance(restartProb_))
+        return space_.sample(rng_);
+    // Perturb the incumbent in unit space.
+    std::vector<double> u = bestUnit_;
+    for (auto &x : u)
+        x = std::clamp(x + rng_.uniform(-stepSize_, stepSize_), 0.0, 1.0);
+    return space_.fromUnit(u);
+}
+
+void
+RandomWalkerAgent::observe(const Action &action, const Metrics &metrics,
+                           double reward)
+{
+    (void)metrics;
+    if (!hasBest_ || reward > bestReward_) {
+        hasBest_ = true;
+        bestReward_ = reward;
+        bestUnit_ = space_.toUnit(action);
+    }
+}
+
+void
+RandomWalkerAgent::reset()
+{
+    rng_ = Rng(seed_);
+    hasBest_ = false;
+    bestReward_ = 0.0;
+    bestUnit_.clear();
+}
+
+} // namespace archgym

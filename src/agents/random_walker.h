@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Random-walker agent (paper §3.2): random search whose policy is a
+ * random number generator.
+ *
+ * Two modes are supported through the "walk" hyperparameter:
+ *  - walk=0 (default): i.i.d. uniform sampling of the space — the paper's
+ *    baseline configuration;
+ *  - walk=1: a local random walk that perturbs the best point seen so far
+ *    by "step_size" in unit space, occasionally restarting with
+ *    probability "restart_prob".
+ */
+
+#ifndef ARCHGYM_AGENTS_RANDOM_WALKER_H
+#define ARCHGYM_AGENTS_RANDOM_WALKER_H
+
+#include "core/agent.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+class RandomWalkerAgent : public Agent
+{
+  public:
+    /**
+     * Hyperparameters:
+     *  - walk (0/1, default 0): local-walk mode
+     *  - step_size (default 0.1): per-dimension unit-space perturbation
+     *  - restart_prob (default 0.05): walk-mode random restart chance
+     */
+    RandomWalkerAgent(const ParamSpace &space, HyperParams hp,
+                      std::uint64_t seed);
+
+    Action selectAction() override;
+    void observe(const Action &action, const Metrics &metrics,
+                 double reward) override;
+    void reset() override;
+
+  private:
+    Rng rng_;
+    std::uint64_t seed_;
+    bool walkMode_;
+    double stepSize_;
+    double restartProb_;
+
+    bool hasBest_ = false;
+    double bestReward_ = 0.0;
+    std::vector<double> bestUnit_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_RANDOM_WALKER_H

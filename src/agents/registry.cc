@@ -1,0 +1,85 @@
+#include "registry.h"
+
+#include <stdexcept>
+
+#include "agents/ant_colony.h"
+#include "agents/bayesian_opt.h"
+#include "agents/genetic_algorithm.h"
+#include "agents/random_walker.h"
+#include "agents/reinforcement_learning.h"
+#include "agents/simulated_annealing.h"
+
+namespace archgym {
+
+const std::vector<std::string> &
+agentNames()
+{
+    // The paper's five seeded agents. SA is a post-paper integration
+    // example (§8) available through makeAgent but excluded from the
+    // reproduction sweeps.
+    static const std::vector<std::string> names = {"ACO", "BO", "GA", "RL",
+                                                   "RW"};
+    return names;
+}
+
+std::unique_ptr<Agent>
+makeAgent(const std::string &name, const ParamSpace &space,
+          const HyperParams &hp, std::uint64_t seed)
+{
+    if (name == "ACO")
+        return std::make_unique<AntColonyAgent>(space, hp, seed);
+    if (name == "BO")
+        return std::make_unique<BayesianOptAgent>(space, hp, seed);
+    if (name == "GA")
+        return std::make_unique<GeneticAlgorithmAgent>(space, hp, seed);
+    if (name == "RL")
+        return std::make_unique<ReinforcementLearningAgent>(space, hp,
+                                                            seed);
+    if (name == "RW")
+        return std::make_unique<RandomWalkerAgent>(space, hp, seed);
+    if (name == "SA")
+        return std::make_unique<SimulatedAnnealingAgent>(space, hp, seed);
+    throw std::invalid_argument("unknown agent: " + name);
+}
+
+HyperGrid
+defaultHyperGrid(const std::string &name)
+{
+    HyperGrid grid;
+    if (name == "ACO") {
+        grid.add("num_ants", {4, 8, 16})
+            .add("evaporation", {0.05, 0.1, 0.25, 0.5})
+            .add("q0", {0.0, 0.2, 0.5, 0.8})
+            .add("deposit", {0.5, 1.0, 2.0});
+    } else if (name == "BO") {
+        grid.add("length_scale", {0.05, 0.1, 0.2, 0.4})
+            .add("acquisition", {0, 1, 2})
+            .add("kappa", {1.0, 2.0, 4.0})
+            .add("n_init", {4, 8, 16})
+            .add("kernel", {0, 1});
+    } else if (name == "GA") {
+        grid.add("population_size", {8, 16, 32})
+            .add("mutation_prob", {0.01, 0.05, 0.1, 0.3})
+            .add("crossover_prob", {0.5, 0.7, 0.9})
+            .add("tournament_size", {2, 3, 5});
+    } else if (name == "RL") {
+        grid.add("learning_rate", {0.001, 0.005, 0.02, 0.1})
+            .add("batch_size", {8, 16, 32})
+            .add("entropy_coeff", {0.0, 0.01, 0.1})
+            .add("hidden_size", {16, 32, 64});
+    } else if (name == "RW") {
+        grid.add("walk", {0, 1})
+            .add("step_size", {0.05, 0.1, 0.2, 0.4})
+            .add("restart_prob", {0.01, 0.05, 0.1});
+    } else if (name == "SA") {
+        grid.add("initial_temp", {0.1, 1.0, 10.0})
+            .add("cooling", {0.98, 0.995, 0.999})
+            .add("move_dims", {1, 2, 4})
+            .add("reheat", {0, 1});
+    } else {
+        throw std::invalid_argument("unknown agent: " + name);
+    }
+    return grid;
+}
+
+} // namespace archgym

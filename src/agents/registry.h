@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Agent registry: build any of the five seeded agents by name and obtain
+ * the default hyperparameter sweep grid used by the lottery experiments.
+ *
+ * New search algorithms are integrated by adding a builder here (paper §8
+ * "Integrating other algorithms") — everything downstream (driver, sweeps,
+ * dataset logging, benches) picks them up unchanged.
+ */
+
+#ifndef ARCHGYM_AGENTS_REGISTRY_H
+#define ARCHGYM_AGENTS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/hyperparams.h"
+
+namespace archgym {
+
+/** Names of the five seeded agents: "ACO", "BO", "GA", "RL", "RW". */
+const std::vector<std::string> &agentNames();
+
+/**
+ * Construct an agent by name.
+ * @throws std::invalid_argument for unknown names.
+ */
+std::unique_ptr<Agent> makeAgent(const std::string &name,
+                                 const ParamSpace &space,
+                                 const HyperParams &hp, std::uint64_t seed);
+
+/**
+ * The hyperparameter sweep grid for the given agent, mirroring the
+ * paper's per-algorithm sweeps (scaled to this repo's budgets).
+ */
+HyperGrid defaultHyperGrid(const std::string &name);
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_REGISTRY_H

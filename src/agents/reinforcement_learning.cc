@@ -1,0 +1,165 @@
+#include "reinforcement_learning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace archgym {
+
+ReinforcementLearningAgent::ReinforcementLearningAgent(
+    const ParamSpace &space, HyperParams hp, std::uint64_t seed)
+    : Agent("RL", space, std::move(hp)), rng_(seed), seed_(seed)
+{
+    learningRate_ = hp_.get("learning_rate", 0.01);
+    batchSize_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, hp_.getInt("batch_size", 16)));
+    hiddenSize_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(4, hp_.getInt("hidden_size", 32)));
+    entropyCoeff_ = hp_.get("entropy_coeff", 0.01);
+    baselineDecay_ = std::clamp(hp_.get("baseline_decay", 0.7), 0.0, 1.0);
+    buildPolicy();
+}
+
+void
+ReinforcementLearningAgent::buildPolicy()
+{
+    totalLogits_ = 0;
+    logitOffsets_.clear();
+    for (std::size_t d = 0; d < space_.size(); ++d) {
+        logitOffsets_.push_back(totalLogits_);
+        totalLogits_ += space_.dim(d).levels();
+    }
+    AdamConfig adam;
+    adam.learningRate = learningRate_;
+    policy_ = std::make_unique<Mlp>(
+        std::vector<std::size_t>{1, hiddenSize_, totalLogits_}, rng_, adam);
+}
+
+std::vector<double>
+ReinforcementLearningAgent::policyLogits()
+{
+    return policy_->forward({1.0});
+}
+
+std::vector<std::vector<double>>
+ReinforcementLearningAgent::actionDistributions()
+{
+    const std::vector<double> logits = policyLogits();
+    std::vector<std::vector<double>> dists;
+    dists.reserve(space_.size());
+    for (std::size_t d = 0; d < space_.size(); ++d) {
+        const std::size_t levels = space_.dim(d).levels();
+        std::vector<double> block(
+            logits.begin() + static_cast<std::ptrdiff_t>(logitOffsets_[d]),
+            logits.begin() +
+                static_cast<std::ptrdiff_t>(logitOffsets_[d] + levels));
+        dists.push_back(softmax(block));
+    }
+    return dists;
+}
+
+Action
+ReinforcementLearningAgent::selectAction()
+{
+    assert(!hasInFlight_);
+    const std::vector<double> logits = policyLogits();
+    std::vector<std::size_t> levels(space_.size());
+    for (std::size_t d = 0; d < space_.size(); ++d) {
+        const std::size_t n = space_.dim(d).levels();
+        std::vector<double> block(
+            logits.begin() + static_cast<std::ptrdiff_t>(logitOffsets_[d]),
+            logits.begin() +
+                static_cast<std::ptrdiff_t>(logitOffsets_[d] + n));
+        const std::vector<double> probs = softmax(block);
+        levels[d] = rng_.weightedIndex(probs);
+    }
+    inFlight_ = levels;
+    hasInFlight_ = true;
+    return space_.fromLevels(levels);
+}
+
+void
+ReinforcementLearningAgent::observe(const Action &action,
+                                    const Metrics &metrics, double reward)
+{
+    (void)action;
+    (void)metrics;
+    assert(hasInFlight_);
+    batch_.push_back(Episode{std::move(inFlight_), reward});
+    hasInFlight_ = false;
+    if (batch_.size() >= batchSize_)
+        update();
+}
+
+void
+ReinforcementLearningAgent::update()
+{
+    // Baseline: EMA of batch means; advantages normalized by batch std.
+    double batchMean = 0.0;
+    for (const auto &ep : batch_)
+        batchMean += ep.reward;
+    batchMean /= static_cast<double>(batch_.size());
+    if (!baselineInit_) {
+        baseline_ = batchMean;
+        baselineInit_ = true;
+    } else {
+        baseline_ = baselineDecay_ * baseline_ +
+                    (1.0 - baselineDecay_) * batchMean;
+    }
+    double var = 0.0;
+    for (const auto &ep : batch_)
+        var += (ep.reward - batchMean) * (ep.reward - batchMean);
+    var /= static_cast<double>(batch_.size());
+    const double scale = var > 1e-12 ? std::sqrt(var) : 1.0;
+
+    policy_->zeroGradients();
+    for (const auto &ep : batch_) {
+        const double advantage = (ep.reward - baseline_) / scale;
+        // Recompute the forward pass for this (stateless) episode so the
+        // cached activations match the gradient we are about to inject.
+        const std::vector<double> logits = policyLogits();
+        std::vector<double> gradLogits(totalLogits_, 0.0);
+        for (std::size_t d = 0; d < space_.size(); ++d) {
+            const std::size_t n = space_.dim(d).levels();
+            const std::size_t off = logitOffsets_[d];
+            std::vector<double> block(
+                logits.begin() + static_cast<std::ptrdiff_t>(off),
+                logits.begin() + static_cast<std::ptrdiff_t>(off + n));
+            const std::vector<double> probs = softmax(block);
+            // Policy-gradient term: d(-adv * log pi)/dz = adv*(p - onehot)
+            for (std::size_t l = 0; l < n; ++l) {
+                double g = advantage * probs[l];
+                if (l == ep.levels[d])
+                    g -= advantage;
+                // Entropy bonus: d(-c*H)/dz_k = c * p_k (log p_k + H)
+                double entropy = 0.0;
+                for (double p : probs)
+                    entropy -= p * std::log(std::max(p, 1e-12));
+                g += entropyCoeff_ * probs[l] *
+                     (std::log(std::max(probs[l], 1e-12)) + entropy);
+                gradLogits[off + l] += g;
+            }
+        }
+        // Average over the batch.
+        for (auto &g : gradLogits)
+            g /= static_cast<double>(batch_.size());
+        policy_->backward(gradLogits);
+    }
+    policy_->applyGradients();
+    batch_.clear();
+    ++updates_;
+}
+
+void
+ReinforcementLearningAgent::reset()
+{
+    rng_ = Rng(seed_);
+    buildPolicy();
+    batch_.clear();
+    hasInFlight_ = false;
+    baseline_ = 0.0;
+    baselineInit_ = false;
+    updates_ = 0;
+}
+
+} // namespace archgym

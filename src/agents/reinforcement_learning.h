@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reinforcement-learning agent (paper §3.2, Table 2).
+ *
+ * Architecture DSE is a one-step decision problem: the state is the fixed
+ * (environment, workload) pair and an episode is a single parameter
+ * selection, as in the paper's DRAMGym/TimeloopGym formulations. The
+ * policy is a neural network (Fig. 2): an MLP maps a constant context to
+ * per-dimension categorical logits; a design point is sampled dimension-
+ * wise from the resulting distributions.
+ *
+ * Training is REINFORCE with a batch-mean baseline, advantage
+ * normalization, entropy regularization (the Q3 exploration knob) and
+ * Adam. The agent is intentionally sample-hungry — the paper's central
+ * observation about RL in low-sample regimes (Fig. 7) emerges from
+ * exactly this property.
+ */
+
+#ifndef ARCHGYM_AGENTS_REINFORCEMENT_LEARNING_H
+#define ARCHGYM_AGENTS_REINFORCEMENT_LEARNING_H
+
+#include <vector>
+
+#include "core/agent.h"
+#include "mathutil/mlp.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+class ReinforcementLearningAgent : public Agent
+{
+  public:
+    /**
+     * Hyperparameters:
+     *  - learning_rate  (default 0.01)
+     *  - batch_size     (episodes per policy update, default 16)
+     *  - hidden_size    (MLP width, default 32)
+     *  - entropy_coeff  (exploration bonus, default 0.01)
+     *  - baseline_decay (EMA mix for baseline, default 0.7)
+     */
+    ReinforcementLearningAgent(const ParamSpace &space, HyperParams hp,
+                               std::uint64_t seed);
+
+    Action selectAction() override;
+    void observe(const Action &action, const Metrics &metrics,
+                 double reward) override;
+    void reset() override;
+
+    /** Number of completed policy-gradient updates (diagnostics). */
+    std::size_t updateCount() const { return updates_; }
+
+    /** Current per-dimension action distribution (tests). */
+    std::vector<std::vector<double>> actionDistributions();
+
+  private:
+    struct Episode
+    {
+        std::vector<std::size_t> levels;
+        double reward = 0.0;
+    };
+
+    void buildPolicy();
+    void update();
+    std::vector<double> policyLogits();
+
+    Rng rng_;
+    std::uint64_t seed_;
+
+    double learningRate_;
+    std::size_t batchSize_;
+    std::size_t hiddenSize_;
+    double entropyCoeff_;
+    double baselineDecay_;
+
+    std::size_t totalLogits_ = 0;
+    std::vector<std::size_t> logitOffsets_;  ///< start of each dim's block
+    std::unique_ptr<Mlp> policy_;
+
+    std::vector<Episode> batch_;
+    std::vector<std::size_t> inFlight_;
+    bool hasInFlight_ = false;
+
+    double baseline_ = 0.0;
+    bool baselineInit_ = false;
+    std::size_t updates_ = 0;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_REINFORCEMENT_LEARNING_H

@@ -1,0 +1,93 @@
+#include "simulated_annealing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace archgym {
+
+SimulatedAnnealingAgent::SimulatedAnnealingAgent(const ParamSpace &space,
+                                                 HyperParams hp,
+                                                 std::uint64_t seed)
+    : Agent("SA", space, std::move(hp)), rng_(seed), seed_(seed)
+{
+    initialTemp_ = hp_.get("initial_temp", 1.0);
+    cooling_ = std::clamp(hp_.get("cooling", 0.995), 0.5, 0.999999);
+    minTemp_ = hp_.get("min_temp", 1e-3);
+    moveDims_ = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, hp_.getInt("move_dims", 2)));
+    reheat_ = hp_.getInt("reheat", 1) != 0;
+    temperature_ = initialTemp_;
+}
+
+Action
+SimulatedAnnealingAgent::selectAction()
+{
+    assert(!hasProposal_);
+    if (!hasIncumbent_) {
+        // Cold start: a random point becomes both proposal and (after
+        // observe) the first incumbent.
+        proposal_ = space_.toLevels(space_.sample(rng_));
+    } else {
+        // Neighbour move: re-sample a few random dimensions.
+        proposal_ = incumbent_;
+        const std::size_t moves =
+            std::min(moveDims_, space_.size());
+        for (std::size_t m = 0; m < moves; ++m) {
+            const std::size_t d =
+                static_cast<std::size_t>(rng_.below(space_.size()));
+            proposal_[d] = static_cast<std::size_t>(
+                rng_.below(space_.dim(d).levels()));
+        }
+    }
+    hasProposal_ = true;
+    return space_.fromLevels(proposal_);
+}
+
+void
+SimulatedAnnealingAgent::observe(const Action &action,
+                                 const Metrics &metrics, double reward)
+{
+    (void)action;
+    (void)metrics;
+    assert(hasProposal_);
+    hasProposal_ = false;
+
+    if (!hasIncumbent_) {
+        hasIncumbent_ = true;
+        incumbent_ = proposal_;
+        incumbentReward_ = reward;
+        return;
+    }
+
+    // Metropolis acceptance.
+    const double delta = reward - incumbentReward_;
+    bool accept = delta >= 0.0;
+    if (!accept && temperature_ > 0.0)
+        accept = rng_.chance(std::exp(delta / temperature_));
+    if (accept) {
+        incumbent_ = proposal_;
+        incumbentReward_ = reward;
+    }
+
+    temperature_ *= cooling_;
+    if (temperature_ < minTemp_) {
+        if (reheat_)
+            temperature_ = initialTemp_;
+        else
+            temperature_ = minTemp_;
+    }
+}
+
+void
+SimulatedAnnealingAgent::reset()
+{
+    rng_ = Rng(seed_);
+    temperature_ = initialTemp_;
+    hasIncumbent_ = false;
+    hasProposal_ = false;
+    incumbent_.clear();
+    incumbentReward_ = 0.0;
+}
+
+} // namespace archgym

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Simulated-annealing agent — the worked example of integrating a new
+ * search algorithm into ArchGym (paper §8): answer Q1/Q2/Q3 and the rest
+ * of the framework (driver, sweeps, dataset logging, benches) picks the
+ * algorithm up unchanged.
+ *
+ *  Q1: propose a neighbour of the incumbent — re-sample a few random
+ *      dimensions (discrete move) or perturb in unit space.
+ *  Q2: Metropolis acceptance on the reward; the incumbent is the policy
+ *      state.
+ *  Q3: initial temperature, geometric cooling rate, move size, and
+ *      reheat-on-freeze probability are the exploration knobs.
+ */
+
+#ifndef ARCHGYM_AGENTS_SIMULATED_ANNEALING_H
+#define ARCHGYM_AGENTS_SIMULATED_ANNEALING_H
+
+#include "core/agent.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+class SimulatedAnnealingAgent : public Agent
+{
+  public:
+    /**
+     * Hyperparameters:
+     *  - initial_temp  (default 1.0, in reward units)
+     *  - cooling       (geometric factor per step, default 0.995)
+     *  - min_temp      (reheat threshold, default 1e-3)
+     *  - move_dims     (dimensions re-sampled per move, default 2)
+     *  - reheat        (0/1: reheat instead of freezing, default 1)
+     */
+    SimulatedAnnealingAgent(const ParamSpace &space, HyperParams hp,
+                            std::uint64_t seed);
+
+    Action selectAction() override;
+    void observe(const Action &action, const Metrics &metrics,
+                 double reward) override;
+    void reset() override;
+
+    double temperature() const { return temperature_; }
+
+  private:
+    Rng rng_;
+    std::uint64_t seed_;
+
+    double initialTemp_;
+    double cooling_;
+    double minTemp_;
+    std::size_t moveDims_;
+    bool reheat_;
+
+    double temperature_;
+    bool hasIncumbent_ = false;
+    std::vector<std::size_t> incumbent_;
+    double incumbentReward_ = 0.0;
+    std::vector<std::size_t> proposal_;
+    bool hasProposal_ = false;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_AGENTS_SIMULATED_ANNEALING_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The ArchGym agent interface (paper §3.2, §4).
+ *
+ * An agent is an encapsulation of a search algorithm: a guiding *policy*
+ * plus its *hyperparameters*. The interface is the ask-tell distillation
+ * of the paper's three questions (Table 2):
+ *
+ *  - Q1 selectAction(): the policy proposes the next design point.
+ *    Population-based agents (GA, ACO) serialize their generations through
+ *    this call, draining an internal queue one individual at a time so a
+ *    single driver loop works for every algorithm.
+ *  - Q2 observe(): feedback (reward/fitness) fine-tunes the policy —
+ *    GP refit for BO, pheromone deposit for ACO, selection for GA,
+ *    policy gradient for RL.
+ *  - Q3 hyperParams(): all exploration/exploitation knobs are fixed at
+ *    construction and enumerable for sweeps.
+ */
+
+#ifndef ARCHGYM_CORE_AGENT_H
+#define ARCHGYM_CORE_AGENT_H
+
+#include <memory>
+#include <string>
+
+#include "core/environment.h"
+#include "core/hyperparams.h"
+#include "core/param_space.h"
+
+namespace archgym {
+
+/** Abstract ML-based search agent. */
+class Agent
+{
+  public:
+    /**
+     * @param name   algorithm identifier, e.g. "GA"
+     * @param space  the environment's parameter space
+     * @param hp     algorithm hyperparameters (Q3)
+     */
+    Agent(std::string name, const ParamSpace &space, HyperParams hp)
+        : name_(std::move(name)), space_(space), hp_(std::move(hp))
+    {}
+
+    virtual ~Agent() = default;
+
+    const std::string &name() const { return name_; }
+    const HyperParams &hyperParams() const { return hp_; }
+    const ParamSpace &space() const { return space_; }
+
+    /** Q1: propose the next design point to evaluate. */
+    virtual Action selectAction() = 0;
+
+    /** Q2: feed back the evaluation of the most recent proposal. */
+    virtual void observe(const Action &action, const Metrics &metrics,
+                         double reward) = 0;
+
+    /** Reinitialize all policy state (fresh search, same hyperparams). */
+    virtual void reset() = 0;
+
+  protected:
+    std::string name_;
+    const ParamSpace &space_;
+    HyperParams hp_;
+};
+
+/**
+ * Factory signature used by sweep drivers: builds a fresh agent for a
+ * hyperparameter assignment and seed.
+ */
+using AgentFactory = std::unique_ptr<Agent> (*)(const ParamSpace &,
+                                                const HyperParams &,
+                                                std::uint64_t seed);
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_AGENT_H

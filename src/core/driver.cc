@@ -1,0 +1,126 @@
+#include "driver.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace archgym {
+
+std::vector<double>
+RunResult::bestSoFar() const
+{
+    std::vector<double> out(rewardHistory.size());
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < rewardHistory.size(); ++i) {
+        if (rewardHistory[i] > best)
+            best = rewardHistory[i];
+        out[i] = best;
+    }
+    return out;
+}
+
+RunResult
+runSearch(Environment &env, Agent &agent, const RunConfig &config)
+{
+    RunResult result;
+    result.trajectory = TrajectoryLog(env.name(), agent.name(),
+                                      agent.hyperParams().str());
+    result.rewardHistory.reserve(config.maxSamples);
+
+    env.reset();
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < config.maxSamples; ++i) {
+        Action action = agent.selectAction();
+        StepResult sr = env.step(action);
+        agent.observe(action, sr.observation, sr.reward);
+
+        result.rewardHistory.push_back(sr.reward);
+        if (sr.reward > result.bestReward) {
+            result.bestReward = sr.reward;
+            result.bestAction = action;
+            result.bestMetrics = sr.observation;
+            result.bestSampleIndex = i;
+        }
+        if (config.logTrajectory) {
+            result.trajectory.append(
+                Transition{std::move(action), sr.observation, sr.reward});
+        }
+        ++result.samplesUsed;
+        if (config.stopWhenSatisfied && sr.done)
+            break;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    result.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    return result;
+}
+
+SweepResult
+runSweep(Environment &env, const std::string &agent_name,
+         const AgentBuilder &builder, const std::vector<HyperParams> &configs,
+         const RunConfig &run_config, std::uint64_t base_seed)
+{
+    SweepResult sweep;
+    sweep.agentName = agent_name;
+    sweep.configs = configs;
+    sweep.bestRewards.reserve(configs.size());
+    sweep.runs.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        // Deterministic per-configuration seed so individual sweep points
+        // can be reproduced in isolation.
+        const std::uint64_t seed = base_seed * 0x9e3779b97f4a7c15ULL +
+                                   static_cast<std::uint64_t>(i);
+        auto agent = builder(env.actionSpace(), configs[i], seed);
+        RunResult run = runSearch(env, *agent, run_config);
+        sweep.bestRewards.push_back(run.bestReward);
+        sweep.runs.push_back(std::move(run));
+    }
+    return sweep;
+}
+
+SweepResult
+runSweepParallel(const EnvFactory &env_factory,
+                 const std::string &agent_name, const AgentBuilder &builder,
+                 const std::vector<HyperParams> &configs,
+                 const RunConfig &run_config, std::uint64_t base_seed,
+                 std::size_t num_threads)
+{
+    SweepResult sweep;
+    sweep.agentName = agent_name;
+    sweep.configs = configs;
+    sweep.bestRewards.assign(configs.size(), 0.0);
+    sweep.runs.resize(configs.size());
+
+    if (num_threads == 0)
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = std::min(num_threads, std::max<std::size_t>(
+                                            1, configs.size()));
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+        // One private environment per worker; agents are per run.
+        std::unique_ptr<Environment> env = env_factory();
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= configs.size())
+                return;
+            const std::uint64_t seed =
+                base_seed * 0x9e3779b97f4a7c15ULL +
+                static_cast<std::uint64_t>(i);
+            auto agent = builder(env->actionSpace(), configs[i], seed);
+            RunResult run = runSearch(*env, *agent, run_config);
+            sweep.bestRewards[i] = run.bestReward;
+            sweep.runs[i] = std::move(run);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    return sweep;
+}
+
+} // namespace archgym

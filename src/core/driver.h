@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The experiment driver: the single search loop shared by every agent and
+ * environment, plus sweep utilities that power the hyperparameter-lottery
+ * studies.
+ *
+ * Because Q1/Q2/Q3 standardize the agent interface, this loop is the whole
+ * of ArchGym's runtime: ask the agent for an action, step the environment,
+ * tell the agent the result, optionally log the transition.
+ */
+
+#ifndef ARCHGYM_CORE_DRIVER_H
+#define ARCHGYM_CORE_DRIVER_H
+
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/environment.h"
+#include "core/hyperparams.h"
+#include "core/trajectory.h"
+
+namespace archgym {
+
+/** Search-run configuration. */
+struct RunConfig
+{
+    std::size_t maxSamples = 1000;  ///< simulator sample budget
+    bool logTrajectory = false;     ///< record all transitions
+    bool stopWhenSatisfied = false; ///< stop early when objective met
+};
+
+/** Outcome of one search run. */
+struct RunResult
+{
+    double bestReward = -std::numeric_limits<double>::infinity();
+    Action bestAction;
+    Metrics bestMetrics;
+    std::size_t bestSampleIndex = 0;   ///< sample at which best was found
+    std::size_t samplesUsed = 0;
+    double wallSeconds = 0.0;
+    std::vector<double> rewardHistory; ///< reward of every sample, in order
+    TrajectoryLog trajectory;          ///< empty unless logTrajectory
+
+    /** Running maximum of rewardHistory (convergence curves). */
+    std::vector<double> bestSoFar() const;
+};
+
+/** Run one agent against one environment under a sample budget. */
+RunResult runSearch(Environment &env, Agent &agent, const RunConfig &config);
+
+/**
+ * Outcome of a hyperparameter sweep of one agent family: the best reward
+ * of each configuration, feeding the lottery box plots.
+ */
+struct SweepResult
+{
+    std::string agentName;
+    std::vector<HyperParams> configs;
+    std::vector<double> bestRewards;   ///< one per configuration
+    std::vector<RunResult> runs;       ///< full results, same order
+};
+
+/** Builder callback: fresh agent for a hyperparameter point. */
+using AgentBuilder =
+    std::function<std::unique_ptr<Agent>(const ParamSpace &,
+                                         const HyperParams &,
+                                         std::uint64_t seed)>;
+
+/**
+ * Evaluate every hyperparameter configuration with a fresh agent and a
+ * deterministic per-configuration seed.
+ */
+SweepResult runSweep(Environment &env, const std::string &agent_name,
+                     const AgentBuilder &builder,
+                     const std::vector<HyperParams> &configs,
+                     const RunConfig &run_config,
+                     std::uint64_t base_seed = 1);
+
+/** Factory producing an independent environment instance per worker. */
+using EnvFactory = std::function<std::unique_ptr<Environment>()>;
+
+/**
+ * Parallel sweep: identical semantics and results to runSweep (the
+ * per-configuration seeds do not depend on scheduling), but
+ * configurations are distributed over worker threads, each with its own
+ * environment instance from the factory. This is how lottery-scale
+ * studies (the paper's 21,600 experiments) stay tractable.
+ *
+ * @param num_threads  0 = hardware concurrency
+ */
+SweepResult runSweepParallel(const EnvFactory &env_factory,
+                             const std::string &agent_name,
+                             const AgentBuilder &builder,
+                             const std::vector<HyperParams> &configs,
+                             const RunConfig &run_config,
+                             std::uint64_t base_seed = 1,
+                             std::size_t num_threads = 0);
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_DRIVER_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The ArchGym environment interface.
+ *
+ * An environment encapsulates an architecture cost model plus target
+ * workload(s) (paper §3.1). The gym-style contract mirrors OpenAI gym's
+ * step() but is agent-agnostic: the same signals serve RL rewards, GA/ACO
+ * fitness, and BO objective values (paper §3.3, Table 2).
+ *
+ *  - action:       concrete parameter selection (see ParamSpace)
+ *  - observation:  cost-model outputs, e.g. <latency, power, energy>
+ *  - reward:       scalar feedback derived from the observation by the
+ *                  environment's Objective (Table 3)
+ */
+
+#ifndef ARCHGYM_CORE_ENVIRONMENT_H
+#define ARCHGYM_CORE_ENVIRONMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/param_space.h"
+
+namespace archgym {
+
+/** Cost-model outputs for one evaluated design point. */
+using Metrics = std::vector<double>;
+
+/** Result of evaluating one action in an environment. */
+struct StepResult
+{
+    Metrics observation;  ///< cost-model outputs, see metricNames()
+    double reward = 0.0;  ///< scalar feedback (fitness) for the agent
+    bool done = false;    ///< search-termination hint (target reached)
+};
+
+/**
+ * Abstract ArchGym environment: the 'ArchitectureFoo' of Fig. 1.
+ *
+ * Concrete environments (DramGymEnv, TimeloopGymEnv, FarsiGymEnv,
+ * MaestroGymEnv) wrap a cost model, a workload, a parameter space, and an
+ * objective. step() is stateless with respect to the search: each call
+ * evaluates one design point, so agents may be freely exchanged.
+ */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Environment identifier, e.g. "DRAMGym". */
+    virtual const std::string &name() const = 0;
+
+    /** The tunable architecture parameters. */
+    virtual const ParamSpace &actionSpace() const = 0;
+
+    /** Names of the observation entries, e.g. {latency, power, energy}. */
+    virtual const std::vector<std::string> &metricNames() const = 0;
+
+    /** Reset any episodic state; called once before a search run. */
+    virtual void reset() {}
+
+    /** Evaluate one design point. */
+    virtual StepResult step(const Action &action) = 0;
+
+    /** Number of cost-model evaluations performed so far. */
+    std::uint64_t sampleCount() const { return sampleCount_; }
+
+  protected:
+    /** Concrete environments call this once per cost-model evaluation. */
+    void recordSample() { ++sampleCount_; }
+
+  private:
+    std::uint64_t sampleCount_ = 0;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_ENVIRONMENT_H

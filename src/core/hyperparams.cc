@@ -1,0 +1,101 @@
+#include "hyperparams.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace archgym {
+
+double
+HyperParams::get(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+HyperParams::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback
+                               : static_cast<std::int64_t>(
+                                     std::llround(it->second));
+}
+
+bool
+HyperParams::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+HyperParams &
+HyperParams::set(const std::string &name, double value)
+{
+    values_[name] = value;
+    return *this;
+}
+
+std::string
+HyperParams::str() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[k, v] : values_) {
+        if (!first)
+            os << ",";
+        os << k << "=" << v;
+        first = false;
+    }
+    return os.str();
+}
+
+HyperGrid &
+HyperGrid::add(const std::string &name, std::vector<double> values)
+{
+    assert(!values.empty());
+    axes_.emplace_back(name, std::move(values));
+    return *this;
+}
+
+std::size_t
+HyperGrid::gridSize() const
+{
+    std::size_t n = 1;
+    for (const auto &[name, values] : axes_)
+        n *= values.size();
+    return n;
+}
+
+std::vector<HyperParams>
+HyperGrid::enumerate() const
+{
+    std::vector<HyperParams> out;
+    const std::size_t total = gridSize();
+    out.reserve(total);
+    for (std::size_t idx = 0; idx < total; ++idx) {
+        HyperParams hp;
+        std::size_t rem = idx;
+        for (const auto &[name, values] : axes_) {
+            hp.set(name, values[rem % values.size()]);
+            rem /= values.size();
+        }
+        out.push_back(std::move(hp));
+    }
+    return out;
+}
+
+std::vector<HyperParams>
+HyperGrid::randomSample(std::size_t n, Rng &rng) const
+{
+    std::vector<HyperParams> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        HyperParams hp;
+        for (const auto &[name, values] : axes_)
+            hp.set(name, values[rng.below(values.size())]);
+        out.push_back(std::move(hp));
+    }
+    return out;
+}
+
+} // namespace archgym

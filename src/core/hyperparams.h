@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Hyperparameter handling (paper §4, Q3).
+ *
+ * Every agent exposes its exploration/exploitation knobs as a HyperParams
+ * bag fixed at construction. HyperGrid enumerates cartesian-product sweeps
+ * over those knobs — the machinery behind the "hyperparameter lottery"
+ * experiments (Figs. 4-6) where thousands of configurations per agent are
+ * evaluated.
+ */
+
+#ifndef ARCHGYM_CORE_HYPERPARAMS_H
+#define ARCHGYM_CORE_HYPERPARAMS_H
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+/** Named scalar hyperparameter assignment. */
+class HyperParams
+{
+  public:
+    HyperParams() = default;
+    HyperParams(std::initializer_list<std::pair<const std::string, double>>
+                    entries)
+        : values_(entries)
+    {}
+
+    /** Value of the knob, or fallback when unset. */
+    double get(const std::string &name, double fallback) const;
+
+    /** Integer-valued convenience accessor. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    bool has(const std::string &name) const;
+
+    HyperParams &set(const std::string &name, double value);
+
+    const std::map<std::string, double> &values() const { return values_; }
+
+    /** "k1=v1,k2=v2" rendering for trajectory metadata. */
+    std::string str() const;
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+/**
+ * Sweep definition: a set of candidate values per knob. Enumerate the full
+ * cartesian product or draw random configurations, both deterministic.
+ */
+class HyperGrid
+{
+  public:
+    HyperGrid &add(const std::string &name, std::vector<double> values);
+
+    /** Number of points in the full cartesian product. */
+    std::size_t gridSize() const;
+
+    /** All combinations in lexicographic order. */
+    std::vector<HyperParams> enumerate() const;
+
+    /** n independent uniform draws (one value per knob per draw). */
+    std::vector<HyperParams> randomSample(std::size_t n, Rng &rng) const;
+
+  private:
+    std::vector<std::pair<std::string, std::vector<double>>> axes_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_HYPERPARAMS_H

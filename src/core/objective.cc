@@ -1,0 +1,130 @@
+#include "objective.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace archgym {
+
+TargetObjective::TargetObjective(std::vector<TargetTerm> terms, double cap,
+                                 double tolerance)
+    : terms_(std::move(terms)), cap_(cap), tolerance_(tolerance)
+{
+    assert(!terms_.empty());
+}
+
+double
+TargetObjective::reward(const Metrics &metrics) const
+{
+    double total = 0.0;
+    double totalWeight = 0.0;
+    for (const auto &t : terms_) {
+        assert(t.metricIndex < metrics.size());
+        const double err = std::abs(t.target - metrics[t.metricIndex]);
+        double r;
+        if (err < std::abs(t.target) / cap_ || err == 0.0)
+            r = cap_;
+        else
+            r = std::abs(t.target) / err;
+        total += t.weight * std::min(r, cap_);
+        totalWeight += t.weight;
+    }
+    return totalWeight > 0.0 ? total / totalWeight : 0.0;
+}
+
+bool
+TargetObjective::satisfied(const Metrics &metrics) const
+{
+    for (const auto &t : terms_) {
+        const double err = std::abs(t.target - metrics[t.metricIndex]);
+        if (err > tolerance_ * std::abs(t.target))
+            return false;
+    }
+    return true;
+}
+
+std::string
+TargetObjective::describe() const
+{
+    std::ostringstream os;
+    os << "target(";
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << terms_[i].name << "->" << terms_[i].target;
+        if (terms_[i].weight != 1.0)
+            os << " w=" << terms_[i].weight;
+    }
+    os << ")";
+    return os.str();
+}
+
+BudgetDistanceObjective::BudgetDistanceObjective(std::vector<BudgetTerm> terms)
+    : terms_(std::move(terms))
+{
+    assert(!terms_.empty());
+}
+
+double
+BudgetDistanceObjective::distance(const Metrics &metrics) const
+{
+    double d = 0.0;
+    for (const auto &t : terms_) {
+        assert(t.metricIndex < metrics.size());
+        const double overshoot =
+            (metrics[t.metricIndex] - t.budget) / t.budget;
+        if (overshoot > 0.0)
+            d += t.alpha * overshoot;
+    }
+    return d;
+}
+
+double
+BudgetDistanceObjective::reward(const Metrics &metrics) const
+{
+    return -distance(metrics);
+}
+
+bool
+BudgetDistanceObjective::satisfied(const Metrics &metrics) const
+{
+    return distance(metrics) <= 0.0;
+}
+
+std::string
+BudgetDistanceObjective::describe() const
+{
+    std::ostringstream os;
+    os << "budget(";
+    for (std::size_t i = 0; i < terms_.size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << terms_[i].name << "<=" << terms_[i].budget;
+    }
+    os << ")";
+    return os.str();
+}
+
+InverseObjective::InverseObjective(std::size_t metric_index,
+                                   std::string metric_name)
+    : metricIndex_(metric_index), metricName_(std::move(metric_name))
+{
+}
+
+double
+InverseObjective::reward(const Metrics &metrics) const
+{
+    assert(metricIndex_ < metrics.size());
+    const double x = metrics[metricIndex_];
+    if (x <= 0.0)
+        return 0.0;
+    return 1.0 / x;
+}
+
+std::string
+InverseObjective::describe() const
+{
+    return "inverse(" + metricName_ + ")";
+}
+
+} // namespace archgym

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reward / fitness formulations from Table 3 of the paper.
+ *
+ * Rewards are always "higher is better" from the agent's perspective; the
+ * objective translates raw cost-model metrics into that convention:
+ *
+ *  - TargetObjective:  r_x = X_target / |X_target - X_obs|  (DRAMGym,
+ *    TimeloopGym). Supports joint objectives as the mean over per-metric
+ *    terms and is capped to keep the reward finite when the target is met
+ *    exactly.
+ *  - BudgetDistanceObjective: FARSIGym's distance-to-budget,
+ *    sum_m alpha * (D_m - B_m) / B_m; the reward is the negated distance
+ *    so that smaller distance means larger reward.
+ *  - InverseObjective: r_x = 1 / X_target-metric (MaestroGym).
+ */
+
+#ifndef ARCHGYM_CORE_OBJECTIVE_H
+#define ARCHGYM_CORE_OBJECTIVE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+
+namespace archgym {
+
+/** Maps a metrics vector to the scalar agent feedback signal. */
+class Objective
+{
+  public:
+    virtual ~Objective() = default;
+
+    /** Reward for the observation; higher is always better. */
+    virtual double reward(const Metrics &metrics) const = 0;
+
+    /** True when the observation satisfies the user-defined criteria. */
+    virtual bool satisfied(const Metrics &metrics) const { (void)metrics; return false; }
+
+    /** Human-readable description for logs. */
+    virtual std::string describe() const = 0;
+};
+
+/** One tracked metric inside a TargetObjective. */
+struct TargetTerm
+{
+    std::size_t metricIndex = 0;  ///< index into the metrics vector
+    double target = 0.0;          ///< user-defined target value
+    double weight = 1.0;
+    std::string name;             ///< metric name, for describe()
+};
+
+/**
+ * Table 3 reward r_x = X_target / |X_target - X_obs| with multi-objective
+ * support: the joint reward is the weighted mean of per-term rewards.
+ */
+class TargetObjective : public Objective
+{
+  public:
+    explicit TargetObjective(std::vector<TargetTerm> terms,
+                             double cap = 1e6, double tolerance = 0.01);
+
+    double reward(const Metrics &metrics) const override;
+    bool satisfied(const Metrics &metrics) const override;
+    std::string describe() const override;
+
+    const std::vector<TargetTerm> &terms() const { return terms_; }
+
+  private:
+    std::vector<TargetTerm> terms_;
+    double cap_;        ///< reward ceiling when |X - target| -> 0
+    double tolerance_;  ///< relative tolerance for satisfied()
+};
+
+/** One budgeted metric inside FARSI's distance-to-budget. */
+struct BudgetTerm
+{
+    std::size_t metricIndex = 0;
+    double budget = 1.0;  ///< B_m
+    double alpha = 1.0;   ///< weighting coefficient
+    std::string name;
+};
+
+/**
+ * FARSIGym reward: negative distance-to-budget. Terms only contribute when
+ * they exceed their budget (a design under budget on every axis has
+ * distance 0, the optimum), matching FARSI's semantics of "how far is the
+ * design from meeting all budgets".
+ */
+class BudgetDistanceObjective : public Objective
+{
+  public:
+    explicit BudgetDistanceObjective(std::vector<BudgetTerm> terms);
+
+    /** Reward = -distance; distance() is also exposed for reports. */
+    double reward(const Metrics &metrics) const override;
+    double distance(const Metrics &metrics) const;
+    bool satisfied(const Metrics &metrics) const override;
+    std::string describe() const override;
+
+  private:
+    std::vector<BudgetTerm> terms_;
+};
+
+/** MaestroGym reward: r = 1 / metric (e.g. 1 / runtime). */
+class InverseObjective : public Objective
+{
+  public:
+    InverseObjective(std::size_t metric_index, std::string metric_name);
+
+    double reward(const Metrics &metrics) const override;
+    std::string describe() const override;
+
+  private:
+    std::size_t metricIndex_;
+    std::string metricName_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_OBJECTIVE_H

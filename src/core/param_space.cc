@@ -1,0 +1,262 @@
+#include "param_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace archgym {
+
+ParamDesc
+ParamDesc::categorical(std::string name, std::vector<std::string> options)
+{
+    assert(!options.empty());
+    ParamDesc d;
+    d.name_ = std::move(name);
+    d.kind_ = Kind::Categorical;
+    d.levels_ = options.size();
+    d.options_ = std::move(options);
+    return d;
+}
+
+ParamDesc
+ParamDesc::integer(std::string name, std::int64_t min, std::int64_t max,
+                   std::int64_t step)
+{
+    assert(step > 0 && max >= min);
+    ParamDesc d;
+    d.name_ = std::move(name);
+    d.kind_ = Kind::Integer;
+    d.min_ = static_cast<double>(min);
+    d.max_ = static_cast<double>(max);
+    d.step_ = static_cast<double>(step);
+    d.levels_ = static_cast<std::size_t>((max - min) / step) + 1;
+    return d;
+}
+
+ParamDesc
+ParamDesc::real(std::string name, double min, double max, double step)
+{
+    assert(step > 0.0 && max >= min);
+    ParamDesc d;
+    d.name_ = std::move(name);
+    d.kind_ = Kind::Real;
+    d.min_ = min;
+    d.max_ = max;
+    d.step_ = step;
+    d.levels_ = static_cast<std::size_t>(
+                    std::floor((max - min) / step + 1e-9)) + 1;
+    return d;
+}
+
+ParamDesc
+ParamDesc::powerOfTwo(std::string name, std::int64_t min, std::int64_t max)
+{
+    assert(min > 0 && max >= min);
+    ParamDesc d;
+    d.name_ = std::move(name);
+    d.kind_ = Kind::Integer;
+    for (std::int64_t v = min; v <= max; v *= 2)
+        d.explicitValues_.push_back(static_cast<double>(v));
+    d.min_ = d.explicitValues_.front();
+    d.max_ = d.explicitValues_.back();
+    d.levels_ = d.explicitValues_.size();
+    return d;
+}
+
+double
+ParamDesc::levelToValue(std::size_t level) const
+{
+    assert(level < levels_);
+    if (kind_ == Kind::Categorical)
+        return static_cast<double>(level);
+    if (!explicitValues_.empty())
+        return explicitValues_[level];
+    return min_ + static_cast<double>(level) * step_;
+}
+
+std::size_t
+ParamDesc::valueToLevel(double value) const
+{
+    if (kind_ == Kind::Categorical) {
+        auto idx = static_cast<std::int64_t>(std::llround(value));
+        idx = std::clamp<std::int64_t>(idx, 0,
+                                       static_cast<std::int64_t>(levels_) - 1);
+        return static_cast<std::size_t>(idx);
+    }
+    if (!explicitValues_.empty()) {
+        // Nearest explicit grid point.
+        std::size_t best = 0;
+        double bestDist = std::abs(explicitValues_[0] - value);
+        for (std::size_t i = 1; i < explicitValues_.size(); ++i) {
+            const double dist = std::abs(explicitValues_[i] - value);
+            if (dist < bestDist) {
+                bestDist = dist;
+                best = i;
+            }
+        }
+        return best;
+    }
+    const double rel = (value - min_) / step_;
+    auto idx = static_cast<std::int64_t>(std::llround(rel));
+    idx = std::clamp<std::int64_t>(idx, 0,
+                                   static_cast<std::int64_t>(levels_) - 1);
+    return static_cast<std::size_t>(idx);
+}
+
+std::size_t
+ParamDesc::unitToLevel(double u) const
+{
+    u = std::clamp(u, 0.0, 1.0);
+    auto idx = static_cast<std::size_t>(u * static_cast<double>(levels_));
+    return std::min(idx, levels_ - 1);
+}
+
+double
+ParamDesc::levelToUnit(std::size_t level) const
+{
+    assert(level < levels_);
+    return (static_cast<double>(level) + 0.5) /
+           static_cast<double>(levels_);
+}
+
+std::string
+ParamDesc::valueName(double value) const
+{
+    if (kind_ == Kind::Categorical)
+        return options_[valueToLevel(value)];
+    std::ostringstream os;
+    if (kind_ == Kind::Integer)
+        os << static_cast<std::int64_t>(std::llround(value));
+    else
+        os << value;
+    return os.str();
+}
+
+ParamSpace &
+ParamSpace::add(ParamDesc dim)
+{
+    dims_.push_back(std::move(dim));
+    return *this;
+}
+
+std::size_t
+ParamSpace::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        if (dims_[i].name() == name)
+            return i;
+    throw std::out_of_range("ParamSpace: no dimension named " + name);
+}
+
+double
+ParamSpace::cardinality() const
+{
+    double c = 1.0;
+    for (const auto &d : dims_)
+        c *= static_cast<double>(d.levels());
+    return c;
+}
+
+Action
+ParamSpace::sample(Rng &rng) const
+{
+    Action a(dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        const auto level =
+            static_cast<std::size_t>(rng.below(dims_[i].levels()));
+        a[i] = dims_[i].levelToValue(level);
+    }
+    return a;
+}
+
+Action
+ParamSpace::quantize(const Action &raw) const
+{
+    assert(raw.size() == dims_.size());
+    Action a(raw.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        a[i] = dims_[i].levelToValue(dims_[i].valueToLevel(raw[i]));
+    return a;
+}
+
+bool
+ParamSpace::contains(const Action &action) const
+{
+    if (action.size() != dims_.size())
+        return false;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        const double snapped =
+            dims_[i].levelToValue(dims_[i].valueToLevel(action[i]));
+        if (std::abs(snapped - action[i]) > 1e-9)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::size_t>
+ParamSpace::toLevels(const Action &action) const
+{
+    assert(action.size() == dims_.size());
+    std::vector<std::size_t> levels(action.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        levels[i] = dims_[i].valueToLevel(action[i]);
+    return levels;
+}
+
+Action
+ParamSpace::fromLevels(const std::vector<std::size_t> &levels) const
+{
+    assert(levels.size() == dims_.size());
+    Action a(levels.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        a[i] = dims_[i].levelToValue(levels[i]);
+    return a;
+}
+
+std::vector<double>
+ParamSpace::toUnit(const Action &action) const
+{
+    assert(action.size() == dims_.size());
+    std::vector<double> u(action.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        u[i] = dims_[i].levelToUnit(dims_[i].valueToLevel(action[i]));
+    return u;
+}
+
+Action
+ParamSpace::fromUnit(const std::vector<double> &unit) const
+{
+    assert(unit.size() == dims_.size());
+    Action a(unit.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        a[i] = dims_[i].levelToValue(dims_[i].unitToLevel(unit[i]));
+    return a;
+}
+
+std::string
+ParamSpace::describe(const Action &action) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0)
+            os << " ";
+        os << dims_[i].name() << "=" << dims_[i].valueName(action[i]);
+    }
+    return os.str();
+}
+
+std::string
+ParamSpace::headerCsv() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0)
+            os << ",";
+        os << dims_[i].name();
+    }
+    return os.str();
+}
+
+} // namespace archgym

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Architecture parameter (action) space description.
+ *
+ * Every ArchGym environment exposes its tunable architecture parameters as
+ * an ordered list of dimensions. Dimensions are either *categorical*
+ * (named options, e.g. PagePolicy in {Open, OpenAdaptive, Closed,
+ * ClosedAdaptive}) or *numeric grids* given in the paper's (min, max,
+ * step) tuple format (Fig. 3). Both are finite, which gives every agent a
+ * common view of the space:
+ *
+ *  - level view: each dimension d has levels() discrete choices indexed
+ *    0..levels-1 (used by GA genomes, ACO pheromone tables, RL categorical
+ *    policies);
+ *  - unit view: each dimension maps to [0, 1] (used by BO's GP surrogate
+ *    and random-walk perturbations), quantized back onto the grid.
+ *
+ * An Action is the concrete parameter vector handed to the cost model:
+ * one double per dimension holding the option index for categorical
+ * dimensions and the actual numeric value for grid dimensions.
+ */
+
+#ifndef ARCHGYM_CORE_PARAM_SPACE_H
+#define ARCHGYM_CORE_PARAM_SPACE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+/** Concrete parameter selection, one entry per space dimension. */
+using Action = std::vector<double>;
+
+/** A single tunable architecture parameter. */
+class ParamDesc
+{
+  public:
+    enum class Kind { Categorical, Integer, Real };
+
+    /** Categorical dimension over named options. */
+    static ParamDesc categorical(std::string name,
+                                 std::vector<std::string> options);
+
+    /** Integer grid: min, min+step, ..., max. */
+    static ParamDesc integer(std::string name, std::int64_t min,
+                             std::int64_t max, std::int64_t step = 1);
+
+    /** Real-valued grid with the paper's (min, max, step) convention. */
+    static ParamDesc real(std::string name, double min, double max,
+                          double step);
+
+    /**
+     * Integer dimension whose levels are powers of two: min, 2*min, ...
+     * Common for buffer sizes and PE counts.
+     */
+    static ParamDesc powerOfTwo(std::string name, std::int64_t min,
+                                std::int64_t max);
+
+    const std::string &name() const { return name_; }
+    Kind kind() const { return kind_; }
+
+    /** Number of discrete choices on this dimension. */
+    std::size_t levels() const { return levels_; }
+
+    /** Concrete value of the given level. @pre level < levels() */
+    double levelToValue(std::size_t level) const;
+
+    /** Nearest level for a concrete value (clamped to the grid). */
+    std::size_t valueToLevel(double value) const;
+
+    /** Map u in [0, 1] onto a level (uniform over levels, clamped). */
+    std::size_t unitToLevel(double u) const;
+
+    /** Center of the level's cell in [0, 1]. */
+    double levelToUnit(std::size_t level) const;
+
+    /** Human-readable rendering of a concrete value. */
+    std::string valueName(double value) const;
+
+    /** Option names for categorical dimensions (empty otherwise). */
+    const std::vector<std::string> &options() const { return options_; }
+
+  private:
+    ParamDesc() = default;
+
+    std::string name_;
+    Kind kind_ = Kind::Categorical;
+    std::vector<std::string> options_;
+    std::vector<double> explicitValues_;  ///< for power-of-two grids
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double step_ = 1.0;
+    std::size_t levels_ = 0;
+};
+
+/** Ordered collection of parameter dimensions. */
+class ParamSpace
+{
+  public:
+    ParamSpace() = default;
+    explicit ParamSpace(std::vector<ParamDesc> dims)
+        : dims_(std::move(dims))
+    {}
+
+    ParamSpace &add(ParamDesc dim);
+
+    std::size_t size() const { return dims_.size(); }
+    bool empty() const { return dims_.empty(); }
+    const ParamDesc &dim(std::size_t i) const { return dims_[i]; }
+
+    /** Index of the dimension with the given name; throws if absent. */
+    std::size_t indexOf(const std::string &name) const;
+
+    /** Total number of points in the space (product of levels). */
+    double cardinality() const;
+
+    /** Uniformly random action. */
+    Action sample(Rng &rng) const;
+
+    /** Snap an arbitrary vector of values onto the grid. */
+    Action quantize(const Action &raw) const;
+
+    /** True if every entry lies exactly on the grid. */
+    bool contains(const Action &action) const;
+
+    // --- level view -------------------------------------------------
+    std::vector<std::size_t> toLevels(const Action &action) const;
+    Action fromLevels(const std::vector<std::size_t> &levels) const;
+
+    // --- unit view --------------------------------------------------
+    std::vector<double> toUnit(const Action &action) const;
+    Action fromUnit(const std::vector<double> &unit) const;
+
+    /** "name=value name=value ..." rendering for logs and tables. */
+    std::string describe(const Action &action) const;
+
+    /** Comma-separated dimension names (CSV headers). */
+    std::string headerCsv() const;
+
+  private:
+    std::vector<ParamDesc> dims_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_PARAM_SPACE_H

@@ -1,0 +1,111 @@
+#include "pareto.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace archgym {
+
+bool
+dominates(const Metrics &a, const Metrics &b,
+          const std::vector<std::size_t> &metric_indices,
+          const std::vector<Sense> &senses)
+{
+    assert(metric_indices.size() == senses.size());
+    bool strictlyBetter = false;
+    for (std::size_t k = 0; k < metric_indices.size(); ++k) {
+        const std::size_t m = metric_indices[k];
+        const double av = a[m];
+        const double bv = b[m];
+        const bool better = senses[k] == Sense::Minimize ? av < bv
+                                                         : av > bv;
+        const bool worse = senses[k] == Sense::Minimize ? av > bv
+                                                        : av < bv;
+        if (worse)
+            return false;
+        strictlyBetter = strictlyBetter || better;
+    }
+    return strictlyBetter;
+}
+
+std::vector<std::size_t>
+paretoFront(const std::vector<Transition> &transitions,
+            const std::vector<std::size_t> &metric_indices,
+            const std::vector<Sense> &senses)
+{
+    std::vector<std::size_t> front;
+    auto sameSelected = [&](const Metrics &a, const Metrics &b) {
+        for (std::size_t m : metric_indices)
+            if (a[m] != b[m])
+                return false;
+        return true;
+    };
+
+    for (std::size_t i = 0; i < transitions.size(); ++i) {
+        const Metrics &cand = transitions[i].observation;
+        bool dominated = false;
+        for (std::size_t j = 0; j < transitions.size() && !dominated;
+             ++j) {
+            if (j == i)
+                continue;
+            dominated = dominates(transitions[j].observation, cand,
+                                  metric_indices, senses);
+        }
+        if (dominated)
+            continue;
+        // Keep only the first occurrence of duplicated metric vectors.
+        bool duplicate = false;
+        for (std::size_t f : front) {
+            if (sameSelected(transitions[f].observation, cand)) {
+                duplicate = true;
+                break;
+            }
+        }
+        if (!duplicate)
+            front.push_back(i);
+    }
+
+    // Order along the first selected metric, best first.
+    if (!metric_indices.empty()) {
+        const std::size_t m0 = metric_indices.front();
+        const bool minimize = senses.front() == Sense::Minimize;
+        std::sort(front.begin(), front.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      const double av = transitions[a].observation[m0];
+                      const double bv = transitions[b].observation[m0];
+                      return minimize ? av < bv : av > bv;
+                  });
+    }
+    return front;
+}
+
+double
+hypervolume2d(const std::vector<Transition> &transitions,
+              const std::vector<std::size_t> &front, std::size_t metric_x,
+              std::size_t metric_y, double ref_x, double ref_y)
+{
+    if (front.empty())
+        return 0.0;
+    // Sort by x ascending; front points have strictly decreasing y.
+    std::vector<std::pair<double, double>> points;
+    points.reserve(front.size());
+    for (std::size_t i : front) {
+        const double x = transitions[i].observation[metric_x];
+        const double y = transitions[i].observation[metric_y];
+        if (x < ref_x && y < ref_y)
+            points.emplace_back(x, y);  // inside the reference box
+    }
+    std::sort(points.begin(), points.end());
+
+    // On a mutually non-dominated front sorted by ascending x, y is
+    // strictly decreasing, so the dominated region is a staircase: each
+    // point covers the strip from its x to the next point's x.
+    double volume = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double nextX =
+            (i + 1 < points.size()) ? points[i + 1].first : ref_x;
+        volume += (nextX - points[i].first) * (ref_y - points[i].second);
+    }
+    return volume;
+}
+
+} // namespace archgym

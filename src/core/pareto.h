@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Multi-objective (Pareto) analysis of exploration trajectories.
+ *
+ * Architecture DSE is intrinsically multi-objective — the environments
+ * report <latency, power/energy, area> tuples even when a scalar reward
+ * drives the search. Because every transition is logged through the
+ * standardized interface (§3.4), the non-dominated frontier of any
+ * trajectory or dataset can be recovered after the fact, regardless of
+ * which agent produced it. Used by the accelerator example to show the
+ * latency/energy trade-off behind a single-scalar search.
+ */
+
+#ifndef ARCHGYM_CORE_PARETO_H
+#define ARCHGYM_CORE_PARETO_H
+
+#include <vector>
+
+#include "core/trajectory.h"
+
+namespace archgym {
+
+/** Per-metric optimization direction. */
+enum class Sense { Minimize, Maximize };
+
+/**
+ * True if candidate `a` dominates `b`: at least as good on every
+ * selected metric and strictly better on at least one.
+ *
+ * @param metric_indices  which observation entries participate
+ * @param senses          direction per selected metric (same order)
+ */
+bool dominates(const Metrics &a, const Metrics &b,
+               const std::vector<std::size_t> &metric_indices,
+               const std::vector<Sense> &senses);
+
+/**
+ * Indices (into `transitions`) of the non-dominated set. Duplicated
+ * metric vectors keep their first occurrence only. Order follows the
+ * first selected metric, best first.
+ */
+std::vector<std::size_t>
+paretoFront(const std::vector<Transition> &transitions,
+            const std::vector<std::size_t> &metric_indices,
+            const std::vector<Sense> &senses);
+
+/**
+ * Hypervolume indicator in two dimensions (both minimized), w.r.t. a
+ * reference point that every front member must dominate. Standard
+ * quality measure for comparing fronts from different searches.
+ * @return 0 for an empty front.
+ */
+double hypervolume2d(const std::vector<Transition> &transitions,
+                     const std::vector<std::size_t> &front,
+                     std::size_t metric_x, std::size_t metric_y,
+                     double ref_x, double ref_y);
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_PARETO_H

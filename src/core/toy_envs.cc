@@ -1,0 +1,76 @@
+#include "toy_envs.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace archgym {
+
+QuadraticEnv::QuadraticEnv(std::vector<double> optimum)
+    : optimum_(std::move(optimum))
+{
+    for (std::size_t i = 0; i < optimum_.size(); ++i)
+        space_.add(ParamDesc::integer("x" + std::to_string(i), 0, 31));
+}
+
+StepResult
+QuadraticEnv::step(const Action &action)
+{
+    recordSample();
+    double sq = 0.0;
+    for (std::size_t i = 0; i < optimum_.size(); ++i) {
+        const double d = action[i] - optimum_[i];
+        sq += d * d;
+    }
+    StepResult sr;
+    sr.observation = {sq};
+    sr.reward = 1.0 / (1.0 + sq);
+    sr.done = sq == 0.0;
+    return sr;
+}
+
+OneMaxEnv::OneMaxEnv(std::size_t bits) : bits_(bits)
+{
+    for (std::size_t i = 0; i < bits_; ++i) {
+        space_.add(ParamDesc::categorical("b" + std::to_string(i),
+                                          {"off", "on"}));
+    }
+}
+
+StepResult
+OneMaxEnv::step(const Action &action)
+{
+    recordSample();
+    double ones = 0.0;
+    for (double a : action)
+        ones += (a > 0.5) ? 1.0 : 0.0;
+    StepResult sr;
+    sr.observation = {ones};
+    sr.reward = ones / static_cast<double>(bits_);
+    sr.done = ones == static_cast<double>(bits_);
+    return sr;
+}
+
+RastriginEnv::RastriginEnv(std::size_t dims)
+{
+    for (std::size_t i = 0; i < dims; ++i) {
+        space_.add(ParamDesc::real("x" + std::to_string(i), -5.12, 5.12,
+                                   0.04));
+    }
+}
+
+StepResult
+RastriginEnv::step(const Action &action)
+{
+    recordSample();
+    double f = 0.0;
+    for (double x : action) {
+        f += x * x - 10.0 * std::cos(2.0 * std::numbers::pi * x) + 10.0;
+    }
+    StepResult sr;
+    sr.observation = {f};
+    sr.reward = -f;
+    sr.done = f < 1e-9;
+    return sr;
+}
+
+} // namespace archgym

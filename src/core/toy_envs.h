@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reference toy environments.
+ *
+ * These are not part of the paper's evaluation; they exist (a) as minimal
+ * worked examples of wrapping a cost model in the Environment interface
+ * and (b) as fast, analytically understood landscapes for agent unit
+ * tests: every agent must beat random chance on OneMax and converge on the
+ * quadratic bowl, and Rastrigin exercises exploration behaviour.
+ */
+
+#ifndef ARCHGYM_CORE_TOY_ENVS_H
+#define ARCHGYM_CORE_TOY_ENVS_H
+
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+
+namespace archgym {
+
+/**
+ * Smooth single-optimum landscape: integer grid dims in [0, 31], reward
+ * 1 / (1 + sum (x_i - optimum_i)^2). Maximum reward 1.0 at the optimum.
+ */
+class QuadraticEnv : public Environment
+{
+  public:
+    /** @param optimum  per-dimension optimum; also sets dimensionality */
+    explicit QuadraticEnv(std::vector<double> optimum);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+    const std::vector<double> &optimum() const { return optimum_; }
+
+  private:
+    std::string name_ = "QuadraticEnv";
+    std::vector<std::string> metricNames_{"sq_error"};
+    std::vector<double> optimum_;
+    ParamSpace space_;
+};
+
+/**
+ * Classic OneMax over binary categorical dims: reward = fraction of
+ * dimensions set to "on". Maximum reward 1.0.
+ */
+class OneMaxEnv : public Environment
+{
+  public:
+    explicit OneMaxEnv(std::size_t bits);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+  private:
+    std::string name_ = "OneMaxEnv";
+    std::vector<std::string> metricNames_{"ones"};
+    std::size_t bits_;
+    ParamSpace space_;
+};
+
+/**
+ * Multimodal Rastrigin-style landscape on a real grid in [-5.12, 5.12]:
+ * reward = -sum (x_i^2 - 10 cos(2 pi x_i) + 10). Global optimum (reward 0)
+ * at the origin with many deceptive local optima.
+ */
+class RastriginEnv : public Environment
+{
+  public:
+    explicit RastriginEnv(std::size_t dims);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+  private:
+    std::string name_ = "RastriginEnv";
+    std::vector<std::string> metricNames_{"rastrigin"};
+    ParamSpace space_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_TOY_ENVS_H

@@ -1,0 +1,243 @@
+#include "trajectory.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace archgym {
+
+void
+TrajectoryLog::writeCsv(std::ostream &os, const ParamSpace &space,
+                        const std::vector<std::string> &metric_names) const
+{
+    os << "# env=" << envName_ << "\n";
+    os << "# agent=" << agentName_ << "\n";
+    os << "# hyperparams=" << hyperParams_ << "\n";
+    os << "# action_dims=" << space.size() << "\n";
+    os << space.headerCsv();
+    for (const auto &m : metric_names)
+        os << "," << m;
+    os << ",reward\n";
+    for (const auto &t : transitions_) {
+        bool first = true;
+        for (double a : t.action) {
+            if (!first)
+                os << ",";
+            os << a;
+            first = false;
+        }
+        for (double m : t.observation)
+            os << "," << m;
+        os << "," << t.reward << "\n";
+    }
+}
+
+namespace {
+
+/** Value of a "# key=value" comment line, or empty. */
+std::string
+commentValue(const std::string &line, const std::string &key)
+{
+    const std::string prefix = "# " + key + "=";
+    if (line.rfind(prefix, 0) == 0)
+        return line.substr(prefix.size());
+    return "";
+}
+
+} // namespace
+
+TrajectoryLog
+TrajectoryLog::readCsv(std::istream &is)
+{
+    std::string env, agent, hp;
+    std::string line;
+    std::size_t columns = 0;
+    std::size_t actionDims = 0;
+    std::vector<std::vector<double>> rows;
+    bool headerSeen = false;
+
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            if (auto v = commentValue(line, "env"); !v.empty())
+                env = v;
+            else if (auto a = commentValue(line, "agent"); !a.empty())
+                agent = a;
+            else if (auto h = commentValue(line, "hyperparams"); !h.empty())
+                hp = h;
+            else if (auto d = commentValue(line, "action_dims");
+                     !d.empty())
+                actionDims = std::stoul(d);
+            continue;
+        }
+        if (!headerSeen) {
+            // Header: param names, metric names, then "reward". We only
+            // need the column count and (heuristically) where metrics
+            // begin — readers that need exact splits keep the space.
+            headerSeen = true;
+            columns = static_cast<std::size_t>(
+                          std::count(line.begin(), line.end(), ',')) + 1;
+            continue;
+        }
+        std::vector<double> row;
+        row.reserve(columns);
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ','))
+            row.push_back(std::stod(cell));
+        rows.push_back(std::move(row));
+    }
+
+    TrajectoryLog log(env, agent, hp);
+    if (rows.empty())
+        return log;
+    // writeCsv stamps the action/observation split into the header; for
+    // foreign CSVs without the hint, fall back to assuming three
+    // trailing metric columns plus the reward.
+    const std::size_t total = rows.front().size();
+    if (actionDims == 0 || actionDims >= total)
+        actionDims = total > 4 ? total - 4 : total - 1;
+    for (const auto &row : rows) {
+        Transition t;
+        t.action.assign(row.begin(),
+                        row.begin() + static_cast<std::ptrdiff_t>(actionDims));
+        t.observation.assign(
+            row.begin() + static_cast<std::ptrdiff_t>(actionDims),
+            row.end() - 1);
+        t.reward = row.back();
+        log.append(std::move(t));
+    }
+    return log;
+}
+
+std::size_t
+Dataset::transitionCount() const
+{
+    std::size_t n = 0;
+    for (const auto &log : logs_)
+        n += log.size();
+    return n;
+}
+
+std::vector<std::string>
+Dataset::agentNames() const
+{
+    std::set<std::string> names;
+    for (const auto &log : logs_)
+        names.insert(log.agentName());
+    return {names.begin(), names.end()};
+}
+
+std::vector<Transition>
+Dataset::flatten() const
+{
+    std::vector<Transition> out;
+    out.reserve(transitionCount());
+    for (const auto &log : logs_)
+        for (const auto &t : log.transitions())
+            out.push_back(t);
+    return out;
+}
+
+std::vector<Transition>
+Dataset::flattenAgent(const std::string &agent) const
+{
+    std::vector<Transition> out;
+    for (const auto &log : logs_) {
+        if (log.agentName() != agent)
+            continue;
+        for (const auto &t : log.transitions())
+            out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<Transition>
+Dataset::drawFrom(const std::vector<Transition> &pool, std::size_t n,
+                  Rng &rng)
+{
+    std::vector<Transition> out;
+    out.reserve(n);
+    if (pool.empty())
+        return out;
+    if (n <= pool.size()) {
+        // Sample without replacement via index shuffle prefix.
+        std::vector<std::size_t> idx(pool.size());
+        std::iota(idx.begin(), idx.end(), 0);
+        rng.shuffle(idx);
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(pool[idx[i]]);
+    } else {
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(pool[rng.below(pool.size())]);
+    }
+    return out;
+}
+
+std::vector<Transition>
+Dataset::sample(std::size_t n, Rng &rng) const
+{
+    return drawFrom(flatten(), n, rng);
+}
+
+void
+Dataset::saveDirectory(const std::string &directory,
+                       const ParamSpace &space,
+                       const std::vector<std::string> &metric_names) const
+{
+    namespace fs = std::filesystem;
+    fs::create_directories(directory);
+    for (std::size_t i = 0; i < logs_.size(); ++i) {
+        std::ostringstream name;
+        name << std::setw(3) << std::setfill('0') << i << "_"
+             << logs_[i].agentName() << ".csv";
+        std::ofstream out(fs::path(directory) / name.str());
+        logs_[i].writeCsv(out, space, metric_names);
+    }
+}
+
+Dataset
+Dataset::loadDirectory(const std::string &directory)
+{
+    namespace fs = std::filesystem;
+    Dataset dataset;
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(directory)) {
+        if (entry.path().extension() == ".csv")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &file : files) {
+        std::ifstream in(file);
+        dataset.add(TrajectoryLog::readCsv(in));
+    }
+    return dataset;
+}
+
+std::vector<Transition>
+Dataset::sampleDiverse(std::size_t n, const std::vector<std::string> &agents,
+                       Rng &rng) const
+{
+    std::vector<Transition> out;
+    if (agents.empty())
+        return out;
+    const std::size_t share = n / agents.size();
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        // The last agent absorbs the rounding remainder.
+        const std::size_t want =
+            (i + 1 == agents.size()) ? n - out.size() : share;
+        auto pool = flattenAgent(agents[i]);
+        auto drawn = drawFrom(pool, want, rng);
+        out.insert(out.end(), drawn.begin(), drawn.end());
+    }
+    return out;
+}
+
+} // namespace archgym

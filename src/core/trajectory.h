@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Trajectory recording and the ArchGym Dataset (paper §3.4, §7.1).
+ *
+ * Because every agent talks to every environment through the same
+ * interface, each (action, observation, reward) exchange can be logged
+ * uniformly. Accumulated trajectories form standardized datasets that are
+ * merged (for size) or sampled by agent type (for diversity) to train
+ * proxy cost models.
+ */
+
+#ifndef ARCHGYM_CORE_TRAJECTORY_H
+#define ARCHGYM_CORE_TRAJECTORY_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/param_space.h"
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+/** One logged agent-environment exchange. */
+struct Transition
+{
+    Action action;
+    Metrics observation;
+    double reward = 0.0;
+};
+
+/**
+ * Ordered record of one search run: metadata (which agent, which
+ * environment, which hyperparameters) plus all transitions.
+ */
+class TrajectoryLog
+{
+  public:
+    TrajectoryLog() = default;
+    TrajectoryLog(std::string env_name, std::string agent_name,
+                  std::string hyperparams)
+        : envName_(std::move(env_name)), agentName_(std::move(agent_name)),
+          hyperParams_(std::move(hyperparams))
+    {}
+
+    const std::string &envName() const { return envName_; }
+    const std::string &agentName() const { return agentName_; }
+    const std::string &hyperParams() const { return hyperParams_; }
+
+    void append(Transition t) { transitions_.push_back(std::move(t)); }
+
+    std::size_t size() const { return transitions_.size(); }
+    bool empty() const { return transitions_.empty(); }
+    const Transition &operator[](std::size_t i) const
+    {
+        return transitions_[i];
+    }
+    const std::vector<Transition> &transitions() const
+    {
+        return transitions_;
+    }
+
+    /**
+     * CSV serialization: header row (agent,env,hyperparams comment lines,
+     * then action dims + metric names + reward), one row per transition.
+     */
+    void writeCsv(std::ostream &os, const ParamSpace &space,
+                  const std::vector<std::string> &metric_names) const;
+
+    /** Parse a CSV previously produced by writeCsv(). */
+    static TrajectoryLog readCsv(std::istream &is);
+
+  private:
+    std::string envName_;
+    std::string agentName_;
+    std::string hyperParams_;
+    std::vector<Transition> transitions_;
+};
+
+/**
+ * The ArchGym Dataset: a pool of trajectories from possibly many agents.
+ * Supports the two aggregation axes of §7: merging (size) and per-agent
+ * composition control (diversity).
+ */
+class Dataset
+{
+  public:
+    void add(TrajectoryLog log) { logs_.push_back(std::move(log)); }
+
+    std::size_t logCount() const { return logs_.size(); }
+    const TrajectoryLog &log(std::size_t i) const { return logs_[i]; }
+
+    /** Total number of transitions across all trajectories. */
+    std::size_t transitionCount() const;
+
+    /** Distinct agent names contributing to the dataset. */
+    std::vector<std::string> agentNames() const;
+
+    /** Flatten all transitions from all (or one agent's) trajectories. */
+    std::vector<Transition> flatten() const;
+    std::vector<Transition> flattenAgent(const std::string &agent) const;
+
+    /**
+     * Draw n transitions uniformly at random (without replacement when
+     * n <= available, with replacement otherwise).
+     */
+    std::vector<Transition> sample(std::size_t n, Rng &rng) const;
+
+    /**
+     * Draw n transitions restricted to the given agents, split evenly —
+     * the §7.1 "Diverse dataset" construction.
+     */
+    std::vector<Transition>
+    sampleDiverse(std::size_t n, const std::vector<std::string> &agents,
+                  Rng &rng) const;
+
+    /**
+     * Persist every trajectory as one CSV per log under `directory`
+     * (created if absent) — the shareable-artifact side of §3.4. Files
+     * are named NNN_<agent>.csv.
+     */
+    void saveDirectory(const std::string &directory,
+                       const ParamSpace &space,
+                       const std::vector<std::string> &metric_names) const;
+
+    /** Load every *.csv under `directory` produced by saveDirectory. */
+    static Dataset loadDirectory(const std::string &directory);
+
+  private:
+    static std::vector<Transition>
+    drawFrom(const std::vector<Transition> &pool, std::size_t n, Rng &rng);
+
+    std::vector<TrajectoryLog> logs_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_TRAJECTORY_H

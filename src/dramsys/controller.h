@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The DRAM memory controller: the component whose nine parameters form
+ * the DRAMGym design space.
+ *
+ * Pipeline (front to back):
+ *   trace -> arbiter -> scheduler buffers -> scheduler -> DRAM device
+ *                                     \-> refresh manager
+ *   read data -> response queue -> requester
+ *
+ * The simulation is transaction-level: the scheduler commits one request
+ * at a time, and the device's earliest/issue timing protocol naturally
+ * pipelines commands across banks and overlaps data bursts. Writes
+ * complete when their data burst ends; reads pass through the response
+ * queue, where the Fifo policy introduces head-of-line blocking that
+ * interacts with the MaxActiveTransactions admission limit.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_CONTROLLER_H
+#define ARCHGYM_DRAMSYS_CONTROLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dramsys/dram_config.h"
+#include "dramsys/dram_device.h"
+#include "dramsys/power_model.h"
+#include "dramsys/request.h"
+
+namespace archgym::dram {
+
+/** Aggregate outcome of simulating one trace on one controller config. */
+struct SimResult
+{
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    double avgLatencyNs = 0.0;      ///< arrival to response release
+    double avgReadLatencyNs = 0.0;
+    double maxLatencyNs = 0.0;
+
+    std::uint64_t totalCycles = 0;
+    double totalTimeNs = 0.0;
+    double bandwidthGBps = 0.0;     ///< useful data moved / total time
+
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    double rowHitRate() const
+    {
+        const auto n = rowHits + rowMisses;
+        return n ? static_cast<double>(rowHits) / static_cast<double>(n)
+                 : 0.0;
+    }
+
+    std::uint64_t refreshes = 0;
+    std::uint64_t forcedRefreshes = 0;  ///< issued at the postpone limit
+
+    PowerResult power;
+    double totalEnergyPj() const { return power.totalPj(); }
+};
+
+class DramController
+{
+  public:
+    DramController(const MemSpec &spec, const ControllerConfig &config);
+
+    /** Simulate a full trace to completion. */
+    SimResult run(std::vector<MemoryRequest> trace);
+
+    /** Address decode (row-bank-column interleave); exposed for tests. */
+    DramAddress decode(std::uint64_t address) const;
+
+    const ControllerConfig &config() const { return config_; }
+
+  private:
+    struct QueueSet
+    {
+        std::vector<std::vector<std::size_t>> queues;  ///< request indices
+        std::size_t capacityPerQueue = 0;
+    };
+
+    std::size_t queueIndexFor(const MemoryRequest &req) const;
+    bool queueHasSpace(std::size_t queue_index) const;
+    void admitInto(std::size_t request_index, std::uint64_t now);
+    void admit(std::uint64_t now);
+    bool pendingRowHitInQueues(std::uint32_t flat_bank,
+                               std::uint32_t row) const;
+    /** Index into requests_ of the next request to service, or npos. */
+    std::size_t schedule(std::uint64_t now);
+    /** Issue the full command sequence; returns first issue cycle. */
+    std::uint64_t service(std::size_t request_index, std::uint64_t now);
+    void resolveReadCompletion(std::size_t request_index);
+    void drainRespFifo();
+    void retire(std::uint64_t now);
+    void accrueRefreshDebt(std::uint64_t now);
+    bool refreshForced() const;
+    /** Close all banks and refresh; returns completion cycle. */
+    std::uint64_t performRefresh(std::uint64_t now);
+    std::size_t totalQueued() const;
+    std::size_t queuedOfKind(bool is_write) const;
+
+    MemSpec spec_;
+    ControllerConfig config_;
+    DramDevice device_;
+
+    // Address decode shifts/masks derived from the spec.
+    std::uint32_t columnShift_ = 0;
+    std::uint32_t bankShift_ = 0;
+    std::uint32_t rankShift_ = 0;
+    std::uint32_t rowShift_ = 0;
+    std::uint32_t columnMask_ = 0;
+    std::uint32_t bankMask_ = 0;
+    std::uint32_t rankMask_ = 0;
+    std::uint32_t rowMask_ = 0;
+
+    // Per-run state.
+    std::vector<MemoryRequest> requests_;
+    QueueSet buffers_;
+    std::size_t arrivalIndex_ = 0;
+    std::uint32_t activeTransactions_ = 0;
+    std::vector<std::size_t> respFifo_;   ///< admission-ordered read ids
+    std::size_t respFifoHead_ = 0;
+    std::uint64_t lastRespRelease_ = 0;
+    std::vector<std::pair<std::uint64_t, std::size_t>> retireHeap_;
+    std::size_t resolvedCount_ = 0;
+
+    std::int64_t refreshOwed_ = 0;
+    std::uint64_t nextRefreshDue_ = 0;
+    std::uint64_t refreshBusyUntil_ = 0;
+    std::uint64_t forcedRefreshes_ = 0;
+
+    bool writeGroupActive_ = false;  ///< FrFcFsGrp current group
+
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_CONTROLLER_H

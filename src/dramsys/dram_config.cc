@@ -1,0 +1,78 @@
+#include "dram_config.h"
+
+#include <sstream>
+
+namespace archgym::dram {
+
+const char *
+toString(PagePolicy p)
+{
+    switch (p) {
+      case PagePolicy::Open: return "Open";
+      case PagePolicy::OpenAdaptive: return "OpenAdaptive";
+      case PagePolicy::Closed: return "Closed";
+      case PagePolicy::ClosedAdaptive: return "ClosedAdaptive";
+    }
+    return "?";
+}
+
+const char *
+toString(SchedulerPolicy p)
+{
+    switch (p) {
+      case SchedulerPolicy::Fifo: return "Fifo";
+      case SchedulerPolicy::FrFcFs: return "FrFcFs";
+      case SchedulerPolicy::FrFcFsGrp: return "FrFcFsGrp";
+    }
+    return "?";
+}
+
+const char *
+toString(BufferOrg o)
+{
+    switch (o) {
+      case BufferOrg::Bankwise: return "Bankwise";
+      case BufferOrg::ReadWrite: return "ReadWrite";
+      case BufferOrg::Shared: return "Shared";
+    }
+    return "?";
+}
+
+const char *
+toString(RespQueuePolicy p)
+{
+    switch (p) {
+      case RespQueuePolicy::Fifo: return "Fifo";
+      case RespQueuePolicy::Reorder: return "Reorder";
+    }
+    return "?";
+}
+
+const char *
+toString(ArbiterPolicy p)
+{
+    switch (p) {
+      case ArbiterPolicy::Simple: return "Simple";
+      case ArbiterPolicy::Fifo: return "Fifo";
+      case ArbiterPolicy::Reorder: return "Reorder";
+    }
+    return "?";
+}
+
+std::string
+ControllerConfig::str() const
+{
+    std::ostringstream os;
+    os << "page=" << toString(pagePolicy)
+       << " sched=" << toString(scheduler)
+       << " buf=" << toString(schedulerBuffer)
+       << " reqbuf=" << requestBufferSize
+       << " resp=" << toString(respQueue)
+       << " refpost=" << refreshMaxPostponed
+       << " refpull=" << refreshMaxPulledin
+       << " arb=" << toString(arbiter)
+       << " maxact=" << maxActiveTransactions;
+    return os.str();
+}
+
+} // namespace archgym::dram

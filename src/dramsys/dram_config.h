@@ -1,0 +1,143 @@
+/**
+ * @file
+ * DRAM device and memory-controller configuration.
+ *
+ * The device model is a DDR4-class part: per-bank row buffers, JEDEC-style
+ * timing constraints in controller clock cycles, and DRAMPower-style
+ * per-command energies. The controller configuration holds exactly the
+ * nine DSE parameters from the paper's DRAMGym (Fig. 3a / Table 4):
+ * page policy, scheduler, scheduler buffer organization, request buffer
+ * size, response queue policy, refresh max postponed / pulled-in, arbiter,
+ * and max active transactions.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_DRAM_CONFIG_H
+#define ARCHGYM_DRAMSYS_DRAM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+namespace archgym::dram {
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    Open,            ///< keep rows open until a conflict forces precharge
+    OpenAdaptive,    ///< open, but precharge when no queued row hit exists
+    Closed,          ///< auto-precharge after every column access
+    ClosedAdaptive   ///< closed, but stay open when a queued row hit exists
+};
+
+/** Command scheduling policy. */
+enum class SchedulerPolicy
+{
+    Fifo,       ///< strictly oldest-first
+    FrFcFs,     ///< first-ready (row hits first), then oldest-first
+    FrFcFsGrp   ///< FR-FCFS with read/write grouping to limit turnarounds
+};
+
+/** Organization of the scheduler's request storage. */
+enum class BufferOrg
+{
+    Bankwise,   ///< one queue per bank
+    ReadWrite,  ///< separate read and write queues
+    Shared      ///< single unified queue
+};
+
+/** Response queue ordering. */
+enum class RespQueuePolicy
+{
+    Fifo,     ///< responses leave in request order (head-of-line blocking)
+    Reorder   ///< responses leave at completion
+};
+
+/** Front-end arbiter admitting requests into the scheduler buffers. */
+enum class ArbiterPolicy
+{
+    Simple,   ///< head-only, at most one admission per cycle
+    Fifo,     ///< in-order admission, as many as fit per cycle
+    Reorder   ///< out-of-order admission within a lookahead window
+};
+
+const char *toString(PagePolicy p);
+const char *toString(SchedulerPolicy p);
+const char *toString(BufferOrg o);
+const char *toString(RespQueuePolicy p);
+const char *toString(ArbiterPolicy p);
+
+/** JEDEC-style timing constraints, in controller clock cycles. */
+struct DramTiming
+{
+    std::uint32_t tRCD = 14;   ///< ACT to RD/WR
+    std::uint32_t tRP = 14;    ///< PRE to ACT
+    std::uint32_t tCL = 14;    ///< RD to first data
+    std::uint32_t tCWL = 10;   ///< WR to first data
+    std::uint32_t tRAS = 32;   ///< ACT to PRE
+    std::uint32_t tWR = 15;    ///< end of write data to PRE
+    std::uint32_t tRTP = 8;    ///< RD to PRE
+    std::uint32_t tCCD = 4;    ///< column-to-column
+    std::uint32_t tRRD = 6;    ///< ACT-to-ACT, different banks
+    std::uint32_t tFAW = 22;   ///< four-activate window
+    std::uint32_t tWTR = 8;    ///< write-to-read turnaround
+    std::uint32_t tRTW = 6;    ///< read-to-write turnaround (bus)
+    std::uint32_t tRFC = 350;  ///< refresh cycle time
+    std::uint32_t tREFI = 7800;///< average refresh interval
+    std::uint32_t burstCycles = 4; ///< data-bus cycles per access (BL8/2)
+};
+
+/**
+ * Per-command and background energies (DRAMPower-style), at channel
+ * granularity: one rank of eight x8 devices, so each value is the sum
+ * across the devices that fire together (plus I/O for data bursts).
+ */
+struct DramEnergy
+{
+    double actPj = 8000.0;       ///< one ACT command (all devices)
+    double prePj = 6000.0;       ///< one PRE command
+    double rdPj = 12000.0;       ///< one RD burst incl. I/O
+    double wrPj = 13000.0;       ///< one WR burst incl. ODT
+    double refPj = 150000.0;     ///< one all-bank REF
+    double actStandbyMw = 450.0; ///< background, any bank open
+    double preStandbyMw = 250.0; ///< background, all banks closed
+};
+
+/** DRAM organization (single channel). */
+struct MemSpec
+{
+    std::string name = "DDR4-2400-x8";
+    std::uint32_t ranks = 1;
+    std::uint32_t banksPerRank = 8;
+    std::uint32_t rowsPerBank = 32768;
+    std::uint32_t columnsPerRow = 1024;
+    std::uint32_t bytesPerColumn = 8;   ///< device burst granularity
+    double clockNs = 0.83;              ///< controller cycle time
+    DramTiming timing;
+    DramEnergy energy;
+
+    std::uint32_t totalBanks() const { return ranks * banksPerRank; }
+    /** Bytes transferred per RD/WR burst. */
+    std::uint32_t accessBytes() const
+    {
+        return bytesPerColumn * timing.burstCycles * 2; // DDR: 2/cycle
+    }
+};
+
+/** The DRAMGym design point: the nine controller parameters under DSE. */
+struct ControllerConfig
+{
+    PagePolicy pagePolicy = PagePolicy::Open;
+    SchedulerPolicy scheduler = SchedulerPolicy::FrFcFs;
+    BufferOrg schedulerBuffer = BufferOrg::Bankwise;
+    std::uint32_t requestBufferSize = 8;     ///< entries per queue
+    RespQueuePolicy respQueue = RespQueuePolicy::Reorder;
+    std::uint32_t refreshMaxPostponed = 4;   ///< deferrable refreshes
+    std::uint32_t refreshMaxPulledin = 4;    ///< pre-issuable refreshes
+    ArbiterPolicy arbiter = ArbiterPolicy::Fifo;
+    std::uint32_t maxActiveTransactions = 16;
+
+    std::string str() const;
+};
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_DRAM_CONFIG_H

@@ -1,0 +1,188 @@
+#include "dram_device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace archgym::dram {
+
+DramDevice::DramDevice(const MemSpec &spec)
+    : spec_(spec), banks_(spec.totalBanks()),
+      actWindow_(spec.ranks)
+{
+}
+
+bool
+DramDevice::anyRowOpen() const
+{
+    return openBankCount_ > 0;
+}
+
+void
+DramDevice::trackOpenness(std::uint64_t cycle)
+{
+    if (cycle > lastTrack_) {
+        if (openBankCount_ > 0)
+            openCycles_ += cycle - lastTrack_;
+        lastTrack_ = cycle;
+    }
+}
+
+std::uint64_t
+DramDevice::openCycles(std::uint64_t up_to_cycle) const
+{
+    std::uint64_t total = openCycles_;
+    if (up_to_cycle > lastTrack_ && openBankCount_ > 0)
+        total += up_to_cycle - lastTrack_;
+    return total;
+}
+
+std::uint64_t
+DramDevice::fawConstraint(std::uint32_t rank) const
+{
+    const auto &window = actWindow_[rank];
+    if (window.size() < 4)
+        return 0;
+    // The 4th-most-recent ACT gates the next one by tFAW.
+    return window[window.size() - 4] + spec_.timing.tFAW;
+}
+
+std::uint64_t
+DramDevice::earliestActivate(std::uint32_t bank) const
+{
+    const std::uint32_t rank = bank / spec_.banksPerRank;
+    return std::max({banks_[bank].nextActivate, nextActAny_,
+                     fawConstraint(rank)});
+}
+
+std::uint64_t
+DramDevice::earliestRead(std::uint32_t bank) const
+{
+    return std::max(banks_[bank].nextRead, nextReadIssue_);
+}
+
+std::uint64_t
+DramDevice::earliestWrite(std::uint32_t bank) const
+{
+    return std::max(banks_[bank].nextWrite, nextWriteIssue_);
+}
+
+std::uint64_t
+DramDevice::earliestPrecharge(std::uint32_t bank) const
+{
+    return banks_[bank].nextPrecharge;
+}
+
+std::uint64_t
+DramDevice::earliestRefresh() const
+{
+    std::uint64_t t = 0;
+    for (const auto &b : banks_) {
+        assert(!b.open && "refresh requires all banks precharged");
+        t = std::max(t, b.nextActivate);
+    }
+    return t;
+}
+
+void
+DramDevice::issueActivate(std::uint32_t bank, std::uint32_t row,
+                          std::uint64_t cycle)
+{
+    Bank &b = banks_[bank];
+    assert(!b.open);
+    assert(cycle >= earliestActivate(bank));
+    trackOpenness(cycle);
+
+    b.open = true;
+    b.row = row;
+    b.nextRead = std::max(b.nextRead, cycle + spec_.timing.tRCD);
+    b.nextWrite = std::max(b.nextWrite, cycle + spec_.timing.tRCD);
+    b.nextPrecharge = std::max(b.nextPrecharge, cycle + spec_.timing.tRAS);
+    nextActAny_ = std::max(nextActAny_, cycle + spec_.timing.tRRD);
+
+    const std::uint32_t rank = bank / spec_.banksPerRank;
+    auto &window = actWindow_[rank];
+    window.push_back(cycle);
+    while (window.size() > 4)
+        window.pop_front();
+
+    ++openBankCount_;
+    ++counts_.activates;
+}
+
+void
+DramDevice::issuePrecharge(std::uint32_t bank, std::uint64_t cycle)
+{
+    Bank &b = banks_[bank];
+    assert(b.open);
+    assert(cycle >= earliestPrecharge(bank));
+    trackOpenness(cycle);
+
+    b.open = false;
+    b.nextActivate = std::max(b.nextActivate, cycle + spec_.timing.tRP);
+
+    assert(openBankCount_ > 0);
+    --openBankCount_;
+    ++counts_.precharges;
+}
+
+std::uint64_t
+DramDevice::issueRead(std::uint32_t bank, std::uint64_t cycle)
+{
+    Bank &b = banks_[bank];
+    assert(b.open);
+    assert(cycle >= earliestRead(bank));
+    trackOpenness(cycle);
+
+    const std::uint64_t dataStart = cycle + spec_.timing.tCL;
+    const std::uint64_t dataEnd = dataStart + spec_.timing.burstCycles;
+    busFree_ = std::max(busFree_, dataEnd);
+
+    // Column-to-column spacing, plus read-to-write bus turnaround.
+    nextReadIssue_ = std::max(nextReadIssue_, cycle + spec_.timing.tCCD);
+    nextWriteIssue_ = std::max(nextWriteIssue_,
+                               cycle + spec_.timing.tCCD +
+                                   spec_.timing.tRTW);
+    b.nextPrecharge = std::max(b.nextPrecharge,
+                               cycle + spec_.timing.tRTP);
+    ++counts_.reads;
+    return dataEnd;
+}
+
+std::uint64_t
+DramDevice::issueWrite(std::uint32_t bank, std::uint64_t cycle)
+{
+    Bank &b = banks_[bank];
+    assert(b.open);
+    assert(cycle >= earliestWrite(bank));
+    trackOpenness(cycle);
+
+    const std::uint64_t dataStart = cycle + spec_.timing.tCWL;
+    const std::uint64_t dataEnd = dataStart + spec_.timing.burstCycles;
+    busFree_ = std::max(busFree_, dataEnd);
+
+    nextWriteIssue_ = std::max(nextWriteIssue_, cycle + spec_.timing.tCCD);
+    // Write-to-read turnaround counts from the end of the write data.
+    nextReadIssue_ = std::max(nextReadIssue_,
+                              dataEnd + spec_.timing.tWTR);
+    // Write recovery before precharge.
+    b.nextPrecharge = std::max(b.nextPrecharge,
+                               dataEnd + spec_.timing.tWR);
+    ++counts_.writes;
+    return dataEnd;
+}
+
+std::uint64_t
+DramDevice::issueRefresh(std::uint64_t cycle)
+{
+    assert(cycle >= earliestRefresh());
+    trackOpenness(cycle);
+    const std::uint64_t done = cycle + spec_.timing.tRFC;
+    for (auto &b : banks_) {
+        assert(!b.open);
+        b.nextActivate = std::max(b.nextActivate, done);
+    }
+    ++counts_.refreshes;
+    return done;
+}
+
+} // namespace archgym::dram

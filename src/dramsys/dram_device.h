@@ -1,0 +1,119 @@
+/**
+ * @file
+ * DRAM device timing model: per-bank row-buffer state machines plus the
+ * rank- and channel-level constraints (tFAW activation window, shared
+ * data bus with read/write turnaround penalties, all-bank refresh).
+ *
+ * The controller drives the device through an earliest/issue protocol:
+ * earliestX(bank) reports the first cycle command X could legally issue,
+ * and issueX(bank, cycle) commits it, updating all downstream timers.
+ * Command and background-energy bookkeeping for the power model happens
+ * here as well.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_DRAM_DEVICE_H
+#define ARCHGYM_DRAMSYS_DRAM_DEVICE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dramsys/dram_config.h"
+
+namespace archgym::dram {
+
+/** Command counts accumulated for energy accounting. */
+struct CommandCounts
+{
+    std::uint64_t activates = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t refreshes = 0;
+};
+
+class DramDevice
+{
+  public:
+    explicit DramDevice(const MemSpec &spec);
+
+    const MemSpec &spec() const { return spec_; }
+
+    // --- row-buffer state -------------------------------------------
+    bool rowOpen(std::uint32_t bank) const { return banks_[bank].open; }
+    std::uint32_t openRow(std::uint32_t bank) const
+    {
+        return banks_[bank].row;
+    }
+    bool anyRowOpen() const;
+
+    // --- earliest legal issue cycles --------------------------------
+    std::uint64_t earliestActivate(std::uint32_t bank) const;
+    std::uint64_t earliestRead(std::uint32_t bank) const;
+    std::uint64_t earliestWrite(std::uint32_t bank) const;
+    std::uint64_t earliestPrecharge(std::uint32_t bank) const;
+    /** Earliest cycle an all-bank refresh may start (banks must close). */
+    std::uint64_t earliestRefresh() const;
+
+    // --- command issue ----------------------------------------------
+    /** @pre cycle >= earliestActivate(bank) and row closed */
+    void issueActivate(std::uint32_t bank, std::uint32_t row,
+                       std::uint64_t cycle);
+    /** @pre cycle >= earliestPrecharge(bank) and row open */
+    void issuePrecharge(std::uint32_t bank, std::uint64_t cycle);
+    /**
+     * @pre row open and cycle >= earliestRead(bank)
+     * @return cycle at which the data burst completes
+     */
+    std::uint64_t issueRead(std::uint32_t bank, std::uint64_t cycle);
+    std::uint64_t issueWrite(std::uint32_t bank, std::uint64_t cycle);
+    /**
+     * All-bank refresh. @pre all banks precharged, cycle >= earliestRefresh
+     * @return cycle at which the refresh completes
+     */
+    std::uint64_t issueRefresh(std::uint64_t cycle);
+
+    // --- accounting ---------------------------------------------------
+    const CommandCounts &counts() const { return counts_; }
+
+    /**
+     * Cycles during which at least one row was open, up to the given
+     * cycle (active-standby background energy).
+     */
+    std::uint64_t openCycles(std::uint64_t up_to_cycle) const;
+
+  private:
+    struct Bank
+    {
+        bool open = false;
+        std::uint32_t row = 0;
+        std::uint64_t nextActivate = 0;
+        std::uint64_t nextRead = 0;
+        std::uint64_t nextWrite = 0;
+        std::uint64_t nextPrecharge = 0;
+    };
+
+    void trackOpenness(std::uint64_t cycle);
+    std::uint64_t fawConstraint(std::uint32_t rank) const;
+
+    MemSpec spec_;
+    std::vector<Bank> banks_;
+
+    // Channel-level state.
+    std::uint64_t busFree_ = 0;        ///< data bus free cycle
+    std::uint64_t nextReadIssue_ = 0;  ///< tCCD / turnaround constraint
+    std::uint64_t nextWriteIssue_ = 0;
+    std::uint64_t nextActAny_ = 0;     ///< tRRD constraint
+    std::vector<std::deque<std::uint64_t>> actWindow_;  ///< per-rank tFAW
+
+    CommandCounts counts_;
+
+    // Background-energy integration.
+    std::uint64_t lastTrack_ = 0;
+    std::uint32_t openBankCount_ = 0;
+    std::uint64_t openCycles_ = 0;
+};
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_DRAM_DEVICE_H

@@ -1,0 +1,106 @@
+#include "memspec_presets.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace archgym::dram {
+
+namespace {
+
+/** Scale cycle-denominated timings when the clock changes, keeping the
+ *  wall-clock constraint constant. */
+DramTiming
+scaleTiming(const DramTiming &base, double clock_ratio)
+{
+    auto scale = [clock_ratio](std::uint32_t cycles) {
+        return static_cast<std::uint32_t>(
+            std::ceil(cycles * clock_ratio));
+    };
+    DramTiming t = base;
+    t.tRCD = scale(base.tRCD);
+    t.tRP = scale(base.tRP);
+    t.tCL = scale(base.tCL);
+    t.tCWL = scale(base.tCWL);
+    t.tRAS = scale(base.tRAS);
+    t.tWR = scale(base.tWR);
+    t.tRTP = scale(base.tRTP);
+    t.tRRD = scale(base.tRRD);
+    t.tFAW = scale(base.tFAW);
+    t.tWTR = scale(base.tWTR);
+    t.tRTW = scale(base.tRTW);
+    t.tRFC = scale(base.tRFC);
+    t.tREFI = scale(base.tREFI);
+    // tCCD and burst length are clock-denominated by construction.
+    return t;
+}
+
+} // namespace
+
+MemSpec
+ddr4_2400()
+{
+    MemSpec spec;  // defaults are the DDR4-2400 part
+    spec.name = "DDR4-2400";
+    return spec;
+}
+
+MemSpec
+ddr4_3200()
+{
+    MemSpec spec = ddr4_2400();
+    spec.name = "DDR4-3200";
+    const double ratio = spec.clockNs / 0.625;  // 1600 MHz controller
+    spec.clockNs = 0.625;
+    spec.timing = scaleTiming(spec.timing, ratio);
+    // Slightly higher I/O energy at the faster bin.
+    spec.energy.rdPj *= 1.1;
+    spec.energy.wrPj *= 1.1;
+    return spec;
+}
+
+MemSpec
+lpddr4_3200()
+{
+    MemSpec spec = ddr4_2400();
+    spec.name = "LPDDR4-3200";
+    spec.ranks = 2;
+    spec.banksPerRank = 8;
+    spec.rowsPerBank = 16384;
+    const double ratio = spec.clockNs / 0.625;
+    spec.clockNs = 0.625;
+    spec.timing = scaleTiming(spec.timing, ratio);
+    // LPDDR core timing is slower in wall clock terms.
+    spec.timing.tRCD += 6;
+    spec.timing.tRP += 6;
+    // Mobile part: much lower background and refresh power.
+    spec.energy.actStandbyMw = 140.0;
+    spec.energy.preStandbyMw = 60.0;
+    spec.energy.refPj *= 0.5;
+    spec.energy.actPj *= 0.7;
+    spec.energy.prePj *= 0.7;
+    spec.energy.rdPj *= 0.6;
+    spec.energy.wrPj *= 0.6;
+    return spec;
+}
+
+MemSpec
+memSpecByName(const std::string &name)
+{
+    if (name == "DDR4-2400")
+        return ddr4_2400();
+    if (name == "DDR4-3200")
+        return ddr4_3200();
+    if (name == "LPDDR4-3200")
+        return lpddr4_3200();
+    throw std::invalid_argument("unknown memspec: " + name);
+}
+
+const std::vector<std::string> &
+memSpecNames()
+{
+    static const std::vector<std::string> names = {
+        "DDR4-2400", "DDR4-3200", "LPDDR4-3200"};
+    return names;
+}
+
+} // namespace archgym::dram

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Named DRAM device presets.
+ *
+ * DRAMSys ships JEDEC memspecs for many parts; this module provides the
+ * equivalent catalog for this simulator: a default DDR4-2400, a faster
+ * DDR4-3200 bin, and a mobile LPDDR4-class part (more banks, slower
+ * core timing, much lower background power). The DRAMGym environment can
+ * be instantiated with any of them, and the preset differences are
+ * covered by tests (timing scales, power envelope ordering).
+ */
+
+#ifndef ARCHGYM_DRAMSYS_MEMSPEC_PRESETS_H
+#define ARCHGYM_DRAMSYS_MEMSPEC_PRESETS_H
+
+#include <string>
+#include <vector>
+
+#include "dramsys/dram_config.h"
+
+namespace archgym::dram {
+
+/** DDR4-2400 x8 rank (the repository default). */
+MemSpec ddr4_2400();
+
+/** DDR4-3200: higher clock, same-ns core timings (more cycles). */
+MemSpec ddr4_3200();
+
+/** LPDDR4-3200-class: 2 ranks x 8 banks, low background power. */
+MemSpec lpddr4_3200();
+
+/** Preset by name ("DDR4-2400", "DDR4-3200", "LPDDR4-3200").
+ *  @throws std::invalid_argument for unknown names. */
+MemSpec memSpecByName(const std::string &name);
+
+/** All preset names. */
+const std::vector<std::string> &memSpecNames();
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_MEMSPEC_PRESETS_H

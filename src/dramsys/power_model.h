@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DRAMPower-style energy/power estimation from command counts.
+ *
+ * Energy is accumulated per command class plus background standby energy
+ * split between active (any row open) and precharged states. Convenient
+ * unit identity used throughout: 1 mW background power integrates to
+ * exactly 1 pJ per ns.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_POWER_MODEL_H
+#define ARCHGYM_DRAMSYS_POWER_MODEL_H
+
+#include <cstdint>
+
+#include "dramsys/dram_config.h"
+#include "dramsys/dram_device.h"
+
+namespace archgym::dram {
+
+/** Energy breakdown in pJ and the derived average power. */
+struct PowerResult
+{
+    double actPj = 0.0;
+    double prePj = 0.0;
+    double rdPj = 0.0;
+    double wrPj = 0.0;
+    double refPj = 0.0;
+    double backgroundPj = 0.0;
+    double controllerPj = 0.0;  ///< controller logic (buffers, CAMs, ...)
+
+    double totalPj() const
+    {
+        return actPj + prePj + rdPj + wrPj + refPj + backgroundPj +
+               controllerPj;
+    }
+
+    double avgPowerW = 0.0;  ///< totalPj over the simulated wall time
+};
+
+/**
+ * Static power of the controller logic itself, in mW, as a function of
+ * the design point: larger request buffers, associative (FR-FCFS) CAM
+ * scheduling, reorder queues and deeper outstanding-transaction tracking
+ * all cost power. This is what makes every DRAMGym parameter
+ * power-relevant, as in the paper's low-power design study (§6.3).
+ */
+double controllerPowerMw(const ControllerConfig &config);
+
+/**
+ * @param spec          DRAM organization and energy table
+ * @param counts        command counts from the device model
+ * @param total_cycles  simulated duration in controller cycles
+ * @param open_cycles   cycles with at least one row open
+ * @param controller_mw static controller-logic power (controllerPowerMw)
+ */
+PowerResult computePower(const MemSpec &spec, const CommandCounts &counts,
+                         std::uint64_t total_cycles,
+                         std::uint64_t open_cycles,
+                         double controller_mw = 0.0);
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_POWER_MODEL_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Memory request and address decomposition types shared across the DRAM
+ * subsystem simulator.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_REQUEST_H
+#define ARCHGYM_DRAMSYS_REQUEST_H
+
+#include <cstdint>
+
+namespace archgym::dram {
+
+/** Physical address decomposed into DRAM coordinates. */
+struct DramAddress
+{
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;   ///< bank index within the rank
+    std::uint32_t row = 0;
+    std::uint32_t column = 0;
+
+    /** Flat bank index across ranks. */
+    std::uint32_t flatBank(std::uint32_t banks_per_rank) const
+    {
+        return rank * banks_per_rank + bank;
+    }
+};
+
+/** One memory transaction as produced by a trace. */
+struct MemoryRequest
+{
+    std::uint64_t id = 0;          ///< trace order, used for FIFO policies
+    std::uint64_t address = 0;     ///< byte address
+    bool isWrite = false;
+    std::uint64_t arrivalCycle = 0;
+
+    // Filled in by the controller during simulation.
+    DramAddress loc;
+    std::uint64_t admitCycle = 0;      ///< entered a scheduler queue
+    std::uint64_t dataCycle = 0;       ///< data burst finished on the bus
+    std::uint64_t completionCycle = 0; ///< response released to requester
+};
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_REQUEST_H

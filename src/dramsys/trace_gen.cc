@@ -1,0 +1,240 @@
+#include "trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace archgym::dram {
+
+const char *
+toString(TracePattern p)
+{
+    switch (p) {
+      case TracePattern::Streaming: return "streaming";
+      case TracePattern::Random: return "random";
+      case TracePattern::Cloud1: return "cloud-1";
+      case TracePattern::Cloud2: return "cloud-2";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr std::uint64_t kCacheLine = 64;
+
+std::vector<MemoryRequest>
+streamingTrace(const TraceConfig &config, Rng &rng)
+{
+    std::vector<MemoryRequest> trace;
+    trace.reserve(config.numRequests);
+    std::uint64_t cycle = 0;
+    std::uint64_t readPtr = rng.below(config.addressSpaceBytes / 2) &
+                            ~(kCacheLine - 1);
+    std::uint64_t writePtr = (config.addressSpaceBytes / 2 +
+                              rng.below(config.addressSpaceBytes / 4)) &
+                             ~(kCacheLine - 1);
+    std::size_t i = 0;
+    while (i < config.numRequests) {
+        // A read burst followed by a shorter write-back burst.
+        const std::size_t burst = 24 + rng.below(24);
+        for (std::size_t b = 0; b < burst && i < config.numRequests;
+             ++b, ++i) {
+            MemoryRequest r;
+            r.address = readPtr;
+            r.isWrite = false;
+            r.arrivalCycle = cycle;
+            trace.push_back(r);
+            readPtr = (readPtr + kCacheLine) % config.addressSpaceBytes;
+            cycle += 2;  // near back-to-back
+        }
+        const std::size_t wb = burst / 4;
+        for (std::size_t b = 0; b < wb && i < config.numRequests;
+             ++b, ++i) {
+            MemoryRequest r;
+            r.address = writePtr;
+            r.isWrite = true;
+            r.arrivalCycle = cycle;
+            trace.push_back(r);
+            writePtr = (writePtr + kCacheLine) % config.addressSpaceBytes;
+            cycle += 2;
+        }
+    }
+    return trace;
+}
+
+std::vector<MemoryRequest>
+randomTrace(const TraceConfig &config, Rng &rng)
+{
+    // Pointer-chasing style: dependent reads, widely spaced, no locality.
+    std::vector<MemoryRequest> trace;
+    trace.reserve(config.numRequests);
+    std::uint64_t cycle = 0;
+    for (std::size_t i = 0; i < config.numRequests; ++i) {
+        MemoryRequest r;
+        r.address = rng.below(config.addressSpaceBytes) &
+                    ~(kCacheLine - 1);
+        r.isWrite = rng.chance(0.05);
+        r.arrivalCycle = cycle;
+        trace.push_back(r);
+        // The next pointer dereference waits for roughly a full DRAM
+        // round trip.
+        cycle += 40 + rng.below(40);
+    }
+    return trace;
+}
+
+std::vector<MemoryRequest>
+cloud1Trace(const TraceConfig &config, Rng &rng)
+{
+    // Bursty mixture of short sequential runs and random accesses.
+    std::vector<MemoryRequest> trace;
+    trace.reserve(config.numRequests);
+    std::uint64_t cycle = 0;
+    std::size_t i = 0;
+    while (i < config.numRequests) {
+        if (rng.chance(0.6)) {
+            // Short sequential run.
+            std::uint64_t ptr = rng.below(config.addressSpaceBytes) &
+                                ~(kCacheLine - 1);
+            const std::size_t run = 4 + rng.below(12);
+            const bool isWrite = rng.chance(0.3);
+            for (std::size_t b = 0; b < run && i < config.numRequests;
+                 ++b, ++i) {
+                MemoryRequest r;
+                r.address = ptr;
+                r.isWrite = isWrite;
+                r.arrivalCycle = cycle;
+                trace.push_back(r);
+                ptr = (ptr + kCacheLine) % config.addressSpaceBytes;
+                cycle += 3 + rng.below(4);
+            }
+        } else {
+            MemoryRequest r;
+            r.address = rng.below(config.addressSpaceBytes) &
+                        ~(kCacheLine - 1);
+            r.isWrite = rng.chance(0.3);
+            r.arrivalCycle = cycle;
+            trace.push_back(r);
+            ++i;
+            cycle += 8 + rng.below(24);
+        }
+        // Occasional idle gap between request bursts.
+        if (rng.chance(0.05))
+            cycle += 500 + rng.below(1500);
+    }
+    return trace;
+}
+
+std::vector<MemoryRequest>
+cloud2Trace(const TraceConfig &config, Rng &rng)
+{
+    // Hot-spotted row reuse: a small set of hot regions absorbs most
+    // accesses with an approximately Zipfian popularity profile.
+    constexpr std::size_t kHotRegions = 32;
+    std::vector<std::uint64_t> hotBase(kHotRegions);
+    for (auto &b : hotBase)
+        b = rng.below(config.addressSpaceBytes) & ~(kCacheLine - 1);
+    std::vector<double> popularity(kHotRegions);
+    for (std::size_t k = 0; k < kHotRegions; ++k)
+        popularity[k] = 1.0 / static_cast<double>(k + 1);  // Zipf s=1
+
+    std::vector<MemoryRequest> trace;
+    trace.reserve(config.numRequests);
+    std::uint64_t cycle = 0;
+    for (std::size_t i = 0; i < config.numRequests; ++i) {
+        MemoryRequest r;
+        if (rng.chance(0.85)) {
+            const std::size_t region = rng.weightedIndex(popularity);
+            // 8 KiB hot region: multiple columns of the same row.
+            r.address = hotBase[region] + (rng.below(128) * kCacheLine);
+        } else {
+            r.address = rng.below(config.addressSpaceBytes) &
+                        ~(kCacheLine - 1);
+        }
+        r.isWrite = rng.chance(0.5);
+        r.arrivalCycle = cycle;
+        trace.push_back(r);
+        cycle += 4 + rng.below(12);
+    }
+    return trace;
+}
+
+} // namespace
+
+std::vector<MemoryRequest>
+generateTrace(const TraceConfig &config)
+{
+    Rng rng(config.seed ^ (static_cast<std::uint64_t>(config.pattern) << 32));
+    std::vector<MemoryRequest> trace;
+    switch (config.pattern) {
+      case TracePattern::Streaming:
+        trace = streamingTrace(config, rng);
+        break;
+      case TracePattern::Random:
+        trace = randomTrace(config, rng);
+        break;
+      case TracePattern::Cloud1:
+        trace = cloud1Trace(config, rng);
+        break;
+      case TracePattern::Cloud2:
+        trace = cloud2Trace(config, rng);
+        break;
+    }
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const MemoryRequest &a, const MemoryRequest &b) {
+                         return a.arrivalCycle < b.arrivalCycle;
+                     });
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        trace[i].id = i;
+    return trace;
+}
+
+std::vector<MemoryRequest>
+parseTrace(std::istream &is)
+{
+    std::vector<MemoryRequest> trace;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string cycleTok, opTok, addrTok;
+        if (!(ss >> cycleTok >> opTok >> addrTok)) {
+            throw std::runtime_error("trace parse error at line " +
+                                     std::to_string(lineNo));
+        }
+        if (!cycleTok.empty() && cycleTok.back() == ':')
+            cycleTok.pop_back();
+        MemoryRequest r;
+        r.id = trace.size();
+        r.arrivalCycle = std::stoull(cycleTok);
+        if (opTok == "R" || opTok == "r" || opTok == "read")
+            r.isWrite = false;
+        else if (opTok == "W" || opTok == "w" || opTok == "write")
+            r.isWrite = true;
+        else
+            throw std::runtime_error("trace parse error at line " +
+                                     std::to_string(lineNo) +
+                                     ": bad op '" + opTok + "'");
+        r.address = std::stoull(addrTok, nullptr, 0);
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+void
+writeTrace(std::ostream &os, const std::vector<MemoryRequest> &trace)
+{
+    os << "# cycle: R|W address\n";
+    for (const auto &r : trace) {
+        os << r.arrivalCycle << ": " << (r.isWrite ? 'W' : 'R') << " 0x"
+           << std::hex << r.address << std::dec << "\n";
+    }
+}
+
+} // namespace archgym::dram

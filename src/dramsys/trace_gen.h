@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Memory-trace workloads for DRAMGym.
+ *
+ * The paper uses the traces shipped with DRAMSys (streaming, random
+ * access, cloud-1, cloud-2). Those artifacts are not redistributable, so
+ * this module generates synthetic traces with the same qualitative
+ * regimes (see DESIGN.md §1):
+ *
+ *  - Streaming: long unit-stride read bursts with periodic write-back
+ *    streams — maximal row-buffer locality, high arrival rate.
+ *  - Random: uniformly random addresses with read-dominated, widely
+ *    spaced arrivals — the pointer-chasing pattern of §6.3, minimal
+ *    locality.
+ *  - Cloud-1: bursty mixture of short sequential runs and random
+ *    accesses, 70/30 read/write — latency-sensitive service churn.
+ *  - Cloud-2: hot-spotted (approximately Zipfian) row reuse, 50/50
+ *    read/write — cache-filtered datacenter traffic.
+ *
+ * A simple "cycle: R|W address" text parser is provided for users with
+ * real traces.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_TRACE_GEN_H
+#define ARCHGYM_DRAMSYS_TRACE_GEN_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dramsys/request.h"
+#include "mathutil/rng.h"
+
+namespace archgym::dram {
+
+/** The four DRAMGym workload patterns. */
+enum class TracePattern { Streaming, Random, Cloud1, Cloud2 };
+
+const char *toString(TracePattern p);
+
+/** Trace-generation knobs. */
+struct TraceConfig
+{
+    TracePattern pattern = TracePattern::Streaming;
+    std::size_t numRequests = 512;
+    std::uint64_t addressSpaceBytes = 1ULL << 30;  ///< 1 GiB footprint
+    std::uint64_t seed = 7;
+};
+
+/** Generate a synthetic trace. Requests are sorted by arrival cycle. */
+std::vector<MemoryRequest> generateTrace(const TraceConfig &config);
+
+/**
+ * Parse a "cycle: R|W 0xADDRESS" text trace (comments start with '#').
+ * @throws std::runtime_error on malformed lines.
+ */
+std::vector<MemoryRequest> parseTrace(std::istream &is);
+
+/** Serialize a trace in the format parseTrace() accepts. */
+void writeTrace(std::ostream &os,
+                const std::vector<MemoryRequest> &trace);
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_TRACE_GEN_H

@@ -1,0 +1,100 @@
+#include "dram_gym_env.h"
+
+namespace archgym {
+
+const char *
+toString(DramObjective o)
+{
+    switch (o) {
+      case DramObjective::LowPower: return "low-power";
+      case DramObjective::LowLatency: return "low-latency";
+      case DramObjective::LatencyAndPower: return "latency+power";
+    }
+    return "?";
+}
+
+DramGymEnv::DramGymEnv(Options options) : options_(std::move(options))
+{
+    buildSpace();
+    buildObjective();
+    dram::TraceConfig tc;
+    tc.pattern = options_.pattern;
+    tc.numRequests = options_.traceLength;
+    tc.seed = options_.traceSeed;
+    trace_ = dram::generateTrace(tc);
+}
+
+void
+DramGymEnv::buildSpace()
+{
+    space_.add(ParamDesc::categorical(
+                   "PagePolicy", {"Open", "OpenAdaptive", "Closed",
+                                  "ClosedAdaptive"}))
+        .add(ParamDesc::categorical("Scheduler",
+                                    {"Fifo", "FrFcFs", "FrFcFsGrp"}))
+        .add(ParamDesc::categorical("SchedulerBuffer",
+                                    {"Bankwise", "ReadWrite", "Shared"}))
+        .add(ParamDesc::integer("RequestBufferSize", 1, 8))
+        .add(ParamDesc::categorical("RespQueue", {"Fifo", "Reorder"}))
+        .add(ParamDesc::integer("RefreshMaxPostponed", 1, 8))
+        .add(ParamDesc::integer("RefreshMaxPulledin", 1, 8))
+        .add(ParamDesc::categorical("Arbiter",
+                                    {"Simple", "Fifo", "Reorder"}))
+        .add(ParamDesc::powerOfTwo("MaxActiveTransactions", 1, 128));
+}
+
+void
+DramGymEnv::buildObjective()
+{
+    std::vector<TargetTerm> terms;
+    if (options_.objective == DramObjective::LowLatency ||
+        options_.objective == DramObjective::LatencyAndPower) {
+        terms.push_back(TargetTerm{0, options_.latencyTargetNs, 1.0,
+                                   "latency_ns"});
+    }
+    if (options_.objective == DramObjective::LowPower ||
+        options_.objective == DramObjective::LatencyAndPower) {
+        terms.push_back(TargetTerm{1, options_.powerTargetW, 1.0,
+                                   "power_w"});
+    }
+    objective_ = std::make_unique<TargetObjective>(std::move(terms));
+}
+
+dram::ControllerConfig
+DramGymEnv::decodeAction(const Action &action) const
+{
+    const auto levels = space_.toLevels(action);
+    dram::ControllerConfig cfg;
+    cfg.pagePolicy = static_cast<dram::PagePolicy>(levels[0]);
+    cfg.scheduler = static_cast<dram::SchedulerPolicy>(levels[1]);
+    cfg.schedulerBuffer = static_cast<dram::BufferOrg>(levels[2]);
+    cfg.requestBufferSize = static_cast<std::uint32_t>(action[3]);
+    cfg.respQueue = static_cast<dram::RespQueuePolicy>(levels[4]);
+    cfg.refreshMaxPostponed = static_cast<std::uint32_t>(action[5]);
+    cfg.refreshMaxPulledin = static_cast<std::uint32_t>(action[6]);
+    cfg.arbiter = static_cast<dram::ArbiterPolicy>(levels[7]);
+    cfg.maxActiveTransactions = static_cast<std::uint32_t>(action[8]);
+    return cfg;
+}
+
+dram::SimResult
+DramGymEnv::simulate(const Action &action)
+{
+    dram::DramController controller(options_.spec, decodeAction(action));
+    return controller.run(trace_);
+}
+
+StepResult
+DramGymEnv::step(const Action &action)
+{
+    recordSample();
+    const dram::SimResult sim = simulate(action);
+    StepResult sr;
+    sr.observation = {sim.avgLatencyNs, sim.power.avgPowerW,
+                      sim.totalEnergyPj() / 1e6};
+    sr.reward = objective_->reward(sr.observation);
+    sr.done = objective_->satisfied(sr.observation);
+    return sr;
+}
+
+} // namespace archgym

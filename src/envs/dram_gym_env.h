@@ -1,0 +1,81 @@
+/**
+ * @file
+ * DRAMGym: the memory-controller DSE environment (paper Table 3, Fig 3a).
+ *
+ * Wraps the DRAM subsystem simulator plus one memory trace. The action
+ * space holds the nine controller parameters; the observation is
+ * <latency, power, energy>; the reward follows the Table 3 target form
+ * r = X_target / |X_target - X_obs| for the selected objective (low
+ * power, low latency, or the joint combination).
+ */
+
+#ifndef ARCHGYM_ENVS_DRAM_GYM_ENV_H
+#define ARCHGYM_ENVS_DRAM_GYM_ENV_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/objective.h"
+#include "dramsys/controller.h"
+#include "dramsys/trace_gen.h"
+
+namespace archgym {
+
+/** Optimization objectives mirroring Fig. 4's three columns. */
+enum class DramObjective { LowPower, LowLatency, LatencyAndPower };
+
+const char *toString(DramObjective o);
+
+class DramGymEnv : public Environment
+{
+  public:
+    struct Options
+    {
+        dram::TracePattern pattern = dram::TracePattern::Streaming;
+        std::size_t traceLength = 512;
+        std::uint64_t traceSeed = 7;
+        DramObjective objective = DramObjective::LowPower;
+        double powerTargetW = 1.0;     ///< §6.3 design goal
+        double latencyTargetNs = 30.0;
+        dram::MemSpec spec = {};
+    };
+
+    DramGymEnv() : DramGymEnv(Options{}) {}
+    explicit DramGymEnv(Options options);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+    /** Translate an action into a simulator configuration (for tests and
+     *  for rendering Table 4 rows). */
+    dram::ControllerConfig decodeAction(const Action &action) const;
+
+    /** Run the underlying simulator directly (proxy-model ground truth). */
+    dram::SimResult simulate(const Action &action);
+
+    const Options &options() const { return options_; }
+    const Objective &objective() const { return *objective_; }
+
+  private:
+    void buildSpace();
+    void buildObjective();
+
+    std::string name_ = "DRAMGym";
+    std::vector<std::string> metricNames_{"latency_ns", "power_w",
+                                          "energy_uj"};
+    Options options_;
+    ParamSpace space_;
+    std::unique_ptr<Objective> objective_;
+    std::vector<dram::MemoryRequest> trace_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_ENVS_DRAM_GYM_ENV_H

@@ -1,0 +1,54 @@
+#include "farsi_gym_env.h"
+#include <algorithm>
+
+namespace archgym {
+
+FarsiGymEnv::FarsiGymEnv(Options options) : options_(std::move(options))
+{
+    space_.add(ParamDesc::integer("LittleCores", 0, 4))
+        .add(ParamDesc::integer("BigCores", 0, 4))
+        .add(ParamDesc::integer("DspAccels", 0, 4))
+        .add(ParamDesc::integer("ImageAccels", 0, 4))
+        .add(ParamDesc::real("FrequencyGhz", 0.4, 2.0, 0.2))
+        .add(ParamDesc::powerOfTwo("NoC_BusWidth", 32, 512))
+        .add(ParamDesc::real("BusFrequencyGhz", 0.4, 2.0, 0.2))
+        .add(ParamDesc::powerOfTwo("MemoryBandwidthGBps", 2, 32));
+
+    objective_ = std::make_unique<BudgetDistanceObjective>(
+        std::vector<BudgetTerm>{
+            BudgetTerm{0, options_.powerBudgetW, 1.0, "power_w"},
+            BudgetTerm{1, options_.latencyBudgetMs, 1.0, "latency_ms"},
+            BudgetTerm{2, options_.areaBudgetMm2, 1.0, "area_mm2"},
+        });
+}
+
+farsi::SocConfig
+FarsiGymEnv::decodeAction(const Action &action) const
+{
+    farsi::SocConfig cfg;
+    cfg.littleCores = static_cast<std::uint32_t>(action[0]);
+    cfg.bigCores = static_cast<std::uint32_t>(action[1]);
+    cfg.dspAccels = static_cast<std::uint32_t>(action[2]);
+    cfg.imageAccels = static_cast<std::uint32_t>(action[3]);
+    cfg.frequencyGhz = action[4];
+    cfg.busWidthBits = static_cast<std::uint32_t>(action[5]);
+    cfg.busFrequencyGhz = action[6];
+    cfg.memoryBandwidthGBps = action[7];
+    return cfg;
+}
+
+StepResult
+FarsiGymEnv::step(const Action &action)
+{
+    recordSample();
+    const farsi::SocResult sim =
+        farsi::evaluateSoc(decodeAction(action), options_.graph);
+    StepResult sr;
+    sr.observation = {sim.powerW, sim.latencyMs, sim.areaMm2};
+    sr.reward = std::max(objective_->reward(sr.observation),
+                         -options_.rewardFloor);
+    sr.done = objective_->satisfied(sr.observation);
+    return sr;
+}
+
+} // namespace archgym

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FARSIGym: domain-specific SoC DSE for AR/VR workloads (paper Table 3,
+ * Fig 3c).
+ *
+ * Wraps the task-graph SoC simulator. The action space allocates PEs
+ * (little/big cores, DSP and image accelerators), clocks, bus width and
+ * memory bandwidth; the observation is <power, performance, area>; the
+ * reward is the negative distance-to-budget of Table 3.
+ */
+
+#ifndef ARCHGYM_ENVS_FARSI_GYM_ENV_H
+#define ARCHGYM_ENVS_FARSI_GYM_ENV_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/objective.h"
+#include "farsi/scheduler.h"
+
+namespace archgym {
+
+class FarsiGymEnv : public Environment
+{
+  public:
+    struct Options
+    {
+        farsi::TaskGraph graph = farsi::edgeDetection();
+        double latencyBudgetMs = 6.0;
+        double powerBudgetW = 0.35;
+        double areaBudgetMm2 = 8.0;
+        /** Rewards are clamped below at -rewardFloor so infeasible
+         *  allocations (e.g. zero cores) don't produce unbounded
+         *  negative outliers in aggregate statistics. */
+        double rewardFloor = 1000.0;
+    };
+
+    FarsiGymEnv() : FarsiGymEnv(Options{}) {}
+    explicit FarsiGymEnv(Options options);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+    farsi::SocConfig decodeAction(const Action &action) const;
+    const BudgetDistanceObjective &objective() const { return *objective_; }
+
+  private:
+    std::string name_ = "FARSIGym";
+    std::vector<std::string> metricNames_{"power_w", "latency_ms",
+                                          "area_mm2"};
+    Options options_;
+    ParamSpace space_;
+    std::unique_ptr<BudgetDistanceObjective> objective_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_ENVS_FARSI_GYM_ENV_H

@@ -1,0 +1,60 @@
+#include "maestro_gym_env.h"
+
+namespace archgym {
+
+MaestroGymEnv::MaestroGymEnv(Options options) : options_(std::move(options))
+{
+    space_.add(ParamDesc::powerOfTwo("NumPEs", 64, 1024))
+        .add(ParamDesc::categorical("SpatialDim", {"K", "C", "Y", "X"}))
+        .add(ParamDesc::powerOfTwo("TileK", 1, 64))
+        .add(ParamDesc::powerOfTwo("TileC", 1, 64))
+        .add(ParamDesc::powerOfTwo("TileY", 1, 32))
+        .add(ParamDesc::powerOfTwo("TileX", 1, 32));
+    // Loop-order priorities, one per conv dimension (argsort = order).
+    for (std::size_t d = 0; d < maestro::kNumDims; ++d) {
+        space_.add(ParamDesc::integer(
+            std::string("Prio") +
+                maestro::toString(static_cast<maestro::Dim>(d)),
+            0, 5));
+    }
+    objective_ = std::make_unique<InverseObjective>(0, "runtime_cycles");
+}
+
+maestro::Mapping
+MaestroGymEnv::decodeAction(const Action &action) const
+{
+    maestro::Mapping m;
+    m.numPEs = static_cast<std::uint32_t>(action[0]);
+    static const maestro::Dim spatialChoices[] = {
+        maestro::Dim::K, maestro::Dim::C, maestro::Dim::Y,
+        maestro::Dim::X};
+    m.spatialDim = spatialChoices[space_.toLevels(action)[1]];
+    m.tile[0] = static_cast<std::uint32_t>(action[2]);  // K
+    m.tile[1] = static_cast<std::uint32_t>(action[3]);  // C
+    m.tile[2] = 3;  // R: kernels are small; keep full tiles
+    m.tile[3] = 3;  // S
+    m.tile[4] = static_cast<std::uint32_t>(action[4]);  // Y
+    m.tile[5] = static_cast<std::uint32_t>(action[5]);  // X
+    for (std::size_t d = 0; d < maestro::kNumDims; ++d)
+        m.priority[d] = static_cast<std::uint32_t>(action[6 + d]);
+    return m;
+}
+
+StepResult
+MaestroGymEnv::step(const Action &action)
+{
+    recordSample();
+    const maestro::MappingCost cost = maestro::evaluateMappingOnNetwork(
+        decodeAction(action), options_.network, options_.hardware);
+    StepResult sr;
+    double runtime = cost.runtimeCycles;
+    if (!cost.buffersFit)
+        runtime *= options_.infeasiblePenalty;
+    sr.observation = {runtime, cost.throughputMacsPerCycle, cost.energyUj,
+                      cost.areaMm2};
+    sr.reward = objective_->reward(sr.observation);
+    sr.done = false;
+    return sr;
+}
+
+} // namespace archgym

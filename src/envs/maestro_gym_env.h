@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MaestroGym: DNN mapping search (paper Table 3, Fig 3d).
+ *
+ * Wraps the data-centric mapping cost model. The action space encodes a
+ * full mapping — PE count, spatial dimension, per-dimension tile sizes,
+ * and loop-order priorities. Observation is <runtime, throughput, energy,
+ * area>; reward is the Table 3 inverse form r = 1 / runtime, so
+ * minimizing latency maximizes reward (Fig. 6's comparison metric).
+ */
+
+#ifndef ARCHGYM_ENVS_MAESTRO_GYM_ENV_H
+#define ARCHGYM_ENVS_MAESTRO_GYM_ENV_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/objective.h"
+#include "maestro/cost_model.h"
+
+namespace archgym {
+
+class MaestroGymEnv : public Environment
+{
+  public:
+    struct Options
+    {
+        timeloop::Network network = timeloop::resNet18();
+        maestro::MaestroHardware hardware = {};
+        /** Penalize mappings whose tiles overflow the buffers. */
+        double infeasiblePenalty = 4.0;
+    };
+
+    MaestroGymEnv() : MaestroGymEnv(Options{}) {}
+    explicit MaestroGymEnv(Options options);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+    maestro::Mapping decodeAction(const Action &action) const;
+
+  private:
+    std::string name_ = "MaestroGym";
+    std::vector<std::string> metricNames_{"runtime_cycles",
+                                          "throughput_macs_per_cycle",
+                                          "energy_uj", "area_mm2"};
+    Options options_;
+    ParamSpace space_;
+    std::unique_ptr<Objective> objective_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_ENVS_MAESTRO_GYM_ENV_H

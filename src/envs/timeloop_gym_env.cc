@@ -1,0 +1,57 @@
+#include "timeloop_gym_env.h"
+
+namespace archgym {
+
+TimeloopGymEnv::TimeloopGymEnv(Options options)
+    : options_(std::move(options))
+{
+    space_.add(ParamDesc::powerOfTwo("NumPEs", 16, 1024))
+        .add(ParamDesc::powerOfTwo("WeightsSPad_Entries", 16, 512))
+        .add(ParamDesc::powerOfTwo("InputSPad_Entries", 4, 64))
+        .add(ParamDesc::powerOfTwo("AccumSPad_Entries", 4, 64))
+        .add(ParamDesc::powerOfTwo("GlobalBuffer_KB", 32, 512))
+        .add(ParamDesc::powerOfTwo("NoC_WordsPerCycle", 1, 16))
+        .add(ParamDesc::powerOfTwo("DRAM_WordsPerCycle", 1, 8));
+
+    std::vector<TargetTerm> terms;
+    terms.push_back(TargetTerm{0, options_.latencyTargetMs, 1.0,
+                               "latency_ms"});
+    if (options_.energyTargetUj > 0.0) {
+        terms.push_back(TargetTerm{1, options_.energyTargetUj, 1.0,
+                                   "energy_uj"});
+    }
+    if (options_.areaTargetMm2 > 0.0) {
+        terms.push_back(TargetTerm{2, options_.areaTargetMm2, 1.0,
+                                   "area_mm2"});
+    }
+    objective_ = std::make_unique<TargetObjective>(std::move(terms));
+}
+
+timeloop::AcceleratorConfig
+TimeloopGymEnv::decodeAction(const Action &action) const
+{
+    timeloop::AcceleratorConfig cfg;
+    cfg.numPEs = static_cast<std::uint32_t>(action[0]);
+    cfg.weightSpadEntries = static_cast<std::uint32_t>(action[1]);
+    cfg.inputSpadEntries = static_cast<std::uint32_t>(action[2]);
+    cfg.accumSpadEntries = static_cast<std::uint32_t>(action[3]);
+    cfg.globalBufferKb = static_cast<std::uint32_t>(action[4]);
+    cfg.nocWordsPerCycle = static_cast<std::uint32_t>(action[5]);
+    cfg.dramWordsPerCycle = static_cast<std::uint32_t>(action[6]);
+    return cfg;
+}
+
+StepResult
+TimeloopGymEnv::step(const Action &action)
+{
+    recordSample();
+    const timeloop::LayerCost cost =
+        timeloop::evaluateNetwork(decodeAction(action), options_.network);
+    StepResult sr;
+    sr.observation = {cost.latencyMs, cost.energyUj, cost.areaMm2};
+    sr.reward = objective_->reward(sr.observation);
+    sr.done = objective_->satisfied(sr.observation);
+    return sr;
+}
+
+} // namespace archgym

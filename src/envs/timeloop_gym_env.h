@@ -1,0 +1,60 @@
+/**
+ * @file
+ * TimeloopGym: DNN-accelerator datapath DSE (paper Table 3, Fig 3b).
+ *
+ * Wraps the analytical accelerator cost model plus one CNN workload. The
+ * action space tunes the Eyeriss-style datapath resources; observation is
+ * <latency, energy, area>; the reward is the Table 3 target form over a
+ * configurable subset of the three metrics.
+ */
+
+#ifndef ARCHGYM_ENVS_TIMELOOP_GYM_ENV_H
+#define ARCHGYM_ENVS_TIMELOOP_GYM_ENV_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/environment.h"
+#include "core/objective.h"
+#include "timeloop/cost_model.h"
+
+namespace archgym {
+
+class TimeloopGymEnv : public Environment
+{
+  public:
+    struct Options
+    {
+        timeloop::Network network = timeloop::resNet50();
+        double latencyTargetMs = 5.0;
+        double energyTargetUj = 0.0;  ///< 0 = not part of the objective
+        double areaTargetMm2 = 0.0;   ///< 0 = not part of the objective
+    };
+
+    TimeloopGymEnv() : TimeloopGymEnv(Options{}) {}
+    explicit TimeloopGymEnv(Options options);
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override;
+
+    timeloop::AcceleratorConfig decodeAction(const Action &action) const;
+    const Objective &objective() const { return *objective_; }
+
+  private:
+    std::string name_ = "TimeloopGym";
+    std::vector<std::string> metricNames_{"latency_ms", "energy_uj",
+                                          "area_mm2"};
+    Options options_;
+    ParamSpace space_;
+    std::unique_ptr<Objective> objective_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_ENVS_TIMELOOP_GYM_ENV_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SoC simulation: contention-aware list scheduling of a task graph onto a
+ * candidate SoC, producing the FARSI-style power / performance / area
+ * estimate.
+ *
+ * Tasks are scheduled in topological order onto the compatible PE that
+ * finishes them earliest; inter-task transfers serialize on the shared
+ * bus at the effective bandwidth min(bus, memory). Energy integrates
+ * active + idle PE power (with a DVFS-style f^2 active-power scaling),
+ * bus transfer energy, and memory energy; average power assumes the frame
+ * pipeline runs back-to-back (period = makespan).
+ */
+
+#ifndef ARCHGYM_FARSI_SCHEDULER_H
+#define ARCHGYM_FARSI_SCHEDULER_H
+
+#include <vector>
+
+#include "farsi/soc.h"
+#include "farsi/task_graph.h"
+
+namespace archgym::farsi {
+
+/** Outcome of evaluating one SoC on one workload. */
+struct SocResult
+{
+    bool feasible = false;    ///< every task had a compatible PE
+    double latencyMs = 0.0;   ///< makespan for one frame
+    double powerW = 0.0;      ///< average power at steady state
+    double areaMm2 = 0.0;
+    double energyMj = 0.0;    ///< energy for one frame
+    double busUtilization = 0.0;
+    double fps() const { return latencyMs > 0.0 ? 1000.0 / latencyMs : 0.0; }
+
+    /** Per-task PE assignment (indices into SocConfig::instantiate()). */
+    std::vector<std::size_t> assignment;
+};
+
+/**
+ * Evaluate the SoC. Infeasible allocations (a task with no compatible PE)
+ * return feasible=false with pessimistic metrics so searches are steered
+ * away smoothly rather than crashing.
+ */
+SocResult evaluateSoc(const SocConfig &config, const TaskGraph &graph);
+
+} // namespace archgym::farsi
+
+#endif // ARCHGYM_FARSI_SCHEDULER_H

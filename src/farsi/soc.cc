@@ -1,0 +1,76 @@
+#include "soc.h"
+
+#include <sstream>
+
+namespace archgym::farsi {
+
+const char *
+toString(PeType t)
+{
+    switch (t) {
+      case PeType::LittleCore: return "little";
+      case PeType::BigCore: return "big";
+      case PeType::DspAccel: return "dsp-acc";
+      case PeType::ImageAccel: return "img-acc";
+    }
+    return "?";
+}
+
+const PeSpec &
+peSpec(PeType type)
+{
+    static const PeSpec little{PeType::LittleCore, 1.0, 0.08, 0.005, 0.4,
+                               1.0, TaskKind::Generic};
+    static const PeSpec big{PeType::BigCore, 4.0, 0.45, 0.02, 1.8, 1.0,
+                            TaskKind::Generic};
+    static const PeSpec dsp{PeType::DspAccel, 2.0, 0.06, 0.002, 0.6,
+                            16.0, TaskKind::Dsp};
+    static const PeSpec img{PeType::ImageAccel, 2.0, 0.09, 0.003, 0.9,
+                            24.0, TaskKind::Image};
+    switch (type) {
+      case PeType::LittleCore: return little;
+      case PeType::BigCore: return big;
+      case PeType::DspAccel: return dsp;
+      case PeType::ImageAccel: return img;
+    }
+    return little;
+}
+
+std::vector<PeSpec>
+SocConfig::instantiate() const
+{
+    std::vector<PeSpec> pes;
+    for (std::uint32_t i = 0; i < littleCores; ++i)
+        pes.push_back(peSpec(PeType::LittleCore));
+    for (std::uint32_t i = 0; i < bigCores; ++i)
+        pes.push_back(peSpec(PeType::BigCore));
+    for (std::uint32_t i = 0; i < dspAccels; ++i)
+        pes.push_back(peSpec(PeType::DspAccel));
+    for (std::uint32_t i = 0; i < imageAccels; ++i)
+        pes.push_back(peSpec(PeType::ImageAccel));
+    return pes;
+}
+
+double
+SocConfig::areaMm2() const
+{
+    double area = 0.8;  // memory interface + misc
+    for (const auto &pe : instantiate())
+        area += pe.areaMm2;
+    // Bus area scales with width.
+    area += 0.002 * static_cast<double>(busWidthBits);
+    return area;
+}
+
+std::string
+SocConfig::str() const
+{
+    std::ostringstream os;
+    os << "little=" << littleCores << " big=" << bigCores
+       << " dsp=" << dspAccels << " img=" << imageAccels
+       << " f=" << frequencyGhz << "GHz bus=" << busWidthBits << "b@"
+       << busFrequencyGhz << "GHz mem=" << memoryBandwidthGBps << "GB/s";
+    return os.str();
+}
+
+} // namespace archgym::farsi

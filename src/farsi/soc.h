@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Heterogeneous SoC description for the FARSI-style environment.
+ *
+ * A candidate SoC (Fig. 3c) is a mix of processing elements — little
+ * cores, big cores, and domain accelerators for DSP and image work —
+ * plus a shared bus and a memory interface. Accelerators execute matching
+ * task kinds dramatically faster and more efficiently but add area and
+ * are useless for other kinds, which is what makes the mapping/allocation
+ * trade-off interesting.
+ */
+
+#ifndef ARCHGYM_FARSI_SOC_H
+#define ARCHGYM_FARSI_SOC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "farsi/task_graph.h"
+
+namespace archgym::farsi {
+
+/** Processing-element classes available to the allocator. */
+enum class PeType { LittleCore, BigCore, DspAccel, ImageAccel };
+
+const char *toString(PeType t);
+
+/** Static properties of one PE class at nominal frequency. */
+struct PeSpec
+{
+    PeType type = PeType::LittleCore;
+    double opsPerCycle = 1.0;
+    double activePowerW = 0.1;  ///< at nominal frequency
+    double idlePowerW = 0.01;
+    double areaMm2 = 0.5;
+    /** Speedup multiplier when executing a matching task kind. */
+    double affinitySpeedup = 1.0;
+    TaskKind affinity = TaskKind::Generic;
+
+    /** Whether this PE can execute the given task kind at all. */
+    bool canRun(TaskKind kind) const
+    {
+        // Accelerators are single-purpose; cores run anything.
+        if (type == PeType::DspAccel)
+            return kind == TaskKind::Dsp;
+        if (type == PeType::ImageAccel)
+            return kind == TaskKind::Image;
+        (void)kind;
+        return true;
+    }
+
+    /** Effective throughput in ops/cycle for a task kind. */
+    double effectiveOpsPerCycle(TaskKind kind) const
+    {
+        return opsPerCycle * (kind == affinity ? affinitySpeedup : 1.0);
+    }
+};
+
+/** Catalog of the four PE classes with nominal parameters. */
+const PeSpec &peSpec(PeType type);
+
+/** The FARSIGym design point. */
+struct SocConfig
+{
+    std::uint32_t littleCores = 1;
+    std::uint32_t bigCores = 0;
+    std::uint32_t dspAccels = 0;
+    std::uint32_t imageAccels = 0;
+    double frequencyGhz = 1.0;      ///< uniform PE clock
+    std::uint32_t busWidthBits = 64;
+    double busFrequencyGhz = 1.0;
+    double memoryBandwidthGBps = 8.0;
+
+    /** Instantiated PE list (one entry per physical PE). */
+    std::vector<PeSpec> instantiate() const;
+
+    /** Total silicon area including bus and memory interface. */
+    double areaMm2() const;
+
+    std::string str() const;
+};
+
+} // namespace archgym::farsi
+
+#endif // ARCHGYM_FARSI_SOC_H

@@ -1,0 +1,138 @@
+#include "task_graph.h"
+
+namespace archgym::farsi {
+
+const char *
+toString(TaskKind k)
+{
+    switch (k) {
+      case TaskKind::Generic: return "generic";
+      case TaskKind::Dsp: return "dsp";
+      case TaskKind::Image: return "image";
+    }
+    return "?";
+}
+
+std::vector<std::size_t>
+TaskGraph::predecessors(std::size_t i) const
+{
+    std::vector<std::size_t> preds;
+    for (const auto &e : edges)
+        if (e.dst == i)
+            preds.push_back(e.src);
+    return preds;
+}
+
+bool
+TaskGraph::topologicallyOrdered() const
+{
+    for (const auto &e : edges)
+        if (e.src >= e.dst || e.dst >= tasks.size())
+            return false;
+    return true;
+}
+
+double
+TaskGraph::totalOps() const
+{
+    double total = 0.0;
+    for (const auto &t : tasks)
+        total += t.ops;
+    return total;
+}
+
+double
+TaskGraph::totalTransferBytes() const
+{
+    double total = 0.0;
+    for (const auto &e : edges)
+        total += e.bytes;
+    return total;
+}
+
+namespace {
+
+Task
+task(std::string name, TaskKind kind, double mops, double footprint_kb)
+{
+    return Task{std::move(name), kind, mops * 1e6, footprint_kb};
+}
+
+} // namespace
+
+TaskGraph
+audioDecoder()
+{
+    TaskGraph g;
+    g.name = "audio-decoder";
+    g.tasks = {
+        task("bitstream_parse", TaskKind::Generic, 2.0, 32.0),   // 0
+        task("entropy_decode", TaskKind::Generic, 8.0, 64.0),    // 1
+        task("dequantize", TaskKind::Dsp, 4.0, 64.0),            // 2
+        task("imdct", TaskKind::Dsp, 24.0, 128.0),               // 3
+        task("window_overlap", TaskKind::Dsp, 6.0, 64.0),        // 4
+        task("sbr_reconstruct", TaskKind::Dsp, 16.0, 128.0),     // 5
+        task("limiter", TaskKind::Generic, 2.0, 32.0),           // 6
+        task("pcm_output", TaskKind::Generic, 1.0, 64.0),        // 7
+    };
+    const double frame = 4096.0;  // bytes per hop
+    g.edges = {
+        {0, 1, frame},      {1, 2, frame * 2}, {2, 3, frame * 2},
+        {3, 4, frame * 4},  {4, 5, frame * 4}, {5, 6, frame * 4},
+        {6, 7, frame * 4},
+    };
+    return g;
+}
+
+TaskGraph
+edgeDetection()
+{
+    TaskGraph g;
+    g.name = "edge-detection";
+    // 640x480 frame pipeline; data-parallel Sobel branches.
+    const double frame = 640.0 * 480.0;  // bytes (8-bit gray)
+    g.tasks = {
+        task("capture", TaskKind::Generic, 1.0, 300.0),         // 0
+        task("grayscale", TaskKind::Image, 12.0, 300.0),        // 1
+        task("gaussian_blur", TaskKind::Image, 40.0, 600.0),    // 2
+        task("sobel_x", TaskKind::Image, 30.0, 300.0),          // 3
+        task("sobel_y", TaskKind::Image, 30.0, 300.0),          // 4
+        task("magnitude", TaskKind::Image, 20.0, 300.0),        // 5
+        task("threshold", TaskKind::Generic, 6.0, 300.0),       // 6
+        task("render", TaskKind::Generic, 3.0, 300.0),          // 7
+    };
+    g.edges = {
+        {0, 1, frame * 3},  // RGB in
+        {1, 2, frame},      {2, 3, frame},      {2, 4, frame},
+        {3, 5, frame},      {4, 5, frame},      {5, 6, frame},
+        {6, 7, frame},
+    };
+    return g;
+}
+
+TaskGraph
+arOverlay()
+{
+    TaskGraph g;
+    g.name = "ar-overlay";
+    const double frame = 640.0 * 480.0;
+    const double audio = 4096.0;
+    g.tasks = {
+        task("capture", TaskKind::Generic, 1.0, 300.0),          // 0
+        task("feature_detect", TaskKind::Image, 55.0, 600.0),    // 1
+        task("feature_match", TaskKind::Generic, 18.0, 200.0),   // 2
+        task("pose_solve", TaskKind::Generic, 10.0, 64.0),       // 3
+        task("audio_cue_synth", TaskKind::Dsp, 14.0, 96.0),      // 4
+        task("overlay_render", TaskKind::Image, 45.0, 600.0),    // 5
+        task("audio_mix", TaskKind::Dsp, 6.0, 64.0),             // 6
+        task("compositor", TaskKind::Generic, 5.0, 300.0),       // 7
+    };
+    g.edges = {
+        {0, 1, frame * 3}, {1, 2, frame / 4}, {2, 3, frame / 16},
+        {3, 4, audio},     {3, 5, frame / 16}, {4, 6, audio * 4},
+        {5, 7, frame},     {6, 7, audio * 4},
+    };
+    return g;
+}
+
+} // namespace archgym::farsi

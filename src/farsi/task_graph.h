@@ -1,0 +1,76 @@
+/**
+ * @file
+ * AR/VR workload task-dependency graphs for the SoC environment.
+ *
+ * FARSI drives its SoC exploration with task graphs of AR/VR pipelines;
+ * this module provides equivalent synthetic graphs: an audio decoder (a
+ * mostly serial DSP chain) and an edge-detection pipeline (a fork-join
+ * image pipeline with data-parallel branches). Each task carries a
+ * compute kind so domain accelerators can speed up matching work.
+ */
+
+#ifndef ARCHGYM_FARSI_TASK_GRAPH_H
+#define ARCHGYM_FARSI_TASK_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace archgym::farsi {
+
+/** The kind of compute a task performs (accelerator affinity). */
+enum class TaskKind { Generic, Dsp, Image };
+
+const char *toString(TaskKind k);
+
+/** One node of the task graph. */
+struct Task
+{
+    std::string name;
+    TaskKind kind = TaskKind::Generic;
+    double ops = 0.0;        ///< work in operations
+    double footprintKb = 0.0;///< working-set size
+};
+
+/** Directed data dependency with transfer volume. */
+struct Edge
+{
+    std::size_t src = 0;
+    std::size_t dst = 0;
+    double bytes = 0.0;
+};
+
+/** A workload: tasks plus dependencies, topologically ordered. */
+struct TaskGraph
+{
+    std::string name;
+    std::vector<Task> tasks;
+    std::vector<Edge> edges;
+
+    /** Predecessor task indices of task i. */
+    std::vector<std::size_t> predecessors(std::size_t i) const;
+
+    /** Verify edges are acyclic w.r.t. the task ordering. */
+    bool topologicallyOrdered() const;
+
+    double totalOps() const;
+    double totalTransferBytes() const;
+};
+
+/** ~24 kHz audio decode chain: parse -> entropy -> IMDCT -> filter ... */
+TaskGraph audioDecoder();
+
+/** Edge detection: capture -> gray -> blur -> sobelX/;Y -> magnitude. */
+TaskGraph edgeDetection();
+
+/**
+ * AR overlay pipeline mixing image and DSP work: feature detection and
+ * rendering want the image accelerator, audio cue synthesis wants the
+ * DSP accelerator, pose estimation stays on the cores — a workload where
+ * single-accelerator SoCs cannot win everywhere.
+ */
+TaskGraph arOverlay();
+
+} // namespace archgym::farsi
+
+#endif // ARCHGYM_FARSI_TASK_GRAPH_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * MAESTRO-style reuse-analysis cost model.
+ *
+ * Given a layer and a mapping, the model derives per-operand reuse from
+ * the loop order: an operand tile loaded into L1 is reused across the
+ * contiguous innermost run of loops that are *irrelevant* to it (weights
+ * ignore Y/X, inputs ignore K, outputs ignore C/R/S); every loop outside
+ * that run forces a reload from L2. The spatially unrolled dimension is
+ * processed in waves of numPEs, with multicast reuse for operands the
+ * spatial dimension is irrelevant to. From the resulting per-level access
+ * counts the model reports <runtime, throughput, energy, area> (Table 3).
+ */
+
+#ifndef ARCHGYM_MAESTRO_COST_MODEL_H
+#define ARCHGYM_MAESTRO_COST_MODEL_H
+
+#include "maestro/mapping.h"
+#include "timeloop/workload.h"
+
+namespace archgym::maestro {
+
+/** Reuse the ConvLayer/network definitions (Y/X map to P/Q). */
+using timeloop::ConvLayer;
+using timeloop::Network;
+
+/** Hardware constants the mapping must live within. */
+struct MaestroHardware
+{
+    std::uint32_t l1Words = 512;       ///< per-PE buffer
+    std::uint32_t l2KiloWords = 256;   ///< shared buffer
+    std::uint32_t nocWordsPerCycle = 8;
+    std::uint32_t dramWordsPerCycle = 2;
+    double clockGhz = 1.0;
+
+    // Energy per access (pJ/word) and area coefficients.
+    double dramPj = 200.0;
+    double l2Pj = 6.0;
+    double l1Pj = 1.0;
+    double macPj = 0.2;
+    double peAreaMm2 = 0.008;
+    double l1AreaMm2PerWord = 2e-5;
+    double l2AreaMm2PerKiloWord = 0.04;
+};
+
+/** Cost of one (layer, mapping) pair. */
+struct MappingCost
+{
+    double runtimeCycles = 0.0;
+    double throughputMacsPerCycle = 0.0;
+    double energyUj = 0.0;
+    double areaMm2 = 0.0;
+    double l1Required = 0.0;       ///< words per PE
+    double l2Required = 0.0;       ///< words
+    double dramAccesses = 0.0;     ///< words
+    double l2Accesses = 0.0;       ///< words
+    bool buffersFit = true;        ///< capacity respected without spills
+};
+
+/** Evaluate one layer under the mapping; always finite. */
+MappingCost evaluateMapping(const Mapping &mapping, const ConvLayer &layer,
+                            const MaestroHardware &hw = {});
+
+/** Sum over a network with the same mapping applied to every layer. */
+MappingCost evaluateMappingOnNetwork(const Mapping &mapping,
+                                     const Network &network,
+                                     const MaestroHardware &hw = {});
+
+} // namespace archgym::maestro
+
+#endif // ARCHGYM_MAESTRO_COST_MODEL_H

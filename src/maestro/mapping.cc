@@ -1,0 +1,55 @@
+#include "mapping.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+namespace archgym::maestro {
+
+const char *
+toString(Dim d)
+{
+    switch (d) {
+      case Dim::K: return "K";
+      case Dim::C: return "C";
+      case Dim::R: return "R";
+      case Dim::S: return "S";
+      case Dim::Y: return "Y";
+      case Dim::X: return "X";
+    }
+    return "?";
+}
+
+std::array<Dim, kNumDims>
+Mapping::loopOrder() const
+{
+    std::array<std::size_t, kNumDims> idx;
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return priority[a] < priority[b];
+                     });
+    std::array<Dim, kNumDims> order;
+    for (std::size_t i = 0; i < kNumDims; ++i)
+        order[i] = static_cast<Dim>(idx[i]);
+    return order;
+}
+
+std::string
+Mapping::str() const
+{
+    std::ostringstream os;
+    os << "pes=" << numPEs << " spatial=" << toString(spatialDim)
+       << " tiles=[";
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+        if (i)
+            os << ",";
+        os << toString(static_cast<Dim>(i)) << ":" << tile[i];
+    }
+    os << "] order=";
+    for (Dim d : loopOrder())
+        os << toString(d);
+    return os.str();
+}
+
+} // namespace archgym::maestro

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Data-centric DNN mapping description (the MAESTRO stand-in's input).
+ *
+ * A mapping fixes, for the 6-dimensional conv loop nest (K, C, R, S, Y,
+ * X), the per-dimension L1 tile sizes, the loop order, which dimension is
+ * unrolled spatially across the PE array, and the PE count. The loop
+ * order is encoded as one integer priority per dimension — the order is
+ * the argsort of priorities — which gives population-based agents a
+ * fixed-length genome and makes GAMMA's "reordering" operator (permuting
+ * a genome subsegment) act exactly on the loop order.
+ */
+
+#ifndef ARCHGYM_MAESTRO_MAPPING_H
+#define ARCHGYM_MAESTRO_MAPPING_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace archgym::maestro {
+
+/** Conv loop-nest dimensions. */
+enum class Dim : std::size_t { K = 0, C = 1, R = 2, S = 3, Y = 4, X = 5 };
+
+constexpr std::size_t kNumDims = 6;
+
+const char *toString(Dim d);
+
+/** The MaestroGym design point. */
+struct Mapping
+{
+    std::uint32_t numPEs = 256;
+    Dim spatialDim = Dim::K;            ///< dimension unrolled across PEs
+    std::array<std::uint32_t, kNumDims> tile = {16, 16, 3, 3, 4, 4};
+    /** Loop-order priorities; lower value = outer loop. Ties break by
+     *  dimension index, so any integer vector is a valid encoding. */
+    std::array<std::uint32_t, kNumDims> priority = {0, 1, 2, 3, 4, 5};
+
+    /** Dimensions ordered outermost to innermost. */
+    std::array<Dim, kNumDims> loopOrder() const;
+
+    std::string str() const;
+};
+
+} // namespace archgym::maestro
+
+#endif // ARCHGYM_MAESTRO_MAPPING_H

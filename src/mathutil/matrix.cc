@@ -1,0 +1,165 @@
+#include "matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace archgym {
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::multiply(const Matrix &other) const
+{
+    assert(cols_ == other.rows_);
+    Matrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < other.cols_; ++j)
+                out(i, j) += a * other(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    assert(cols_ == v.size());
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < cols_; ++j)
+            s += (*this)(i, j) * v[j];
+        out[i] = s;
+    }
+    return out;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+        for (std::size_t j = 0; j < cols_; ++j)
+            out(j, i) = (*this)(i, j);
+    return out;
+}
+
+Cholesky::Cholesky(const Matrix &a, double jitter)
+{
+    assert(a.rows() == a.cols());
+    // Try plain factorization first, then escalate jitter by 10x up to a
+    // generous cap; GP kernel matrices with duplicated points need this.
+    if (factor(a, 0.0)) {
+        ok_ = true;
+        return;
+    }
+    double j = jitter;
+    for (int attempt = 0; attempt < 12; ++attempt, j *= 10.0) {
+        if (factor(a, j)) {
+            ok_ = true;
+            jitterUsed_ = j;
+            return;
+        }
+    }
+    ok_ = false;
+}
+
+bool
+Cholesky::factor(const Matrix &a, double jitter)
+{
+    const std::size_t n = a.rows();
+    l_ = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double s = a(i, j);
+            if (i == j)
+                s += jitter;
+            for (std::size_t k = 0; k < j; ++k)
+                s -= l_(i, k) * l_(j, k);
+            if (i == j) {
+                if (s <= 0.0 || !std::isfinite(s))
+                    return false;
+                l_(i, i) = std::sqrt(s);
+            } else {
+                l_(i, j) = s / l_(j, j);
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+Cholesky::solveLower(const std::vector<double> &b) const
+{
+    const std::size_t n = l_.rows();
+    assert(b.size() == n);
+    std::vector<double> y(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= l_(i, k) * y[k];
+        y[i] = s / l_(i, i);
+    }
+    return y;
+}
+
+std::vector<double>
+Cholesky::solve(const std::vector<double> &b) const
+{
+    const std::size_t n = l_.rows();
+    std::vector<double> y = solveLower(b);
+    // Backward substitution with L^T.
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double s = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            s -= l_(k, i) * x[k];
+        x[i] = s / l_(i, i);
+    }
+    return x;
+}
+
+double
+Cholesky::logDet() const
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i)
+        s += std::log(l_(i, i));
+    return 2.0 * s;
+}
+
+double
+dot(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+double
+squaredDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace archgym

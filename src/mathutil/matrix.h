@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Small dense linear algebra kernel backing the Bayesian-optimization
+ * agent's Gaussian-process surrogate: row-major matrix storage, Cholesky
+ * factorization, and triangular solves.
+ *
+ * The GP posterior requires solving K x = y for a symmetric positive
+ * definite kernel matrix K. BO's cubic cost in the sample count, which the
+ * paper calls out as its main scalability limit, lives here.
+ */
+
+#ifndef ARCHGYM_MATHUTIL_MATRIX_H
+#define ARCHGYM_MATHUTIL_MATRIX_H
+
+#include <cstddef>
+#include <vector>
+
+namespace archgym {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+    {}
+
+    static Matrix identity(std::size_t n);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double &operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** Matrix product; dimensions must agree. */
+    Matrix multiply(const Matrix &other) const;
+
+    /** Matrix-vector product. */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+    Matrix transpose() const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Cholesky factorization of a symmetric positive definite matrix,
+ * A = L L^T with L lower triangular.
+ *
+ * Construction adds escalating jitter to the diagonal if the matrix is not
+ * numerically positive definite, which is the standard GP stabilization.
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factor the matrix.
+     * @param a        symmetric matrix to factor (only lower half is read)
+     * @param jitter   initial diagonal jitter added on failure
+     */
+    explicit Cholesky(const Matrix &a, double jitter = 1e-10);
+
+    /** Whether factorization succeeded (possibly with jitter). */
+    bool ok() const { return ok_; }
+
+    /** Total jitter that had to be added to the diagonal. */
+    double jitterUsed() const { return jitterUsed_; }
+
+    const Matrix &lower() const { return l_; }
+
+    /** Solve A x = b via forward + backward substitution. */
+    std::vector<double> solve(const std::vector<double> &b) const;
+
+    /** Solve L y = b (forward substitution). */
+    std::vector<double> solveLower(const std::vector<double> &b) const;
+
+    /** log det(A) = 2 sum log L_ii. */
+    double logDet() const;
+
+  private:
+    bool factor(const Matrix &a, double jitter);
+
+    Matrix l_;
+    bool ok_ = false;
+    double jitterUsed_ = 0.0;
+};
+
+/** Dot product. @pre a.size() == b.size() */
+double dot(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Squared Euclidean distance between two vectors. */
+double squaredDistance(const std::vector<double> &a,
+                       const std::vector<double> &b);
+
+} // namespace archgym
+
+#endif // ARCHGYM_MATHUTIL_MATRIX_H

@@ -1,0 +1,181 @@
+#include "mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace archgym {
+
+Mlp::Mlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+         const AdamConfig &adam)
+    : layerSizes_(layer_sizes), adam_(adam)
+{
+    assert(layer_sizes.size() >= 2);
+    for (std::size_t l = 0; l + 1 < layer_sizes.size(); ++l) {
+        Layer layer;
+        layer.in = layer_sizes[l];
+        layer.out = layer_sizes[l + 1];
+        layer.w.resize(layer.in * layer.out);
+        layer.b.assign(layer.out, 0.0);
+        // Xavier/Glorot initialization keeps tanh activations in range.
+        const double scale = std::sqrt(
+            2.0 / static_cast<double>(layer.in + layer.out));
+        for (auto &w : layer.w)
+            w = rng.gaussian(0.0, scale);
+        layer.gradW.assign(layer.w.size(), 0.0);
+        layer.gradB.assign(layer.b.size(), 0.0);
+        layer.mW.assign(layer.w.size(), 0.0);
+        layer.vW.assign(layer.w.size(), 0.0);
+        layer.mB.assign(layer.b.size(), 0.0);
+        layer.vB.assign(layer.b.size(), 0.0);
+        layers_.push_back(std::move(layer));
+    }
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &input)
+{
+    assert(input.size() == inputSize());
+    std::vector<double> x = input;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer &layer = layers_[l];
+        layer.input = x;
+        layer.preAct.assign(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double s = layer.b[o];
+            const double *row = &layer.w[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                s += row[i] * x[i];
+            layer.preAct[o] = s;
+        }
+        const bool last = (l + 1 == layers_.size());
+        layer.output.resize(layer.out);
+        for (std::size_t o = 0; o < layer.out; ++o)
+            layer.output[o] = last ? layer.preAct[o]
+                                   : std::tanh(layer.preAct[o]);
+        x = layer.output;
+    }
+    return x;
+}
+
+void
+Mlp::backward(const std::vector<double> &grad_output)
+{
+    assert(grad_output.size() == outputSize());
+    std::vector<double> grad = grad_output;
+    for (std::size_t li = layers_.size(); li > 0; --li) {
+        Layer &layer = layers_[li - 1];
+        const bool last = (li == layers_.size());
+        // d(activation)/d(preAct): identity for the linear output layer,
+        // 1 - tanh^2 for hidden layers.
+        std::vector<double> delta(layer.out);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            const double dact =
+                last ? 1.0
+                     : 1.0 - layer.output[o] * layer.output[o];
+            delta[o] = grad[o] * dact;
+        }
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            layer.gradB[o] += delta[o];
+            double *grow = &layer.gradW[o * layer.in];
+            for (std::size_t i = 0; i < layer.in; ++i)
+                grow[i] += delta[o] * layer.input[i];
+        }
+        if (li > 1) {
+            std::vector<double> gradIn(layer.in, 0.0);
+            for (std::size_t o = 0; o < layer.out; ++o) {
+                const double *row = &layer.w[o * layer.in];
+                for (std::size_t i = 0; i < layer.in; ++i)
+                    gradIn[i] += row[i] * delta[o];
+            }
+            grad = std::move(gradIn);
+        }
+    }
+}
+
+void
+Mlp::adamStep(std::vector<double> &params, const std::vector<double> &grads,
+              std::vector<double> &m, std::vector<double> &v)
+{
+    const double t = static_cast<double>(adamT_);
+    const double bc1 = 1.0 - std::pow(adam_.beta1, t);
+    const double bc2 = 1.0 - std::pow(adam_.beta2, t);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        m[i] = adam_.beta1 * m[i] + (1.0 - adam_.beta1) * grads[i];
+        v[i] = adam_.beta2 * v[i] + (1.0 - adam_.beta2) * grads[i] * grads[i];
+        const double mhat = m[i] / bc1;
+        const double vhat = v[i] / bc2;
+        params[i] -= adam_.learningRate * mhat /
+                     (std::sqrt(vhat) + adam_.epsilon);
+    }
+}
+
+void
+Mlp::applyGradients()
+{
+    ++adamT_;
+    for (Layer &layer : layers_) {
+        adamStep(layer.w, layer.gradW, layer.mW, layer.vW);
+        adamStep(layer.b, layer.gradB, layer.mB, layer.vB);
+        std::fill(layer.gradW.begin(), layer.gradW.end(), 0.0);
+        std::fill(layer.gradB.begin(), layer.gradB.end(), 0.0);
+    }
+}
+
+void
+Mlp::zeroGradients()
+{
+    for (Layer &layer : layers_) {
+        std::fill(layer.gradW.begin(), layer.gradW.end(), 0.0);
+        std::fill(layer.gradB.begin(), layer.gradB.end(), 0.0);
+    }
+}
+
+double
+Mlp::parameterNorm() const
+{
+    double s = 0.0;
+    for (const Layer &layer : layers_) {
+        for (double w : layer.w)
+            s += w * w;
+        for (double b : layer.b)
+            s += b * b;
+    }
+    return std::sqrt(s);
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t n = 0;
+    for (const Layer &layer : layers_)
+        n += layer.w.size() + layer.b.size();
+    return n;
+}
+
+std::vector<double>
+softmax(const std::vector<double> &logits)
+{
+    std::vector<double> out(logits.size());
+    const double mx = *std::max_element(logits.begin(), logits.end());
+    double total = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - mx);
+        total += out[i];
+    }
+    for (auto &p : out)
+        p /= total;
+    return out;
+}
+
+double
+logSoftmaxAt(const std::vector<double> &logits, std::size_t index)
+{
+    const double mx = *std::max_element(logits.begin(), logits.end());
+    double total = 0.0;
+    for (double l : logits)
+        total += std::exp(l - mx);
+    return (logits[index] - mx) - std::log(total);
+}
+
+} // namespace archgym

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A compact multilayer perceptron with Adam, used as the policy network of
+ * the reinforcement-learning agent (the paper's RL agents use neural
+ * network policies, cf. Fig. 2).
+ *
+ * The network is deliberately minimal: dense layers, tanh hidden
+ * activations, linear output. Training happens through an explicit
+ * forward / backward pair so the policy-gradient loss can inject an
+ * arbitrary gradient at the output.
+ */
+
+#ifndef ARCHGYM_MATHUTIL_MLP_H
+#define ARCHGYM_MATHUTIL_MLP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+/** Adam optimizer configuration. */
+struct AdamConfig
+{
+    double learningRate = 1e-2;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+};
+
+/**
+ * Fully connected feed-forward network with tanh hidden layers and a
+ * linear output layer.
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes  e.g. {4, 32, 32, 10}: input 4, two hidden layers
+     *                     of 32, output 10. Needs at least {in, out}.
+     * @param rng          source of initialization randomness
+     * @param adam         optimizer settings
+     */
+    Mlp(const std::vector<std::size_t> &layer_sizes, Rng &rng,
+        const AdamConfig &adam = {});
+
+    std::size_t inputSize() const { return layerSizes_.front(); }
+    std::size_t outputSize() const { return layerSizes_.back(); }
+
+    /** Forward pass; caches activations for a subsequent backward(). */
+    std::vector<double> forward(const std::vector<double> &input);
+
+    /**
+     * Accumulate parameter gradients given the gradient of the loss with
+     * respect to the network output of the *most recent* forward() call.
+     * Gradients accumulate across calls until applyGradients().
+     */
+    void backward(const std::vector<double> &grad_output);
+
+    /** Apply one Adam step using accumulated gradients, then clear them. */
+    void applyGradients();
+
+    /** Discard accumulated gradients without applying them. */
+    void zeroGradients();
+
+    /** L2 norm of all parameters (diagnostics and tests). */
+    double parameterNorm() const;
+
+    /** Number of trainable scalars. */
+    std::size_t parameterCount() const;
+
+    /** Direct access for tests / serialization: weights of layer l. */
+    std::vector<double> &weights(std::size_t layer)
+    {
+        return layers_[layer].w;
+    }
+    std::vector<double> &biases(std::size_t layer)
+    {
+        return layers_[layer].b;
+    }
+    std::size_t layerCount() const { return layers_.size(); }
+
+  private:
+    struct Layer
+    {
+        std::size_t in = 0;
+        std::size_t out = 0;
+        std::vector<double> w;       ///< out x in, row-major
+        std::vector<double> b;       ///< out
+        std::vector<double> gradW;
+        std::vector<double> gradB;
+        // Adam moments.
+        std::vector<double> mW, vW, mB, vB;
+        // Cached forward values.
+        std::vector<double> input;
+        std::vector<double> preAct;
+        std::vector<double> output;
+    };
+
+    void adamStep(std::vector<double> &params,
+                  const std::vector<double> &grads, std::vector<double> &m,
+                  std::vector<double> &v);
+
+    std::vector<std::size_t> layerSizes_;
+    std::vector<Layer> layers_;
+    AdamConfig adam_;
+    std::size_t adamT_ = 0;
+};
+
+/** Numerically stable softmax. */
+std::vector<double> softmax(const std::vector<double> &logits);
+
+/** log(softmax(logits))[index], computed stably. */
+double logSoftmaxAt(const std::vector<double> &logits, std::size_t index);
+
+} // namespace archgym
+
+#endif // ARCHGYM_MATHUTIL_MLP_H

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for ArchGym.
+ *
+ * All stochastic components (agents, trace generators, dataset sampling)
+ * draw from this RNG so that every experiment in the repository is exactly
+ * reproducible from a single 64-bit seed. The generator is xoshiro256++,
+ * seeded through SplitMix64 as recommended by its authors.
+ */
+
+#ifndef ARCHGYM_MATHUTIL_RNG_H
+#define ARCHGYM_MATHUTIL_RNG_H
+
+#include <cstdint>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace archgym {
+
+/**
+ * Counter-based seed expander used to initialize the main generator state.
+ */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** Next 64-bit value in the sequence. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * xoshiro256++ generator: fast, high-quality, 2^256-1 period.
+ *
+ * Satisfies the C++ UniformRandomBitGenerator requirements so it can also
+ * be plugged into <random> distributions when needed, though the helper
+ * methods below cover everything ArchGym uses.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9ec2b1d1a1b5cdfULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto &s : state_)
+            s = sm.next();
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type(0); }
+
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) +
+                                     state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high bits -> double mantissa.
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless bounded sampling.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto l = static_cast<std::uint64_t>(m);
+        if (l < n) {
+            const std::uint64_t t = (0 - n) % n;
+            while (l < t) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                l = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Standard normal variate via Marsaglia polar method. */
+    double
+    gaussian()
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double factor = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * factor;
+        hasSpare_ = true;
+        return u * factor;
+    }
+
+    /** Gaussian with given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Sample an index proportionally to the given non-negative weights.
+     * Falls back to uniform choice when all weights are zero.
+     */
+    std::size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += (w > 0.0 ? w : 0.0);
+        if (total <= 0.0)
+            return static_cast<std::size_t>(below(weights.size()));
+        double r = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+            if (r < w)
+                return i;
+            r -= w;
+        }
+        return weights.size() - 1;
+    }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (std::size_t i = items.size(); i > 1; --i) {
+            const std::size_t j =
+                static_cast<std::size_t>(below(i));
+            std::swap(items[i - 1], items[j]);
+        }
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_MATHUTIL_RNG_H

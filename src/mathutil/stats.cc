@@ -1,0 +1,154 @@
+#include "stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace archgym {
+
+double
+Summary::relativeSpread() const
+{
+    const double denom = std::abs(median);
+    if (denom < 1e-300)
+        return 0.0;
+    return iqr() / denom;
+}
+
+std::string
+Summary::str() const
+{
+    std::ostringstream os;
+    os << "n=" << count << " min=" << min << " q1=" << q1
+       << " med=" << median << " q3=" << q3 << " max=" << max
+       << " mean=" << mean << " iqr=" << iqr();
+    return os.str();
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (p <= 0.0)
+        return xs.front();
+    if (p >= 100.0)
+        return xs.back();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= xs.size())
+        return xs.back();
+    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.q1 = percentile(sorted, 25.0);
+    s.median = percentile(sorted, 50.0);
+    s.q3 = percentile(sorted, 75.0);
+    s.mean = mean(xs);
+    s.stddev = stddev(xs);
+    return s;
+}
+
+double
+rmse(const std::vector<double> &predicted, const std::vector<double> &actual)
+{
+    if (predicted.empty() || predicted.size() != actual.size())
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - actual[i];
+        s += d * d;
+    }
+    return std::sqrt(s / static_cast<double>(predicted.size()));
+}
+
+double
+meanAbsError(const std::vector<double> &predicted,
+             const std::vector<double> &actual)
+{
+    if (predicted.empty() || predicted.size() != actual.size())
+        return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        s += std::abs(predicted[i] - actual[i]);
+    return s / static_cast<double>(predicted.size());
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx <= 0.0 || syy <= 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+minMaxNormalize(const std::vector<double> &xs)
+{
+    std::vector<double> out(xs.size(), 0.0);
+    if (xs.empty())
+        return out;
+    const auto [lo, hi] = std::minmax_element(xs.begin(), xs.end());
+    const double range = *hi - *lo;
+    if (range <= 0.0)
+        return out;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        out[i] = (xs[i] - *lo) / range;
+    return out;
+}
+
+} // namespace archgym

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Descriptive statistics used throughout the ArchGym evaluation: the paper
+ * reports interquartile ranges (hyperparameter lottery, Figs. 4-5), mean
+ * normalized rewards (Fig. 7), RMSE and correlation for the proxy cost
+ * models (Figs. 10-12).
+ */
+
+#ifndef ARCHGYM_MATHUTIL_STATS_H
+#define ARCHGYM_MATHUTIL_STATS_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace archgym {
+
+/** Five-number summary plus mean, as used in the lottery box plots. */
+struct Summary
+{
+    std::size_t count = 0;
+    double min = 0.0;
+    double q1 = 0.0;      ///< 25th percentile
+    double median = 0.0;  ///< 50th percentile
+    double q3 = 0.0;      ///< 75th percentile
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;  ///< sample standard deviation
+
+    /** Interquartile range, the paper's "statistical spread" metric. */
+    double iqr() const { return q3 - q1; }
+
+    /**
+     * IQR normalized by the median magnitude, matching the paper's
+     * "up to 90% statistical spread" phrasing.
+     */
+    double relativeSpread() const;
+
+    /** One-line human readable rendering for bench output. */
+    std::string str() const;
+};
+
+/** Arithmetic mean; 0 for empty input. */
+double mean(const std::vector<double> &xs);
+
+/** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+double variance(const std::vector<double> &xs);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated percentile.
+ *
+ * @param xs  samples (need not be sorted)
+ * @param p   percentile in [0, 100]
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Compute the full summary of a sample set. */
+Summary summarize(const std::vector<double> &xs);
+
+/** Root mean square error between predictions and ground truth. */
+double rmse(const std::vector<double> &predicted,
+            const std::vector<double> &actual);
+
+/** Mean absolute error. */
+double meanAbsError(const std::vector<double> &predicted,
+                    const std::vector<double> &actual);
+
+/** Pearson correlation coefficient; 0 when either side is constant. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+/**
+ * Min-max normalize values into [0, 1]. Constant inputs map to all zeros.
+ * Used for the mean normalized reward comparisons (Fig. 7).
+ */
+std::vector<double> minMaxNormalize(const std::vector<double> &xs);
+
+} // namespace archgym
+
+#endif // ARCHGYM_MATHUTIL_STATS_H

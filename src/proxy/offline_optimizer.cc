@@ -1,0 +1,93 @@
+#include "offline_optimizer.h"
+
+#include <algorithm>
+
+namespace archgym {
+
+namespace {
+
+struct Scored
+{
+    Action action;
+    Metrics predicted;
+    double reward = 0.0;
+};
+
+} // namespace
+
+OfflineSearchResult
+offlineSearch(const ProxyCostModel &proxy, Environment &env,
+              const Objective &objective, const OfflineSearchConfig &config,
+              Rng &rng)
+{
+    const ParamSpace &space = env.actionSpace();
+    OfflineSearchResult result;
+
+    auto score = [&](const Action &a) {
+        Scored s;
+        s.action = a;
+        s.predicted = proxy.predict(a);
+        s.reward = objective.reward(s.predicted);
+        ++result.proxyEvaluations;
+        return s;
+    };
+
+    // Phase 1: broad random sweep through the proxy.
+    std::vector<Scored> pool;
+    pool.reserve(config.randomCandidates);
+    for (std::size_t i = 0; i < config.randomCandidates; ++i)
+        pool.push_back(score(space.sample(rng)));
+    std::sort(pool.begin(), pool.end(),
+              [](const Scored &a, const Scored &b) {
+                  return a.reward > b.reward;
+              });
+
+    // Phase 2: hill climbing from the best seeds (single-dimension
+    // moves, accept on proxy improvement).
+    const std::size_t seeds =
+        std::min(config.hillClimbSeeds, pool.size());
+    for (std::size_t s = 0; s < seeds; ++s) {
+        Scored current = pool[s];
+        for (std::size_t step = 0; step < config.hillClimbSteps; ++step) {
+            auto levels = space.toLevels(current.action);
+            const std::size_t d =
+                static_cast<std::size_t>(rng.below(space.size()));
+            levels[d] = static_cast<std::size_t>(
+                rng.below(space.dim(d).levels()));
+            const Scored candidate = score(space.fromLevels(levels));
+            if (candidate.reward > current.reward)
+                current = candidate;
+        }
+        pool.push_back(current);
+    }
+    std::sort(pool.begin(), pool.end(),
+              [](const Scored &a, const Scored &b) {
+                  return a.reward > b.reward;
+              });
+
+    // Phase 3: deduplicate and validate the top-k on the simulator.
+    std::vector<Action> seen;
+    for (const Scored &s : pool) {
+        if (result.validated.size() >= config.topK)
+            break;
+        if (std::find(seen.begin(), seen.end(), s.action) != seen.end())
+            continue;
+        seen.push_back(s.action);
+        OfflineCandidate cand;
+        cand.action = s.action;
+        cand.predicted = s.predicted;
+        cand.predictedReward = s.reward;
+        const StepResult sr = env.step(s.action);
+        ++result.simulatorEvaluations;
+        cand.actual = sr.observation;
+        cand.actualReward = sr.reward;
+        result.validated.push_back(std::move(cand));
+    }
+    std::sort(result.validated.begin(), result.validated.end(),
+              [](const OfflineCandidate &a, const OfflineCandidate &b) {
+                  return a.actualReward > b.actualReward;
+              });
+    return result;
+}
+
+} // namespace archgym

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Data-driven offline design search over a proxy cost model (paper §7.3 /
+ * §8): once a fast proxy exists, sample-hungry search becomes nearly
+ * free. The optimizer evaluates tens of thousands of candidate designs
+ * against the proxy (random sampling plus hill climbing from the best
+ * seeds), then validates only the top-k on the real simulator — the
+ * PRIME-style workflow the paper cites as the payoff of dataset
+ * aggregation.
+ */
+
+#ifndef ARCHGYM_PROXY_OFFLINE_OPTIMIZER_H
+#define ARCHGYM_PROXY_OFFLINE_OPTIMIZER_H
+
+#include <vector>
+
+#include "core/environment.h"
+#include "core/objective.h"
+#include "core/param_space.h"
+#include "proxy/proxy_model.h"
+
+namespace archgym {
+
+/** Offline search configuration. */
+struct OfflineSearchConfig
+{
+    std::size_t randomCandidates = 20000;  ///< proxy-evaluated samples
+    std::size_t hillClimbSeeds = 8;        ///< best seeds refined locally
+    std::size_t hillClimbSteps = 200;      ///< proxy evals per seed
+    std::size_t topK = 5;                  ///< designs validated for real
+};
+
+/** One validated design. */
+struct OfflineCandidate
+{
+    Action action;
+    Metrics predicted;          ///< proxy observation
+    double predictedReward = 0.0;
+    Metrics actual;             ///< simulator observation (validated)
+    double actualReward = 0.0;
+};
+
+/** Outcome of an offline search + validation pass. */
+struct OfflineSearchResult
+{
+    std::vector<OfflineCandidate> validated;  ///< topK, best-first by
+                                              ///< actual reward
+    std::size_t proxyEvaluations = 0;
+    std::size_t simulatorEvaluations = 0;
+
+    const OfflineCandidate &best() const { return validated.front(); }
+};
+
+/**
+ * Search the space through the proxy and validate the top designs on the
+ * environment.
+ *
+ * @param proxy      trained proxy for the environment's metrics
+ * @param env        ground-truth environment (used only for validation)
+ * @param objective  reward function applied to proxy predictions
+ */
+OfflineSearchResult
+offlineSearch(const ProxyCostModel &proxy, Environment &env,
+              const Objective &objective, const OfflineSearchConfig &config,
+              Rng &rng);
+
+} // namespace archgym
+
+#endif // ARCHGYM_PROXY_OFFLINE_OPTIMIZER_H

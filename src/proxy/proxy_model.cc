@@ -1,0 +1,134 @@
+#include "proxy_model.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "mathutil/stats.h"
+
+namespace archgym {
+
+double
+ProxyAccuracy::meanRelativeRmse() const
+{
+    return mean(relativeRmse);
+}
+
+ProxyCostModel::ProxyCostModel(const ParamSpace &space,
+                               std::vector<std::string> metric_names,
+                               ForestConfig config)
+    : space_(space), metricNames_(std::move(metric_names)),
+      config_(config)
+{
+}
+
+std::vector<double>
+ProxyCostModel::featurize(const Action &action) const
+{
+    return space_.toUnit(action);
+}
+
+void
+ProxyCostModel::train(const std::vector<Transition> &transitions)
+{
+    assert(!transitions.empty());
+    std::vector<std::vector<double>> xs;
+    xs.reserve(transitions.size());
+    for (const auto &t : transitions)
+        xs.push_back(featurize(t.action));
+
+    forests_.clear();
+    for (std::size_t m = 0; m < metricNames_.size(); ++m) {
+        std::vector<double> ys;
+        ys.reserve(transitions.size());
+        for (const auto &t : transitions)
+            ys.push_back(t.observation[m]);
+        ForestConfig cfg = config_;
+        cfg.seed = config_.seed + m;  // decorrelate per-metric forests
+        RandomForest forest(cfg);
+        forest.fit(xs, ys);
+        forests_.push_back(std::move(forest));
+    }
+}
+
+bool
+ProxyCostModel::trained() const
+{
+    return !forests_.empty();
+}
+
+Metrics
+ProxyCostModel::predict(const Action &action) const
+{
+    assert(trained());
+    const auto features = featurize(action);
+    Metrics out;
+    out.reserve(forests_.size());
+    for (const auto &forest : forests_)
+        out.push_back(forest.predict(features));
+    return out;
+}
+
+ProxyAccuracy
+ProxyCostModel::evaluate(const std::vector<Transition> &test) const
+{
+    ProxyAccuracy acc;
+    acc.metricNames = metricNames_;
+    for (std::size_t m = 0; m < metricNames_.size(); ++m) {
+        std::vector<double> actual, predicted;
+        actual.reserve(test.size());
+        predicted.reserve(test.size());
+        for (const auto &t : test) {
+            actual.push_back(t.observation[m]);
+            predicted.push_back(predict(t.action)[m]);
+        }
+        const double e = rmse(predicted, actual);
+        double meanAbs = 0.0;
+        for (double a : actual)
+            meanAbs += std::abs(a);
+        meanAbs /= actual.empty() ? 1.0
+                                  : static_cast<double>(actual.size());
+        acc.rmse.push_back(e);
+        acc.relativeRmse.push_back(meanAbs > 0.0 ? e / meanAbs : 0.0);
+        acc.correlation.push_back(pearson(actual, predicted));
+    }
+    return acc;
+}
+
+DatasetExperiment
+runDatasetExperiment(const Dataset &dataset, const ParamSpace &space,
+                     const std::vector<std::string> &metric_names,
+                     std::size_t train_size, bool diverse,
+                     const std::vector<std::string> &agents,
+                     const std::vector<Transition> &test,
+                     const ForestConfig &config, Rng &rng)
+{
+    DatasetExperiment exp;
+    exp.diverse = diverse;
+    exp.size = train_size;
+
+    std::vector<Transition> train;
+    if (diverse) {
+        train = dataset.sampleDiverse(train_size, agents, rng);
+    } else {
+        // Single-source: draw everything from the first listed agent.
+        Dataset singleSource;
+        for (std::size_t i = 0; i < dataset.logCount(); ++i) {
+            if (dataset.log(i).agentName() == agents.front())
+                singleSource.add(dataset.log(i));
+        }
+        train = singleSource.sample(train_size, rng);
+    }
+
+    std::ostringstream label;
+    label << (diverse ? "diverse" : "single-source(" + agents.front() + ")")
+          << " n=" << train_size;
+    exp.label = label.str();
+
+    ProxyCostModel model(space, metric_names, config);
+    model.train(train);
+    exp.accuracy = model.evaluate(test);
+    return exp;
+}
+
+} // namespace archgym

@@ -1,0 +1,212 @@
+#include "random_forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace archgym {
+
+namespace {
+
+double
+meanOf(const std::vector<double> &ys, const std::vector<std::size_t> &idx)
+{
+    double s = 0.0;
+    for (std::size_t i : idx)
+        s += ys[i];
+    return idx.empty() ? 0.0 : s / static_cast<double>(idx.size());
+}
+
+double
+sseOf(const std::vector<double> &ys, const std::vector<std::size_t> &idx,
+      double mean)
+{
+    double s = 0.0;
+    for (std::size_t i : idx) {
+        const double d = ys[i] - mean;
+        s += d * d;
+    }
+    return s;
+}
+
+} // namespace
+
+std::size_t
+DecisionTree::build(const std::vector<std::vector<double>> &xs,
+                    const std::vector<double> &ys,
+                    std::vector<std::size_t> &indices, std::size_t depth,
+                    const ForestConfig &config, Rng &rng)
+{
+    depth_ = std::max(depth_, depth);
+    const std::size_t nodeIndex = nodes_.size();
+    nodes_.emplace_back();
+    nodes_[nodeIndex].value = meanOf(ys, indices);
+
+    if (depth >= config.maxDepth ||
+        indices.size() < 2 * config.minSamplesLeaf) {
+        return nodeIndex;
+    }
+    const double parentMean = nodes_[nodeIndex].value;
+    const double parentSse = sseOf(ys, indices, parentMean);
+    if (parentSse < 1e-12)
+        return nodeIndex;  // pure node
+
+    const std::size_t numFeatures = xs.front().size();
+    // Feature subsampling (the "random" in random forest).
+    std::vector<std::size_t> features(numFeatures);
+    std::iota(features.begin(), features.end(), 0);
+    rng.shuffle(features);
+    const std::size_t useFeatures = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(config.featureFraction *
+                         static_cast<double>(numFeatures))));
+    features.resize(useFeatures);
+
+    double bestGain = 0.0;
+    std::size_t bestFeature = 0;
+    double bestThreshold = 0.0;
+
+    std::vector<double> values;
+    values.reserve(indices.size());
+    for (std::size_t f : features) {
+        values.clear();
+        for (std::size_t i : indices)
+            values.push_back(xs[i][f]);
+        std::sort(values.begin(), values.end());
+        if (values.front() == values.back())
+            continue;  // constant feature in this node
+
+        // Quantile-grid candidate thresholds.
+        const std::size_t cands =
+            std::min(config.thresholdCandidates, indices.size() - 1);
+        for (std::size_t c = 1; c <= cands; ++c) {
+            const std::size_t pos = c * (values.size() - 1) / (cands + 1);
+            const double thr =
+                0.5 * (values[pos] + values[std::min(pos + 1,
+                                                     values.size() - 1)]);
+            // Evaluate the split.
+            double sumL = 0.0, sumR = 0.0;
+            std::size_t nL = 0, nR = 0;
+            for (std::size_t i : indices) {
+                if (xs[i][f] <= thr) {
+                    sumL += ys[i];
+                    ++nL;
+                } else {
+                    sumR += ys[i];
+                    ++nR;
+                }
+            }
+            if (nL < config.minSamplesLeaf || nR < config.minSamplesLeaf)
+                continue;
+            const double meanL = sumL / static_cast<double>(nL);
+            const double meanR = sumR / static_cast<double>(nR);
+            double sseChildren = 0.0;
+            for (std::size_t i : indices) {
+                const double m = xs[i][f] <= thr ? meanL : meanR;
+                const double d = ys[i] - m;
+                sseChildren += d * d;
+            }
+            const double gain = parentSse - sseChildren;
+            if (gain > bestGain) {
+                bestGain = gain;
+                bestFeature = f;
+                bestThreshold = thr;
+            }
+        }
+    }
+
+    if (bestGain <= 1e-12)
+        return nodeIndex;
+
+    std::vector<std::size_t> leftIdx, rightIdx;
+    for (std::size_t i : indices) {
+        if (xs[i][bestFeature] <= bestThreshold)
+            leftIdx.push_back(i);
+        else
+            rightIdx.push_back(i);
+    }
+    indices.clear();
+    indices.shrink_to_fit();
+
+    const std::size_t left =
+        build(xs, ys, leftIdx, depth + 1, config, rng);
+    const std::size_t right =
+        build(xs, ys, rightIdx, depth + 1, config, rng);
+    nodes_[nodeIndex].leaf = false;
+    nodes_[nodeIndex].feature = bestFeature;
+    nodes_[nodeIndex].threshold = bestThreshold;
+    nodes_[nodeIndex].left = left;
+    nodes_[nodeIndex].right = right;
+    return nodeIndex;
+}
+
+void
+DecisionTree::fit(const std::vector<std::vector<double>> &xs,
+                  const std::vector<double> &ys,
+                  const std::vector<std::size_t> &indices,
+                  const ForestConfig &config, Rng &rng)
+{
+    nodes_.clear();
+    depth_ = 0;
+    std::vector<std::size_t> idx = indices;
+    build(xs, ys, idx, 0, config, rng);
+}
+
+double
+DecisionTree::predict(const std::vector<double> &x) const
+{
+    assert(!nodes_.empty());
+    std::size_t n = 0;
+    while (!nodes_[n].leaf) {
+        n = x[nodes_[n].feature] <= nodes_[n].threshold ? nodes_[n].left
+                                                        : nodes_[n].right;
+    }
+    return nodes_[n].value;
+}
+
+RandomForest::RandomForest(ForestConfig config) : config_(config) {}
+
+void
+RandomForest::fit(const std::vector<std::vector<double>> &xs,
+                  const std::vector<double> &ys)
+{
+    assert(!xs.empty() && xs.size() == ys.size());
+    trees_.clear();
+    Rng rng(config_.seed);
+    for (std::size_t t = 0; t < config_.numTrees; ++t) {
+        std::vector<std::size_t> indices(xs.size());
+        if (config_.bootstrap) {
+            for (auto &i : indices)
+                i = static_cast<std::size_t>(rng.below(xs.size()));
+        } else {
+            std::iota(indices.begin(), indices.end(), 0);
+        }
+        DecisionTree tree;
+        tree.fit(xs, ys, indices, config_, rng);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForest::predict(const std::vector<double> &x) const
+{
+    assert(fitted());
+    double s = 0.0;
+    for (const auto &tree : trees_)
+        s += tree.predict(x);
+    return s / static_cast<double>(trees_.size());
+}
+
+std::vector<double>
+RandomForest::predictBatch(const std::vector<std::vector<double>> &xs) const
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (const auto &x : xs)
+        out.push_back(predict(x));
+    return out;
+}
+
+} // namespace archgym

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Random-forest regression (paper §7.2) implemented from scratch: CART
+ * trees with variance-reduction splits, bootstrap aggregation, and
+ * per-split feature subsampling.
+ *
+ * The paper trains one random forest per target metric (latency, power,
+ * energy) on ArchGym exploration datasets and shows the resulting proxy
+ * is ~2000x faster than the cycle-accurate simulator at <1% RMSE.
+ */
+
+#ifndef ARCHGYM_PROXY_RANDOM_FOREST_H
+#define ARCHGYM_PROXY_RANDOM_FOREST_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mathutil/rng.h"
+
+namespace archgym {
+
+/** Forest training configuration. */
+struct ForestConfig
+{
+    std::size_t numTrees = 30;
+    std::size_t maxDepth = 12;
+    std::size_t minSamplesLeaf = 2;
+    /** Fraction of features considered at each split. */
+    double featureFraction = 0.7;
+    /** Candidate thresholds examined per feature (quantile grid). */
+    std::size_t thresholdCandidates = 16;
+    bool bootstrap = true;
+    std::uint64_t seed = 1;
+};
+
+/** One CART regression tree (flat node array). */
+class DecisionTree
+{
+  public:
+    /**
+     * Fit on the given sample indices of (xs, ys).
+     * @param xs       feature rows
+     * @param ys       targets
+     * @param indices  training subset (bootstrap sample)
+     */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys,
+             const std::vector<std::size_t> &indices,
+             const ForestConfig &config, Rng &rng);
+
+    double predict(const std::vector<double> &x) const;
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+    std::size_t depth() const { return depth_; }
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        std::size_t feature = 0;
+        double threshold = 0.0;
+        double value = 0.0;
+        std::size_t left = 0;
+        std::size_t right = 0;
+    };
+
+    std::size_t build(const std::vector<std::vector<double>> &xs,
+                      const std::vector<double> &ys,
+                      std::vector<std::size_t> &indices, std::size_t depth,
+                      const ForestConfig &config, Rng &rng);
+
+    std::vector<Node> nodes_;
+    std::size_t depth_ = 0;
+};
+
+/** Bagged ensemble of CART trees. */
+class RandomForest
+{
+  public:
+    explicit RandomForest(ForestConfig config = {});
+
+    /** Fit on the full dataset. @pre xs.size() == ys.size() > 0 */
+    void fit(const std::vector<std::vector<double>> &xs,
+             const std::vector<double> &ys);
+
+    bool fitted() const { return !trees_.empty(); }
+    std::size_t treeCount() const { return trees_.size(); }
+
+    double predict(const std::vector<double> &x) const;
+    std::vector<double>
+    predictBatch(const std::vector<std::vector<double>> &xs) const;
+
+    const ForestConfig &config() const { return config_; }
+
+  private:
+    ForestConfig config_;
+    std::vector<DecisionTree> trees_;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_PROXY_RANDOM_FOREST_H

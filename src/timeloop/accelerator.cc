@@ -1,0 +1,32 @@
+#include "accelerator.h"
+
+#include <sstream>
+
+namespace archgym::timeloop {
+
+std::string
+AcceleratorConfig::str() const
+{
+    std::ostringstream os;
+    os << "pes=" << numPEs << " wspad=" << weightSpadEntries
+       << " ispad=" << inputSpadEntries << " aspad=" << accumSpadEntries
+       << " gb=" << globalBufferKb << "KB noc=" << nocWordsPerCycle
+       << " dram=" << dramWordsPerCycle;
+    return os.str();
+}
+
+double
+areaMm2(const AcceleratorConfig &config, const TechModel &tech)
+{
+    const double spadWords =
+        static_cast<double>(config.numPEs) *
+        (config.weightSpadEntries + config.inputSpadEntries +
+         config.accumSpadEntries);
+    return tech.baseAreaMm2 +
+           static_cast<double>(config.numPEs) * tech.peAreaMm2 +
+           spadWords * tech.spadAreaMm2PerWord +
+           static_cast<double>(config.globalBufferKb) *
+               tech.bufferAreaMm2PerKb;
+}
+
+} // namespace archgym::timeloop

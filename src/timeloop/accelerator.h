@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Eyeriss-class DNN accelerator architecture description.
+ *
+ * The TimeloopGym design space (Fig. 3b) tunes the datapath resources of a
+ * spatial accelerator: PE count, per-PE scratchpad capacities (weights,
+ * inputs, partial sums), the shared global buffer, and the NoC bandwidth
+ * feeding the array. Energy-per-access and area coefficients follow the
+ * usual 65 nm Eyeriss-style hierarchy where each level costs roughly an
+ * order of magnitude more energy than the one below it.
+ */
+
+#ifndef ARCHGYM_TIMELOOP_ACCELERATOR_H
+#define ARCHGYM_TIMELOOP_ACCELERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace archgym::timeloop {
+
+/** The TimeloopGym design point. */
+struct AcceleratorConfig
+{
+    std::uint32_t numPEs = 168;            ///< processing elements
+    std::uint32_t weightSpadEntries = 192; ///< words per PE
+    std::uint32_t inputSpadEntries = 12;   ///< words per PE
+    std::uint32_t accumSpadEntries = 16;   ///< psum words per PE
+    std::uint32_t globalBufferKb = 108;    ///< shared buffer, KiB
+    std::uint32_t nocWordsPerCycle = 4;    ///< GB <-> array bandwidth
+    std::uint32_t dramWordsPerCycle = 2;   ///< off-chip bandwidth
+    double clockGhz = 1.0;
+
+    std::string str() const;
+};
+
+/** Technology coefficients (65 nm-style). */
+struct TechModel
+{
+    // Energy per access, pJ per word.
+    double dramPj = 200.0;
+    double globalBufferPj = 6.0;
+    double spadPj = 1.0;
+    double macPj = 0.2;
+    double nocPjPerHop = 0.5;
+
+    // Area, mm^2.
+    double peAreaMm2 = 0.01;          ///< MAC + control per PE
+    double spadAreaMm2PerWord = 2e-5;
+    double bufferAreaMm2PerKb = 0.02;
+    double baseAreaMm2 = 1.5;         ///< pads, controller, misc
+
+    // Static power for leakage energy, mW.
+    double leakageMwPerMm2 = 0.8;
+};
+
+/** Area of the configured accelerator in mm^2. */
+double areaMm2(const AcceleratorConfig &config, const TechModel &tech);
+
+} // namespace archgym::timeloop
+
+#endif // ARCHGYM_TIMELOOP_ACCELERATOR_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytical cost model for the DNN accelerator (the Timeloop stand-in).
+ *
+ * For a given (architecture, layer) pair the model performs a small
+ * internal mapping search in the style of Timeloop's mapper: it sweeps
+ * power-of-two tile sizes for the K / C / P dimensions, discards tilings
+ * that do not fit the scratchpads and global buffer, and evaluates the
+ * remaining candidates with a loop-nest reuse model that counts per-level
+ * accesses. The best-energy-delay mapping defines the layer cost.
+ *
+ * Latency is the max of compute-bound, NoC-bound, and DRAM-bound cycle
+ * counts (roofline composition); energy sums per-level access energies
+ * plus leakage over the runtime; area comes from the tech model.
+ */
+
+#ifndef ARCHGYM_TIMELOOP_COST_MODEL_H
+#define ARCHGYM_TIMELOOP_COST_MODEL_H
+
+#include "timeloop/accelerator.h"
+#include "timeloop/workload.h"
+
+namespace archgym::timeloop {
+
+/** Cost of one layer (or a whole network) on one architecture. */
+struct LayerCost
+{
+    double cycles = 0.0;
+    double latencyMs = 0.0;
+    double energyUj = 0.0;
+    double areaMm2 = 0.0;
+    double utilization = 0.0;    ///< active PE fraction
+    double dramAccesses = 0.0;   ///< words
+    double bufferAccesses = 0.0; ///< global buffer words
+    double spadAccesses = 0.0;   ///< register-file words
+
+    /** Energy-delay product used to rank internal mappings. */
+    double edp() const { return energyUj * latencyMs; }
+};
+
+/** Evaluate one layer; always returns a finite cost (worst-case tiling
+ *  degenerates to streaming everything from DRAM). */
+LayerCost evaluateLayer(const AcceleratorConfig &config,
+                        const ConvLayer &layer,
+                        const TechModel &tech = {});
+
+/** Sum of per-layer costs over a network (area is not accumulated). */
+LayerCost evaluateNetwork(const AcceleratorConfig &config,
+                          const Network &network,
+                          const TechModel &tech = {});
+
+} // namespace archgym::timeloop
+
+#endif // ARCHGYM_TIMELOOP_COST_MODEL_H

@@ -1,0 +1,147 @@
+#include "workload.h"
+
+namespace archgym::timeloop {
+
+double
+ConvLayer::macs() const
+{
+    return static_cast<double>(batch) * outChannels * inChannels *
+           kernelH * kernelW * outH * outW;
+}
+
+double
+ConvLayer::weightCount() const
+{
+    return static_cast<double>(outChannels) * inChannels * kernelH *
+           kernelW;
+}
+
+double
+ConvLayer::inputCount() const
+{
+    return static_cast<double>(batch) * inChannels * inputH() * inputW();
+}
+
+double
+ConvLayer::outputCount() const
+{
+    return static_cast<double>(batch) * outChannels * outH * outW;
+}
+
+double
+Network::totalMacs() const
+{
+    double total = 0.0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+namespace {
+
+ConvLayer
+conv(std::string name, std::uint32_t c, std::uint32_t k, std::uint32_t r,
+     std::uint32_t s, std::uint32_t p, std::uint32_t q,
+     std::uint32_t stride = 1)
+{
+    ConvLayer l;
+    l.name = std::move(name);
+    l.batch = 1;
+    l.inChannels = c;
+    l.outChannels = k;
+    l.kernelH = r;
+    l.kernelW = s;
+    l.outH = p;
+    l.outW = q;
+    l.stride = stride;
+    return l;
+}
+
+} // namespace
+
+Network
+alexNet()
+{
+    Network net;
+    net.name = "AlexNet";
+    net.layers = {
+        conv("conv1", 3, 96, 11, 11, 55, 55, 4),
+        conv("conv2", 96, 256, 5, 5, 27, 27),
+        conv("conv3", 256, 384, 3, 3, 13, 13),
+        conv("conv4", 384, 384, 3, 3, 13, 13),
+        conv("conv5", 384, 256, 3, 3, 13, 13),
+    };
+    return net;
+}
+
+Network
+mobileNet()
+{
+    // Depthwise-separable blocks: the depthwise stage is modeled as a
+    // grouped conv with C=1 per filter (captured by inChannels=1 and K
+    // filters), which preserves its low arithmetic intensity.
+    Network net;
+    net.name = "MobileNet";
+    net.layers = {
+        conv("conv1", 3, 32, 3, 3, 112, 112, 2),
+        conv("dw2", 1, 32, 3, 3, 112, 112),
+        conv("pw2", 32, 64, 1, 1, 112, 112),
+        conv("dw3", 1, 64, 3, 3, 56, 56, 2),
+        conv("pw3", 64, 128, 1, 1, 56, 56),
+        conv("dw4", 1, 128, 3, 3, 28, 28, 2),
+        conv("pw4", 128, 256, 1, 1, 28, 28),
+        conv("pw5", 256, 512, 1, 1, 14, 14),
+    };
+    return net;
+}
+
+Network
+resNet50()
+{
+    Network net;
+    net.name = "ResNet-50";
+    net.layers = {
+        conv("conv1", 3, 64, 7, 7, 112, 112, 2),
+        conv("res2a_1x1", 64, 64, 1, 1, 56, 56),
+        conv("res2a_3x3", 64, 64, 3, 3, 56, 56),
+        conv("res2a_out", 64, 256, 1, 1, 56, 56),
+        conv("res3a_3x3", 128, 128, 3, 3, 28, 28),
+        conv("res4a_3x3", 256, 256, 3, 3, 14, 14),
+        conv("res5a_3x3", 512, 512, 3, 3, 7, 7),
+        conv("res5a_out", 512, 2048, 1, 1, 7, 7),
+    };
+    return net;
+}
+
+Network
+resNet18()
+{
+    Network net;
+    net.name = "ResNet-18";
+    net.layers = {
+        conv("conv1", 3, 64, 7, 7, 112, 112, 2),
+        conv("res2_3x3", 64, 64, 3, 3, 56, 56),
+        conv("res3_3x3", 128, 128, 3, 3, 28, 28),
+        conv("res4_3x3", 256, 256, 3, 3, 14, 14),
+        conv("res5_3x3", 512, 512, 3, 3, 7, 7),
+    };
+    return net;
+}
+
+Network
+vgg16()
+{
+    Network net;
+    net.name = "VGG16";
+    net.layers = {
+        conv("conv1_1", 3, 64, 3, 3, 224, 224),
+        conv("conv1_2", 64, 64, 3, 3, 224, 224),
+        conv("conv2_1", 64, 128, 3, 3, 112, 112),
+        conv("conv3_1", 128, 256, 3, 3, 56, 56),
+        conv("conv4_1", 256, 512, 3, 3, 28, 28),
+        conv("conv5_1", 512, 512, 3, 3, 14, 14),
+    };
+    return net;
+}
+
+} // namespace archgym::timeloop

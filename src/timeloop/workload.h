@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CNN workload descriptors for the DNN-accelerator environments.
+ *
+ * The paper drives TimeloopGym with CNNs converted via Pytorch2Timeloop
+ * (AlexNet, MobileNet, ResNet-50). Here each network is a curated list of
+ * representative convolution layers with the standard 7-loop nest
+ * dimensions.
+ */
+
+#ifndef ARCHGYM_TIMELOOP_WORKLOAD_H
+#define ARCHGYM_TIMELOOP_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace archgym::timeloop {
+
+/** One convolution layer: output[n][k][p][q] += in[n][c][..]*w[k][c][r][s]. */
+struct ConvLayer
+{
+    std::string name;
+    std::uint32_t batch = 1;     ///< N
+    std::uint32_t inChannels = 1;  ///< C
+    std::uint32_t outChannels = 1; ///< K
+    std::uint32_t kernelH = 1;   ///< R
+    std::uint32_t kernelW = 1;   ///< S
+    std::uint32_t outH = 1;      ///< P
+    std::uint32_t outW = 1;      ///< Q
+    std::uint32_t stride = 1;
+
+    std::uint32_t inputH() const { return (outH - 1) * stride + kernelH; }
+    std::uint32_t inputW() const { return (outW - 1) * stride + kernelW; }
+
+    /** Multiply-accumulate operations. */
+    double macs() const;
+    /** Element counts of each operand tensor. */
+    double weightCount() const;
+    double inputCount() const;
+    double outputCount() const;
+};
+
+/** A named set of layers. */
+struct Network
+{
+    std::string name;
+    std::vector<ConvLayer> layers;
+
+    double totalMacs() const;
+};
+
+/** Representative layer subsets of the paper's evaluation networks. */
+Network alexNet();
+Network mobileNet();
+Network resNet50();
+Network resNet18();
+Network vgg16();
+
+} // namespace archgym::timeloop
+
+#endif // ARCHGYM_TIMELOOP_WORKLOAD_H

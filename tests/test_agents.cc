@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Tests for the five search agents.
+ *
+ * Every agent must (a) respect the ask-tell protocol, (b) produce only
+ * in-space actions, (c) be deterministic under a fixed seed, and (d) beat
+ * uniform-random expectation on analytically understood landscapes. A
+ * parameterized suite runs the shared protocol/property checks across all
+ * agents and a representative slice of their hyperparameter grids — the
+ * property-test backbone for the Q1/Q2/Q3 interface contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "agents/ant_colony.h"
+#include "agents/bayesian_opt.h"
+#include "agents/genetic_algorithm.h"
+#include "agents/random_walker.h"
+#include "agents/registry.h"
+#include "agents/reinforcement_learning.h"
+#include "agents/simulated_annealing.h"
+#include "core/driver.h"
+#include "core/toy_envs.h"
+
+namespace archgym {
+namespace {
+
+double
+runBest(Environment &env, Agent &agent, std::size_t samples)
+{
+    RunConfig cfg;
+    cfg.maxSamples = samples;
+    return runSearch(env, agent, cfg).bestReward;
+}
+
+// --------------------------------------------------------------------
+// Parameterized cross-agent protocol properties
+// --------------------------------------------------------------------
+
+struct AgentCase
+{
+    std::string name;
+    HyperParams hp;
+};
+
+void
+PrintTo(const AgentCase &c, std::ostream *os)
+{
+    *os << c.name << "{" << c.hp.str() << "}";
+}
+
+class AllAgents : public ::testing::TestWithParam<AgentCase>
+{
+};
+
+TEST_P(AllAgents, ActionsAlwaysInSpace)
+{
+    OneMaxEnv env(6);
+    auto agent = makeAgent(GetParam().name, env.actionSpace(),
+                           GetParam().hp, 77);
+    for (int i = 0; i < 300; ++i) {
+        const Action a = agent->selectAction();
+        ASSERT_TRUE(env.actionSpace().contains(a))
+            << env.actionSpace().describe(a);
+        const StepResult sr = env.step(a);
+        agent->observe(a, sr.observation, sr.reward);
+    }
+}
+
+TEST_P(AllAgents, DeterministicUnderSeed)
+{
+    QuadraticEnv env1({4.0, 9.0}), env2({4.0, 9.0});
+    auto a1 = makeAgent(GetParam().name, env1.actionSpace(),
+                        GetParam().hp, 123);
+    auto a2 = makeAgent(GetParam().name, env2.actionSpace(),
+                        GetParam().hp, 123);
+    RunConfig cfg;
+    cfg.maxSamples = 120;
+    const RunResult r1 = runSearch(env1, *a1, cfg);
+    const RunResult r2 = runSearch(env2, *a2, cfg);
+    EXPECT_EQ(r1.rewardHistory, r2.rewardHistory);
+    EXPECT_EQ(r1.bestAction, r2.bestAction);
+}
+
+TEST_P(AllAgents, ResetReproducesRun)
+{
+    QuadraticEnv env({4.0, 9.0});
+    auto agent = makeAgent(GetParam().name, env.actionSpace(),
+                           GetParam().hp, 321);
+    RunConfig cfg;
+    cfg.maxSamples = 80;
+    const RunResult r1 = runSearch(env, *agent, cfg);
+    agent->reset();
+    const RunResult r2 = runSearch(env, *agent, cfg);
+    EXPECT_EQ(r1.rewardHistory, r2.rewardHistory);
+}
+
+TEST_P(AllAgents, ImprovesOverFirstSampleOnQuadratic)
+{
+    QuadraticEnv env({13.0, 22.0, 5.0});
+    auto agent = makeAgent(GetParam().name, env.actionSpace(),
+                           GetParam().hp, 55);
+    RunConfig cfg;
+    cfg.maxSamples = 400;
+    const RunResult r = runSearch(env, *agent, cfg);
+    EXPECT_GT(r.bestReward, r.rewardHistory.front());
+}
+
+TEST_P(AllAgents, HyperparametersExposed)
+{
+    OneMaxEnv env(4);
+    auto agent = makeAgent(GetParam().name, env.actionSpace(),
+                           GetParam().hp, 1);
+    // Q3: every configured knob must be visible on the agent.
+    for (const auto &[k, v] : GetParam().hp.values())
+        EXPECT_DOUBLE_EQ(agent->hyperParams().get(k, -1e18), v);
+}
+
+std::vector<AgentCase>
+allAgentCases()
+{
+    return {
+        {"RW", {}},
+        {"RW", {{"walk", 1}, {"step_size", 0.2}}},
+        {"GA", {}},
+        {"GA", {{"population_size", 8}, {"selection", 1},
+                {"crossover", 1}}},
+        {"GA", {{"max_age", 3}, {"growth_add", 2}, {"reorder_prob", 0.2}}},
+        {"ACO", {}},
+        {"ACO", {{"num_ants", 4}, {"q0", 0.5}, {"evaporation", 0.3}}},
+        {"BO", {{"num_candidates", 64}, {"max_history", 64}}},
+        {"BO", {{"acquisition", 1}, {"num_candidates", 64},
+                {"max_history", 64}}},
+        {"BO", {{"acquisition", 2}, {"num_candidates", 64},
+                {"max_history", 64}}},
+        {"RL", {}},
+        {"RL", {{"batch_size", 8}, {"entropy_coeff", 0.05}}},
+        {"SA", {}},
+        {"SA", {{"initial_temp", 5.0}, {"cooling", 0.98},
+                {"move_dims", 3}}},
+    };
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocol, AllAgents, ::testing::ValuesIn(allAgentCases()),
+    [](const ::testing::TestParamInfo<AgentCase> &info) {
+        std::string tag = info.param.name + "_" +
+                          std::to_string(info.index);
+        return tag;
+    });
+
+// --------------------------------------------------------------------
+// RandomWalker
+// --------------------------------------------------------------------
+
+TEST(RandomWalker, UniformModeCoversSpace)
+{
+    OneMaxEnv env(3);
+    RandomWalkerAgent agent(env.actionSpace(), {}, 2);
+    std::set<std::vector<std::size_t>> seen;
+    for (int i = 0; i < 400; ++i) {
+        const Action a = agent.selectAction();
+        seen.insert(env.actionSpace().toLevels(a));
+        agent.observe(a, {}, 0.0);
+    }
+    EXPECT_EQ(seen.size(), 8u);  // all 2^3 points visited
+}
+
+TEST(RandomWalker, WalkModeStaysNearIncumbent)
+{
+    QuadraticEnv env({16.0, 16.0});
+    RandomWalkerAgent agent(env.actionSpace(),
+                            {{"walk", 1},
+                             {"step_size", 0.05},
+                             {"restart_prob", 0.0}},
+                            3);
+    // Give it a strong incumbent at the center.
+    agent.observe({16.0, 16.0}, {}, 100.0);
+    for (int i = 0; i < 50; ++i) {
+        const Action a = agent.selectAction();
+        EXPECT_NEAR(a[0], 16.0, 4.0);
+        EXPECT_NEAR(a[1], 16.0, 4.0);
+        agent.observe(a, {}, 0.0);  // never displaces the incumbent
+    }
+}
+
+// --------------------------------------------------------------------
+// GeneticAlgorithm
+// --------------------------------------------------------------------
+
+TEST(GeneticAlgorithm, SolvesOneMax)
+{
+    OneMaxEnv env(20);
+    GeneticAlgorithmAgent agent(env.actionSpace(),
+                                {{"population_size", 20},
+                                 {"mutation_prob", 0.05}},
+                                7);
+    const double best = runBest(env, agent, 1500);
+    EXPECT_GE(best, 0.95);
+}
+
+TEST(GeneticAlgorithm, BeatsRandomOnQuadratic)
+{
+    QuadraticEnv envGa({7.0, 21.0, 13.0, 3.0});
+    QuadraticEnv envRw({7.0, 21.0, 13.0, 3.0});
+    GeneticAlgorithmAgent ga(envGa.actionSpace(), {}, 11);
+    RandomWalkerAgent rw(envRw.actionSpace(), {}, 11);
+    const double gaBest = runBest(envGa, ga, 600);
+    const double rwBest = runBest(envRw, rw, 600);
+    EXPECT_GT(gaBest, rwBest * 0.8);  // GA should be at least comparable
+}
+
+TEST(GeneticAlgorithm, GenerationAdvancesAfterPopulationEvaluated)
+{
+    OneMaxEnv env(5);
+    GeneticAlgorithmAgent agent(env.actionSpace(),
+                                {{"population_size", 6}}, 1);
+    EXPECT_EQ(agent.generation(), 0u);
+    for (int i = 0; i < 6; ++i) {
+        const Action a = agent.selectAction();
+        agent.observe(a, {}, 0.5);
+    }
+    agent.selectAction();  // triggers breeding
+    EXPECT_EQ(agent.generation(), 1u);
+}
+
+TEST(GeneticAlgorithm, GrowthExpandsPopulation)
+{
+    OneMaxEnv env(5);
+    GeneticAlgorithmAgent agent(env.actionSpace(),
+                                {{"population_size", 6},
+                                 {"growth_add", 3},
+                                 {"growth_cap", 12}},
+                                2);
+    RunConfig cfg;
+    cfg.maxSamples = 60;
+    runSearch(env, agent, cfg);
+    EXPECT_EQ(agent.populationSize(), 12u);  // capped growth
+}
+
+TEST(GeneticAlgorithm, AgingStillSolvesOneMax)
+{
+    OneMaxEnv env(12);
+    GeneticAlgorithmAgent agent(env.actionSpace(),
+                                {{"population_size", 12},
+                                 {"max_age", 4}},
+                                3);
+    EXPECT_GE(runBest(env, agent, 1200), 0.9);
+}
+
+TEST(GeneticAlgorithm, ReorderingPreservesValidity)
+{
+    OneMaxEnv env(8);
+    GeneticAlgorithmAgent agent(env.actionSpace(),
+                                {{"reorder_prob", 1.0}}, 4);
+    for (int i = 0; i < 200; ++i) {
+        const Action a = agent.selectAction();
+        ASSERT_TRUE(env.actionSpace().contains(a));
+        agent.observe(a, {}, 0.0);
+    }
+}
+
+// --------------------------------------------------------------------
+// AntColony
+// --------------------------------------------------------------------
+
+TEST(AntColony, PheromonesConcentrateOnRewardedLevels)
+{
+    OneMaxEnv env(6);
+    AntColonyAgent agent(env.actionSpace(),
+                         {{"num_ants", 6}, {"evaporation", 0.2}}, 5);
+    RunConfig cfg;
+    cfg.maxSamples = 600;
+    runSearch(env, agent, cfg);
+    // After convergence, the "on" level should hold more pheromone.
+    int onStronger = 0;
+    for (std::size_t d = 0; d < 6; ++d)
+        onStronger += agent.pheromone(d, 1) > agent.pheromone(d, 0);
+    EXPECT_GE(onStronger, 5);
+}
+
+TEST(AntColony, SolvesOneMax)
+{
+    OneMaxEnv env(16);
+    AntColonyAgent agent(env.actionSpace(), {{"num_ants", 8}}, 6);
+    EXPECT_GE(runBest(env, agent, 1200), 0.9);
+}
+
+TEST(AntColony, EvaporationBoundsPheromone)
+{
+    OneMaxEnv env(4);
+    AntColonyAgent agent(env.actionSpace(),
+                         {{"num_ants", 4},
+                          {"evaporation", 0.5},
+                          {"deposit", 1.0}},
+                         7);
+    RunConfig cfg;
+    cfg.maxSamples = 400;
+    runSearch(env, agent, cfg);
+    // With rho=0.5 and bounded deposits, pheromone stays bounded:
+    // tau_max <= sum of geometric series = (Q_total per round)/rho.
+    for (std::size_t d = 0; d < 4; ++d) {
+        for (std::size_t l = 0; l < 2; ++l)
+            EXPECT_LT(agent.pheromone(d, l), 50.0);
+    }
+}
+
+TEST(AntColony, FullExploitationLocksOntoBest)
+{
+    OneMaxEnv env(4);
+    AntColonyAgent agent(env.actionSpace(),
+                         {{"num_ants", 4}, {"q0", 1.0}}, 8);
+    // Run enough to stamp a trail, then verify proposals repeat.
+    RunConfig cfg;
+    cfg.maxSamples = 200;
+    runSearch(env, agent, cfg);
+    const Action a1 = agent.selectAction();
+    agent.observe(a1, {}, 0.0);
+    const Action a2 = agent.selectAction();
+    agent.observe(a2, {}, 0.0);
+    EXPECT_EQ(a1, a2);
+}
+
+// --------------------------------------------------------------------
+// BayesianOpt
+// --------------------------------------------------------------------
+
+TEST(GaussianProcessModel, InterpolatesTrainingPoints)
+{
+    GaussianProcess gp(0.3, 1.0, 1e-6);
+    const std::vector<std::vector<double>> xs = {
+        {0.1}, {0.4}, {0.7}, {0.95}};
+    const std::vector<double> ys = {1.0, 3.0, -1.0, 2.0};
+    gp.fit(xs, ys);
+    ASSERT_TRUE(gp.fitted());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double mean, var;
+        gp.predict(xs[i], mean, var);
+        EXPECT_NEAR(mean, ys[i], 0.05);
+    }
+}
+
+TEST(GaussianProcessModel, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp(0.1, 1.0, 1e-6);
+    gp.fit({{0.5}}, {1.0});
+    double meanNear, varNear, meanFar, varFar;
+    gp.predict({0.5}, meanNear, varNear);
+    gp.predict({0.0}, meanFar, varFar);
+    EXPECT_LT(varNear, varFar);
+}
+
+TEST(GaussianProcessModel, Matern52AlsoInterpolates)
+{
+    GaussianProcess gp(0.3, 1.0, 1e-6, GpKernel::Matern52);
+    const std::vector<std::vector<double>> xs = {{0.1}, {0.5}, {0.9}};
+    const std::vector<double> ys = {1.0, -2.0, 0.5};
+    gp.fit(xs, ys);
+    ASSERT_TRUE(gp.fitted());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double mean, var;
+        gp.predict(xs[i], mean, var);
+        EXPECT_NEAR(mean, ys[i], 0.05);
+    }
+}
+
+TEST(GaussianProcessModel, KernelsAgreeAtZeroDistanceOnly)
+{
+    GaussianProcess se(0.2, 1.0, 1e-6, GpKernel::SquaredExponential);
+    GaussianProcess mat(0.2, 1.0, 1e-6, GpKernel::Matern52);
+    EXPECT_DOUBLE_EQ(se.kernel({0.3}, {0.3}), mat.kernel({0.3}, {0.3}));
+    // Matern-5/2 has heavier tails than SE at moderate distance.
+    EXPECT_GT(mat.kernel({0.0}, {0.6}), se.kernel({0.0}, {0.6}));
+}
+
+TEST(BayesianOpt, MaternKernelRunsEndToEnd)
+{
+    QuadraticEnv env({12.0, 4.0});
+    BayesianOptAgent agent(env.actionSpace(),
+                           {{"kernel", 1},
+                            {"num_candidates", 64},
+                            {"max_history", 64}},
+                           15);
+    RunConfig cfg;
+    cfg.maxSamples = 120;
+    const RunResult r = runSearch(env, agent, cfg);
+    EXPECT_GT(r.bestReward, r.rewardHistory.front());
+}
+
+TEST(GaussianProcessModel, UnfittedFallsBackToPrior)
+{
+    GaussianProcess gp(0.2, 2.0, 1e-4);
+    double mean, var;
+    gp.predict({0.3}, mean, var);
+    EXPECT_DOUBLE_EQ(mean, 0.0);
+    EXPECT_DOUBLE_EQ(var, 2.0);
+}
+
+TEST(BayesianOpt, WarmupIsRandomThenModelBased)
+{
+    QuadraticEnv env({10.0, 10.0});
+    BayesianOptAgent agent(env.actionSpace(),
+                           {{"n_init", 5}, {"num_candidates", 32}}, 9);
+    for (int i = 0; i < 5; ++i) {
+        const Action a = agent.selectAction();
+        const auto sr = env.step(a);
+        agent.observe(a, sr.observation, sr.reward);
+    }
+    EXPECT_EQ(agent.historySize(), 5u);
+}
+
+TEST(BayesianOpt, FindsQuadraticOptimumRegion)
+{
+    QuadraticEnv env({20.0, 8.0});
+    BayesianOptAgent agent(env.actionSpace(),
+                           {{"length_scale", 0.2},
+                            {"num_candidates", 128},
+                            {"max_history", 100}},
+                           10);
+    const double best = runBest(env, agent, 150);
+    // Reward 1/(1+d^2): within distance ~2 of the optimum.
+    EXPECT_GE(best, 0.2);
+}
+
+TEST(BayesianOpt, HistoryWindowIsBounded)
+{
+    QuadraticEnv env({5.0, 5.0});
+    BayesianOptAgent agent(env.actionSpace(),
+                           {{"max_history", 32},
+                            {"num_candidates", 16}},
+                           11);
+    RunConfig cfg;
+    cfg.maxSamples = 120;
+    runSearch(env, agent, cfg);
+    EXPECT_LE(agent.historySize(), 32u);
+}
+
+// --------------------------------------------------------------------
+// ReinforcementLearning
+// --------------------------------------------------------------------
+
+TEST(ReinforcementLearning, PolicyShiftsTowardRewardedActions)
+{
+    OneMaxEnv env(4);
+    ReinforcementLearningAgent agent(env.actionSpace(),
+                                     {{"batch_size", 8},
+                                      {"learning_rate", 0.05}},
+                                     12);
+    RunConfig cfg;
+    cfg.maxSamples = 1600;
+    runSearch(env, agent, cfg);
+    EXPECT_GT(agent.updateCount(), 0u);
+    const auto dists = agent.actionDistributions();
+    // Probability of the rewarded "on" level should dominate.
+    int onDominates = 0;
+    for (const auto &d : dists)
+        onDominates += d[1] > 0.6;
+    EXPECT_GE(onDominates, 3);
+}
+
+TEST(ReinforcementLearning, UpdatesHappenPerBatch)
+{
+    OneMaxEnv env(3);
+    ReinforcementLearningAgent agent(env.actionSpace(),
+                                     {{"batch_size", 10}}, 13);
+    for (int i = 0; i < 25; ++i) {
+        const Action a = agent.selectAction();
+        const auto sr = env.step(a);
+        agent.observe(a, sr.observation, sr.reward);
+    }
+    EXPECT_EQ(agent.updateCount(), 2u);
+}
+
+TEST(ReinforcementLearning, EventuallySolvesSmallOneMax)
+{
+    OneMaxEnv env(6);
+    ReinforcementLearningAgent agent(env.actionSpace(),
+                                     {{"batch_size", 16},
+                                      {"learning_rate", 0.03},
+                                      {"entropy_coeff", 0.01}},
+                                     14);
+    const double best = runBest(env, agent, 3000);
+    EXPECT_GE(best, 0.99);
+}
+
+// --------------------------------------------------------------------
+// SimulatedAnnealing (the §8 "integrate a new algorithm" example)
+// --------------------------------------------------------------------
+
+TEST(SimulatedAnnealing, TemperatureCoolsGeometrically)
+{
+    OneMaxEnv env(5);
+    SimulatedAnnealingAgent agent(env.actionSpace(),
+                                  {{"initial_temp", 2.0},
+                                   {"cooling", 0.9},
+                                   {"reheat", 0}},
+                                  3);
+    EXPECT_DOUBLE_EQ(agent.temperature(), 2.0);
+    for (int i = 0; i < 10; ++i) {
+        const Action a = agent.selectAction();
+        agent.observe(a, {}, 0.0);
+    }
+    // First observe establishes the incumbent without cooling... the
+    // remaining nine each multiply by 0.9.
+    EXPECT_NEAR(agent.temperature(), 2.0 * std::pow(0.9, 9), 1e-12);
+}
+
+TEST(SimulatedAnnealing, ReheatsAtFloor)
+{
+    OneMaxEnv env(5);
+    SimulatedAnnealingAgent agent(env.actionSpace(),
+                                  {{"initial_temp", 1.0},
+                                   {"cooling", 0.5},
+                                   {"min_temp", 0.1},
+                                   {"reheat", 1}},
+                                  4);
+    double maxTempSeen = 0.0;
+    for (int i = 0; i < 30; ++i) {
+        const Action a = agent.selectAction();
+        agent.observe(a, {}, 0.0);
+        EXPECT_GE(agent.temperature(), 0.1);
+        maxTempSeen = std::max(maxTempSeen, agent.temperature());
+    }
+    EXPECT_DOUBLE_EQ(maxTempSeen, 1.0);  // reheated back to the top
+}
+
+TEST(SimulatedAnnealing, SolvesOneMax)
+{
+    OneMaxEnv env(16);
+    SimulatedAnnealingAgent agent(env.actionSpace(),
+                                  {{"initial_temp", 0.3},
+                                   {"cooling", 0.995}},
+                                  5);
+    EXPECT_GE(runBest(env, agent, 1500), 0.95);
+}
+
+TEST(SimulatedAnnealing, GreedyAtZeroTemperatureNeverAcceptsWorse)
+{
+    QuadraticEnv env({10.0, 10.0});
+    SimulatedAnnealingAgent agent(env.actionSpace(),
+                                  {{"initial_temp", 1e-9},
+                                   {"min_temp", 1e-12},
+                                   {"cooling", 0.5},
+                                   {"reheat", 0}},
+                                  6);
+    RunConfig cfg;
+    cfg.maxSamples = 300;
+    const RunResult r = runSearch(env, agent, cfg);
+    // Greedy hill climbing still improves over its first sample.
+    EXPECT_GE(r.bestReward, r.rewardHistory.front());
+}
+
+// --------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------
+
+TEST(Registry, SimulatedAnnealingIsRegisteredAsExtension)
+{
+    OneMaxEnv env(3);
+    auto agent = makeAgent("SA", env.actionSpace(), {}, 1);
+    EXPECT_EQ(agent->name(), "SA");
+    EXPECT_GE(defaultHyperGrid("SA").gridSize(), 9u);
+    // But SA stays out of the paper-reproduction roster.
+    for (const auto &name : agentNames())
+        EXPECT_NE(name, "SA");
+}
+
+TEST(Registry, AllNamesConstruct)
+{
+    OneMaxEnv env(3);
+    for (const auto &name : agentNames()) {
+        auto agent = makeAgent(name, env.actionSpace(), {}, 1);
+        EXPECT_EQ(agent->name(), name);
+    }
+}
+
+TEST(Registry, UnknownNameThrows)
+{
+    OneMaxEnv env(3);
+    EXPECT_THROW(makeAgent("nope", env.actionSpace(), {}, 1),
+                 std::invalid_argument);
+}
+
+TEST(Registry, DefaultGridsAreNonTrivial)
+{
+    for (const auto &name : agentNames()) {
+        const HyperGrid grid = defaultHyperGrid(name);
+        EXPECT_GE(grid.gridSize(), 9u) << name;
+    }
+    EXPECT_THROW(defaultHyperGrid("nope"), std::invalid_argument);
+}
+
+} // namespace
+} // namespace archgym

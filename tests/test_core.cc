@@ -1,0 +1,581 @@
+/**
+ * @file
+ * Unit tests for the core framework: parameter spaces, objectives,
+ * hyperparameter grids, trajectory/dataset infrastructure, toy
+ * environments, and the experiment driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "core/driver.h"
+#include "core/hyperparams.h"
+#include "core/objective.h"
+#include "core/param_space.h"
+#include "core/toy_envs.h"
+#include "core/trajectory.h"
+
+namespace archgym {
+namespace {
+
+ParamSpace
+makeMixedSpace()
+{
+    ParamSpace space;
+    space.add(ParamDesc::categorical("policy", {"Open", "Closed", "Auto"}))
+        .add(ParamDesc::integer("bufsize", 1, 8))
+        .add(ParamDesc::real("scale", 0.0, 1.0, 0.25))
+        .add(ParamDesc::powerOfTwo("pes", 4, 64));
+    return space;
+}
+
+// --------------------------------------------------------------------
+// ParamDesc / ParamSpace
+// --------------------------------------------------------------------
+
+TEST(ParamDesc, CategoricalLevels)
+{
+    const auto d = ParamDesc::categorical("p", {"a", "b", "c"});
+    EXPECT_EQ(d.levels(), 3u);
+    EXPECT_DOUBLE_EQ(d.levelToValue(1), 1.0);
+    EXPECT_EQ(d.valueToLevel(2.2), 2u);
+    EXPECT_EQ(d.valueName(1.0), "b");
+}
+
+TEST(ParamDesc, IntegerGrid)
+{
+    const auto d = ParamDesc::integer("n", 2, 10, 2);
+    EXPECT_EQ(d.levels(), 5u);
+    EXPECT_DOUBLE_EQ(d.levelToValue(0), 2.0);
+    EXPECT_DOUBLE_EQ(d.levelToValue(4), 10.0);
+    EXPECT_EQ(d.valueToLevel(6.9), 2u);  // nearest grid point is 6
+    EXPECT_EQ(d.valueName(6.0), "6");
+}
+
+TEST(ParamDesc, RealGrid)
+{
+    const auto d = ParamDesc::real("x", 0.0, 1.0, 0.25);
+    EXPECT_EQ(d.levels(), 5u);
+    EXPECT_DOUBLE_EQ(d.levelToValue(3), 0.75);
+    EXPECT_EQ(d.valueToLevel(0.6), 2u);  // 0.5 is nearest
+}
+
+TEST(ParamDesc, PowerOfTwoGrid)
+{
+    const auto d = ParamDesc::powerOfTwo("pes", 4, 64);
+    EXPECT_EQ(d.levels(), 5u);  // 4 8 16 32 64
+    EXPECT_DOUBLE_EQ(d.levelToValue(0), 4.0);
+    EXPECT_DOUBLE_EQ(d.levelToValue(4), 64.0);
+    EXPECT_EQ(d.valueToLevel(20.0), 2u);  // nearest is 16
+}
+
+TEST(ParamDesc, UnitMappingRoundTrips)
+{
+    const auto d = ParamDesc::integer("n", 0, 9);
+    for (std::size_t l = 0; l < d.levels(); ++l)
+        EXPECT_EQ(d.unitToLevel(d.levelToUnit(l)), l);
+    EXPECT_EQ(d.unitToLevel(0.0), 0u);
+    EXPECT_EQ(d.unitToLevel(1.0), 9u);
+    EXPECT_EQ(d.unitToLevel(-3.0), 0u);   // clamped
+    EXPECT_EQ(d.unitToLevel(7.0), 9u);    // clamped
+}
+
+TEST(ParamSpace, CardinalityIsProduct)
+{
+    const auto space = makeMixedSpace();
+    EXPECT_DOUBLE_EQ(space.cardinality(), 3.0 * 8.0 * 5.0 * 5.0);
+}
+
+TEST(ParamSpace, SampleIsAlwaysContained)
+{
+    const auto space = makeMixedSpace();
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_TRUE(space.contains(space.sample(rng)));
+}
+
+TEST(ParamSpace, LevelRoundTrip)
+{
+    const auto space = makeMixedSpace();
+    Rng rng(6);
+    for (int i = 0; i < 100; ++i) {
+        const Action a = space.sample(rng);
+        EXPECT_EQ(space.fromLevels(space.toLevels(a)), a);
+    }
+}
+
+TEST(ParamSpace, UnitRoundTrip)
+{
+    const auto space = makeMixedSpace();
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        const Action a = space.sample(rng);
+        EXPECT_EQ(space.fromUnit(space.toUnit(a)), a);
+    }
+}
+
+TEST(ParamSpace, QuantizeSnapsOffGridValues)
+{
+    const auto space = makeMixedSpace();
+    const Action raw = {1.4, 3.7, 0.6, 20.0};
+    const Action snapped = space.quantize(raw);
+    EXPECT_TRUE(space.contains(snapped));
+    EXPECT_DOUBLE_EQ(snapped[0], 1.0);
+    EXPECT_DOUBLE_EQ(snapped[1], 4.0);
+    EXPECT_DOUBLE_EQ(snapped[2], 0.5);
+    EXPECT_DOUBLE_EQ(snapped[3], 16.0);
+}
+
+TEST(ParamSpace, IndexOfAndDescribe)
+{
+    const auto space = makeMixedSpace();
+    EXPECT_EQ(space.indexOf("scale"), 2u);
+    EXPECT_THROW(space.indexOf("nope"), std::out_of_range);
+    const Action a = {0.0, 3.0, 0.5, 8.0};
+    const std::string desc = space.describe(a);
+    EXPECT_NE(desc.find("policy=Open"), std::string::npos);
+    EXPECT_NE(desc.find("bufsize=3"), std::string::npos);
+    EXPECT_NE(desc.find("pes=8"), std::string::npos);
+}
+
+TEST(ParamSpace, HeaderCsv)
+{
+    const auto space = makeMixedSpace();
+    EXPECT_EQ(space.headerCsv(), "policy,bufsize,scale,pes");
+}
+
+// --------------------------------------------------------------------
+// Objectives (Table 3)
+// --------------------------------------------------------------------
+
+TEST(TargetObjective, RewardGrowsAsTargetApproached)
+{
+    TargetObjective obj({TargetTerm{0, 10.0, 1.0, "lat"}});
+    EXPECT_LT(obj.reward({30.0}), obj.reward({15.0}));
+    EXPECT_LT(obj.reward({15.0}), obj.reward({11.0}));
+    // Exact formula: target / |target - obs|.
+    EXPECT_DOUBLE_EQ(obj.reward({15.0}), 10.0 / 5.0);
+}
+
+TEST(TargetObjective, RewardCappedAtExactTarget)
+{
+    TargetObjective obj({TargetTerm{0, 10.0, 1.0, "lat"}}, 1e6);
+    EXPECT_DOUBLE_EQ(obj.reward({10.0}), 1e6);
+    EXPECT_TRUE(std::isfinite(obj.reward({10.0})));
+}
+
+TEST(TargetObjective, JointObjectiveAveragesTerms)
+{
+    TargetObjective obj({TargetTerm{0, 10.0, 1.0, "lat"},
+                         TargetTerm{1, 2.0, 1.0, "pow"}});
+    // lat term: 10/10 = 1; pow term: 2/2 = 1 -> mean 1.
+    EXPECT_DOUBLE_EQ(obj.reward({20.0, 4.0}), 1.0);
+}
+
+TEST(TargetObjective, WeightsBiasTheMean)
+{
+    TargetObjective obj({TargetTerm{0, 10.0, 3.0, "lat"},
+                         TargetTerm{1, 2.0, 1.0, "pow"}});
+    // lat reward 1 (w 3), pow reward 2 (w 1) -> (3*1 + 1*2)/4.
+    EXPECT_DOUBLE_EQ(obj.reward({20.0, 3.0}), 1.25);
+}
+
+TEST(TargetObjective, SatisfiedWithinTolerance)
+{
+    TargetObjective obj({TargetTerm{0, 100.0, 1.0, "lat"}}, 1e6, 0.05);
+    EXPECT_TRUE(obj.satisfied({102.0}));
+    EXPECT_FALSE(obj.satisfied({110.0}));
+}
+
+TEST(BudgetDistanceObjective, UnderBudgetIsZeroDistance)
+{
+    BudgetDistanceObjective obj({BudgetTerm{0, 10.0, 1.0, "power"},
+                                 BudgetTerm{1, 5.0, 1.0, "area"}});
+    EXPECT_DOUBLE_EQ(obj.distance({8.0, 4.0}), 0.0);
+    EXPECT_DOUBLE_EQ(obj.reward({8.0, 4.0}), 0.0);
+    EXPECT_TRUE(obj.satisfied({8.0, 4.0}));
+}
+
+TEST(BudgetDistanceObjective, OvershootAccumulates)
+{
+    BudgetDistanceObjective obj({BudgetTerm{0, 10.0, 1.0, "power"},
+                                 BudgetTerm{1, 5.0, 2.0, "area"}});
+    // power over by 50% (alpha 1) + area over by 100% (alpha 2).
+    EXPECT_DOUBLE_EQ(obj.distance({15.0, 10.0}), 0.5 + 2.0);
+    EXPECT_DOUBLE_EQ(obj.reward({15.0, 10.0}), -2.5);
+    EXPECT_FALSE(obj.satisfied({15.0, 10.0}));
+}
+
+TEST(InverseObjective, ReciprocalOfMetric)
+{
+    InverseObjective obj(1, "runtime");
+    EXPECT_DOUBLE_EQ(obj.reward({9.0, 4.0}), 0.25);
+    EXPECT_DOUBLE_EQ(obj.reward({9.0, 0.0}), 0.0);  // guarded
+}
+
+// --------------------------------------------------------------------
+// HyperParams / HyperGrid
+// --------------------------------------------------------------------
+
+TEST(HyperParams, GetWithFallback)
+{
+    HyperParams hp{{"lr", 0.1}};
+    EXPECT_DOUBLE_EQ(hp.get("lr", 0.5), 0.1);
+    EXPECT_DOUBLE_EQ(hp.get("missing", 0.5), 0.5);
+    EXPECT_EQ(hp.getInt("lr", 7), 0);
+    EXPECT_EQ(hp.getInt("missing", 7), 7);
+    EXPECT_TRUE(hp.has("lr"));
+    EXPECT_FALSE(hp.has("missing"));
+}
+
+TEST(HyperParams, StrRendering)
+{
+    HyperParams hp{{"a", 1.0}, {"b", 2.5}};
+    EXPECT_EQ(hp.str(), "a=1,b=2.5");
+}
+
+TEST(HyperGrid, EnumerateFullProduct)
+{
+    HyperGrid grid;
+    grid.add("a", {1, 2, 3}).add("b", {10, 20});
+    EXPECT_EQ(grid.gridSize(), 6u);
+    const auto configs = grid.enumerate();
+    ASSERT_EQ(configs.size(), 6u);
+    std::set<std::pair<double, double>> seen;
+    for (const auto &hp : configs)
+        seen.emplace(hp.get("a", -1), hp.get("b", -1));
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(HyperGrid, RandomSampleDrawsFromAxes)
+{
+    HyperGrid grid;
+    grid.add("a", {1, 2}).add("b", {5});
+    Rng rng(3);
+    const auto configs = grid.randomSample(20, rng);
+    ASSERT_EQ(configs.size(), 20u);
+    for (const auto &hp : configs) {
+        const double a = hp.get("a", -1);
+        EXPECT_TRUE(a == 1.0 || a == 2.0);
+        EXPECT_DOUBLE_EQ(hp.get("b", -1), 5.0);
+    }
+}
+
+// --------------------------------------------------------------------
+// Trajectory / Dataset
+// --------------------------------------------------------------------
+
+TEST(TrajectoryLog, CsvRoundTrip)
+{
+    ParamSpace space;
+    space.add(ParamDesc::integer("x", 0, 7))
+        .add(ParamDesc::integer("y", 0, 7));
+    TrajectoryLog log("ToyEnv", "GA", "pop=4");
+    log.append(Transition{{1.0, 2.0}, {10.0, 0.5, 3.0}, 0.9});
+    log.append(Transition{{3.0, 4.0}, {20.0, 0.7, 6.0}, 0.4});
+
+    std::stringstream ss;
+    log.writeCsv(ss, space, {"lat", "pow", "en"});
+    const TrajectoryLog back = TrajectoryLog::readCsv(ss);
+    EXPECT_EQ(back.envName(), "ToyEnv");
+    EXPECT_EQ(back.agentName(), "GA");
+    EXPECT_EQ(back.hyperParams(), "pop=4");
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].action, (Action{1.0, 2.0}));
+    EXPECT_EQ(back[1].observation, (Metrics{20.0, 0.7, 6.0}));
+    EXPECT_DOUBLE_EQ(back[1].reward, 0.4);
+}
+
+Dataset
+makeDataset()
+{
+    Dataset ds;
+    for (const std::string agent : {"ACO", "GA", "RW"}) {
+        TrajectoryLog log("Env", agent, "");
+        for (int i = 0; i < 10; ++i) {
+            log.append(Transition{{static_cast<double>(i)},
+                                  {static_cast<double>(i) * 2.0},
+                                  0.1 * i});
+        }
+        ds.add(std::move(log));
+    }
+    return ds;
+}
+
+TEST(Dataset, CountsAndAgentNames)
+{
+    const Dataset ds = makeDataset();
+    EXPECT_EQ(ds.logCount(), 3u);
+    EXPECT_EQ(ds.transitionCount(), 30u);
+    EXPECT_EQ(ds.agentNames(),
+              (std::vector<std::string>{"ACO", "GA", "RW"}));
+}
+
+TEST(Dataset, FlattenAgentFilters)
+{
+    const Dataset ds = makeDataset();
+    EXPECT_EQ(ds.flattenAgent("GA").size(), 10u);
+    EXPECT_EQ(ds.flattenAgent("nope").size(), 0u);
+    EXPECT_EQ(ds.flatten().size(), 30u);
+}
+
+TEST(Dataset, SampleWithoutReplacementWhenPossible)
+{
+    const Dataset ds = makeDataset();
+    Rng rng(9);
+    const auto s = ds.sample(30, rng);
+    EXPECT_EQ(s.size(), 30u);
+    // With replacement only when oversampling.
+    const auto big = ds.sample(100, rng);
+    EXPECT_EQ(big.size(), 100u);
+}
+
+TEST(Dataset, SampleDiverseSplitsEvenly)
+{
+    const Dataset ds = makeDataset();
+    Rng rng(10);
+    const auto s = ds.sampleDiverse(9, {"ACO", "GA", "RW"}, rng);
+    EXPECT_EQ(s.size(), 9u);
+}
+
+TEST(Dataset, DirectoryRoundTrip)
+{
+    ParamSpace space;
+    space.add(ParamDesc::integer("x", 0, 9));
+    const Dataset ds = makeDataset();
+    const std::string dir = ::testing::TempDir() + "/archgym_ds_rt";
+    ds.saveDirectory(dir, space, {"m"});
+
+    const Dataset back = Dataset::loadDirectory(dir);
+    EXPECT_EQ(back.logCount(), ds.logCount());
+    EXPECT_EQ(back.transitionCount(), ds.transitionCount());
+    EXPECT_EQ(back.agentNames(), ds.agentNames());
+    // Spot-check transition fidelity on the first log.
+    ASSERT_GT(back.log(0).size(), 0u);
+    EXPECT_EQ(back.log(0)[3].action, ds.log(0)[3].action);
+    EXPECT_EQ(back.log(0)[3].observation, ds.log(0)[3].observation);
+    EXPECT_DOUBLE_EQ(back.log(0)[3].reward, ds.log(0)[3].reward);
+}
+
+TEST(Dataset, FourMetricCsvRoundTripsViaActionDimsHint)
+{
+    // MaestroGym-shaped logs (4 metrics) need the explicit action_dims
+    // header to split columns correctly.
+    ParamSpace space;
+    space.add(ParamDesc::integer("a", 0, 9))
+        .add(ParamDesc::integer("b", 0, 9));
+    TrajectoryLog log("Env4", "GA", "");
+    log.append(Transition{{1.0, 2.0}, {10.0, 20.0, 30.0, 40.0}, 0.5});
+    std::stringstream ss;
+    log.writeCsv(ss, space, {"m1", "m2", "m3", "m4"});
+    const TrajectoryLog back = TrajectoryLog::readCsv(ss);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].action, (Action{1.0, 2.0}));
+    EXPECT_EQ(back[0].observation,
+              (Metrics{10.0, 20.0, 30.0, 40.0}));
+}
+
+// --------------------------------------------------------------------
+// Toy environments
+// --------------------------------------------------------------------
+
+TEST(QuadraticEnv, RewardPeaksAtOptimum)
+{
+    QuadraticEnv env({5.0, 7.0});
+    const auto atOpt = env.step({5.0, 7.0});
+    EXPECT_DOUBLE_EQ(atOpt.reward, 1.0);
+    EXPECT_TRUE(atOpt.done);
+    const auto off = env.step({6.0, 7.0});
+    EXPECT_DOUBLE_EQ(off.reward, 0.5);
+    EXPECT_FALSE(off.done);
+    EXPECT_EQ(env.sampleCount(), 2u);
+}
+
+TEST(OneMaxEnv, CountsOnes)
+{
+    OneMaxEnv env(4);
+    EXPECT_DOUBLE_EQ(env.step({1, 1, 0, 0}).reward, 0.5);
+    const auto full = env.step({1, 1, 1, 1});
+    EXPECT_DOUBLE_EQ(full.reward, 1.0);
+    EXPECT_TRUE(full.done);
+}
+
+TEST(RastriginEnv, OriginIsGlobalOptimum)
+{
+    RastriginEnv env(3);
+    const auto origin = env.step({0.0, 0.0, 0.0});
+    EXPECT_NEAR(origin.reward, 0.0, 1e-9);
+    const auto off = env.step({1.0, 1.0, 1.0});
+    EXPECT_LT(off.reward, origin.reward);
+}
+
+// --------------------------------------------------------------------
+// Driver
+// --------------------------------------------------------------------
+
+/** Minimal deterministic agent for driver tests. */
+class ScriptedAgent : public Agent
+{
+  public:
+    ScriptedAgent(const ParamSpace &space, std::uint64_t seed)
+        : Agent("Scripted", space, {}), rng_(seed)
+    {}
+
+    Action selectAction() override { return space_.sample(rng_); }
+    void observe(const Action &, const Metrics &, double reward) override
+    {
+        lastReward_ = reward;
+        ++observeCalls_;
+    }
+    void reset() override {}
+
+    double lastReward_ = 0.0;
+    std::size_t observeCalls_ = 0;
+
+  private:
+    Rng rng_;
+};
+
+TEST(Driver, RespectsSampleBudget)
+{
+    QuadraticEnv env({3.0, 3.0});
+    ScriptedAgent agent(env.actionSpace(), 1);
+    RunConfig cfg;
+    cfg.maxSamples = 57;
+    const RunResult r = runSearch(env, agent, cfg);
+    EXPECT_EQ(r.samplesUsed, 57u);
+    EXPECT_EQ(env.sampleCount(), 57u);
+    EXPECT_EQ(agent.observeCalls_, 57u);
+    EXPECT_EQ(r.rewardHistory.size(), 57u);
+}
+
+TEST(Driver, TracksBestRewardAndAction)
+{
+    QuadraticEnv env({3.0, 3.0});
+    ScriptedAgent agent(env.actionSpace(), 2);
+    RunConfig cfg;
+    cfg.maxSamples = 500;
+    const RunResult r = runSearch(env, agent, cfg);
+    EXPECT_GT(r.bestReward, 0.0);
+    const auto check = env.step(r.bestAction);
+    EXPECT_DOUBLE_EQ(check.reward, r.bestReward);
+    EXPECT_LT(r.bestSampleIndex, r.samplesUsed);
+}
+
+TEST(Driver, BestSoFarIsMonotone)
+{
+    QuadraticEnv env({1.0, 2.0});
+    ScriptedAgent agent(env.actionSpace(), 3);
+    RunConfig cfg;
+    cfg.maxSamples = 100;
+    const RunResult r = runSearch(env, agent, cfg);
+    const auto curve = r.bestSoFar();
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i - 1]);
+    EXPECT_DOUBLE_EQ(curve.back(), r.bestReward);
+}
+
+TEST(Driver, LogsTrajectoryWhenAsked)
+{
+    QuadraticEnv env({1.0, 2.0});
+    ScriptedAgent agent(env.actionSpace(), 4);
+    RunConfig cfg;
+    cfg.maxSamples = 20;
+    cfg.logTrajectory = true;
+    const RunResult r = runSearch(env, agent, cfg);
+    EXPECT_EQ(r.trajectory.size(), 20u);
+    EXPECT_EQ(r.trajectory.envName(), "QuadraticEnv");
+    EXPECT_EQ(r.trajectory.agentName(), "Scripted");
+}
+
+TEST(Driver, StopsEarlyWhenSatisfied)
+{
+    OneMaxEnv env(2);  // tiny space: quickly hits all-ones
+    ScriptedAgent agent(env.actionSpace(), 5);
+    RunConfig cfg;
+    cfg.maxSamples = 1000;
+    cfg.stopWhenSatisfied = true;
+    const RunResult r = runSearch(env, agent, cfg);
+    EXPECT_LT(r.samplesUsed, 1000u);
+    EXPECT_DOUBLE_EQ(r.bestReward, 1.0);
+}
+
+TEST(Driver, SweepProducesOneResultPerConfig)
+{
+    QuadraticEnv env({2.0, 2.0});
+    HyperGrid grid;
+    grid.add("dummy", {1, 2, 3});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 50;
+    const SweepResult sweep =
+        runSweep(env, "Scripted", builder, configs, cfg);
+    EXPECT_EQ(sweep.bestRewards.size(), 3u);
+    EXPECT_EQ(sweep.runs.size(), 3u);
+    for (double r : sweep.bestRewards)
+        EXPECT_GT(r, 0.0);
+}
+
+TEST(Driver, ParallelSweepMatchesSerialExactly)
+{
+    HyperGrid grid;
+    grid.add("dummy", {1, 2, 3, 4, 5, 6, 7});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 40;
+
+    QuadraticEnv serialEnv({3.0, 8.0});
+    const SweepResult serial =
+        runSweep(serialEnv, "S", builder, configs, cfg, 7);
+
+    const EnvFactory factory = [] {
+        return std::unique_ptr<Environment>(
+            std::make_unique<QuadraticEnv>(
+                std::vector<double>{3.0, 8.0}));
+    };
+    for (std::size_t threads : {1u, 4u}) {
+        const SweepResult parallel = runSweepParallel(
+            factory, "S", builder, configs, cfg, 7, threads);
+        EXPECT_EQ(parallel.bestRewards, serial.bestRewards)
+            << threads << " threads";
+        ASSERT_EQ(parallel.runs.size(), serial.runs.size());
+        for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+            EXPECT_EQ(parallel.runs[i].rewardHistory,
+                      serial.runs[i].rewardHistory);
+        }
+    }
+}
+
+TEST(Driver, SweepIsDeterministic)
+{
+    QuadraticEnv env({2.0, 2.0});
+    HyperGrid grid;
+    grid.add("dummy", {1, 2});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 30;
+    const auto s1 = runSweep(env, "S", builder, configs, cfg, 99);
+    const auto s2 = runSweep(env, "S", builder, configs, cfg, 99);
+    EXPECT_EQ(s1.bestRewards, s2.bestRewards);
+}
+
+} // namespace
+} // namespace archgym

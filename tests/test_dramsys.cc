@@ -1,0 +1,703 @@
+/**
+ * @file
+ * Tests for the DRAM subsystem simulator: trace generators, address
+ * decoding, device timing invariants, controller policies, refresh
+ * elasticity, and power accounting. A parameterized property suite sweeps
+ * all page-policy x scheduler x buffer combinations and checks global
+ * invariants (completion ordering, energy consistency, latency bounds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dramsys/controller.h"
+#include "dramsys/dram_device.h"
+#include "dramsys/power_model.h"
+#include "dramsys/memspec_presets.h"
+#include "dramsys/trace_gen.h"
+
+namespace archgym::dram {
+namespace {
+
+MemSpec
+testSpec()
+{
+    return MemSpec{};
+}
+
+std::vector<MemoryRequest>
+makeTrace(TracePattern pattern, std::size_t n = 300)
+{
+    TraceConfig cfg;
+    cfg.pattern = pattern;
+    cfg.numRequests = n;
+    cfg.seed = 99;
+    return generateTrace(cfg);
+}
+
+// --------------------------------------------------------------------
+// Trace generation
+// --------------------------------------------------------------------
+
+TEST(TraceGen, ProducesRequestedCount)
+{
+    for (auto p : {TracePattern::Streaming, TracePattern::Random,
+                   TracePattern::Cloud1, TracePattern::Cloud2}) {
+        const auto trace = makeTrace(p, 200);
+        EXPECT_EQ(trace.size(), 200u) << toString(p);
+    }
+}
+
+TEST(TraceGen, ArrivalsAreSortedAndIdsSequential)
+{
+    const auto trace = makeTrace(TracePattern::Cloud1, 400);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_GE(trace[i].arrivalCycle, trace[i - 1].arrivalCycle);
+        EXPECT_EQ(trace[i].id, i);
+    }
+}
+
+TEST(TraceGen, DeterministicForSeed)
+{
+    const auto a = makeTrace(TracePattern::Random, 100);
+    const auto b = makeTrace(TracePattern::Random, 100);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].address, b[i].address);
+        EXPECT_EQ(a[i].arrivalCycle, b[i].arrivalCycle);
+    }
+}
+
+TEST(TraceGen, StreamingIsSequentialAndReadHeavy)
+{
+    const auto trace = makeTrace(TracePattern::Streaming, 300);
+    std::size_t reads = 0, sequential = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        reads += !trace[i].isWrite;
+        if (trace[i].address == trace[i - 1].address + 64)
+            ++sequential;
+    }
+    EXPECT_GT(reads, 200u);
+    EXPECT_GT(sequential, 200u);
+}
+
+TEST(TraceGen, RandomHasLowLocality)
+{
+    const auto trace = makeTrace(TracePattern::Random, 300);
+    std::size_t sequential = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        if (trace[i].address == trace[i - 1].address + 64)
+            ++sequential;
+    EXPECT_LT(sequential, 5u);
+}
+
+TEST(TraceGen, AddressesAreCacheLineAligned)
+{
+    for (auto p : {TracePattern::Streaming, TracePattern::Random,
+                   TracePattern::Cloud1, TracePattern::Cloud2}) {
+        for (const auto &r : makeTrace(p, 100))
+            EXPECT_EQ(r.address % 64, 0u) << toString(p);
+    }
+}
+
+TEST(TraceParse, ReadsWellFormedTrace)
+{
+    std::stringstream ss;
+    ss << "# comment\n"
+       << "0: R 0x1000\n"
+       << "10: W 4096\n";
+    const auto trace = parseTrace(ss);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].address, 0x1000u);
+    EXPECT_FALSE(trace[0].isWrite);
+    EXPECT_EQ(trace[1].arrivalCycle, 10u);
+    EXPECT_TRUE(trace[1].isWrite);
+}
+
+TEST(TraceParse, RejectsMalformedOp)
+{
+    std::stringstream ss;
+    ss << "0: X 0x1000\n";
+    EXPECT_THROW(parseTrace(ss), std::runtime_error);
+}
+
+TEST(TraceWrite, RoundTripsThroughParser)
+{
+    const auto original = makeTrace(TracePattern::Cloud1, 120);
+    std::stringstream ss;
+    writeTrace(ss, original);
+    const auto back = parseTrace(ss);
+    ASSERT_EQ(back.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(back[i].address, original[i].address);
+        EXPECT_EQ(back[i].isWrite, original[i].isWrite);
+        EXPECT_EQ(back[i].arrivalCycle, original[i].arrivalCycle);
+    }
+}
+
+// --------------------------------------------------------------------
+// MemSpec presets
+// --------------------------------------------------------------------
+
+TEST(MemSpecPresets, AllNamesResolve)
+{
+    for (const auto &name : memSpecNames()) {
+        const MemSpec spec = memSpecByName(name);
+        EXPECT_EQ(spec.name, name);
+        EXPECT_GT(spec.totalBanks(), 0u);
+    }
+    EXPECT_THROW(memSpecByName("DDR9"), std::invalid_argument);
+}
+
+TEST(MemSpecPresets, Ddr4_3200KeepsWallClockTimings)
+{
+    const MemSpec slow = ddr4_2400();
+    const MemSpec fast = ddr4_3200();
+    EXPECT_LT(fast.clockNs, slow.clockNs);
+    // Same constraint in nanoseconds (within one-cycle rounding).
+    EXPECT_NEAR(fast.timing.tRCD * fast.clockNs,
+                slow.timing.tRCD * slow.clockNs, fast.clockNs + 1e-9);
+    EXPECT_GE(fast.timing.tRCD, slow.timing.tRCD);  // more cycles
+}
+
+TEST(MemSpecPresets, FasterPartReducesStreamingLatency)
+{
+    const auto trace = makeTrace(TracePattern::Streaming, 400);
+    DramController slow(ddr4_2400(), ControllerConfig{});
+    DramController fast(ddr4_3200(), ControllerConfig{});
+    // Arrival cycles are clock-denominated, so compare wall-clock time
+    // for the same request stream.
+    EXPECT_LT(fast.run(trace).totalTimeNs, slow.run(trace).totalTimeNs);
+}
+
+TEST(MemSpecPresets, LpddrHasLowerIdlePower)
+{
+    // Pointer-chasing traffic is background-dominated: the mobile part
+    // must burn less power there.
+    const auto trace = makeTrace(TracePattern::Random, 300);
+    DramController ddr(ddr4_2400(), ControllerConfig{});
+    DramController lp(lpddr4_3200(), ControllerConfig{});
+    EXPECT_LT(lp.run(trace).power.avgPowerW,
+              ddr.run(trace).power.avgPowerW);
+}
+
+TEST(MemSpecPresets, LpddrHasSixteenBanks)
+{
+    EXPECT_EQ(lpddr4_3200().totalBanks(), 16u);
+}
+
+// --------------------------------------------------------------------
+// Address decode
+// --------------------------------------------------------------------
+
+TEST(AddressDecode, FieldsWithinBounds)
+{
+    DramController ctrl(testSpec(), ControllerConfig{});
+    const MemSpec spec = testSpec();
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto loc = ctrl.decode(rng.below(1ULL << 34));
+        EXPECT_LT(loc.rank, spec.ranks);
+        EXPECT_LT(loc.bank, spec.banksPerRank);
+        EXPECT_LT(loc.row, spec.rowsPerBank);
+        EXPECT_LT(loc.column,
+                  spec.columnsPerRow * spec.bytesPerColumn /
+                      spec.accessBytes());
+    }
+}
+
+TEST(AddressDecode, SequentialAddressesSweepColumnsThenBanks)
+{
+    DramController ctrl(testSpec(), ControllerConfig{});
+    const MemSpec spec = testSpec();
+    const auto a = ctrl.decode(0);
+    const auto b = ctrl.decode(spec.accessBytes());
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(b.column, a.column + 1);
+}
+
+// --------------------------------------------------------------------
+// Device timing
+// --------------------------------------------------------------------
+
+TEST(DramDevice, ActivateThenReadRespectsTrcd)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    dev.issueActivate(0, 42, 100);
+    EXPECT_TRUE(dev.rowOpen(0));
+    EXPECT_EQ(dev.openRow(0), 42u);
+    EXPECT_GE(dev.earliestRead(0), 100 + spec.timing.tRCD);
+    EXPECT_GE(dev.earliestWrite(0), 100 + spec.timing.tRCD);
+}
+
+TEST(DramDevice, PrechargeRespectsTras)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    dev.issueActivate(0, 1, 0);
+    EXPECT_GE(dev.earliestPrecharge(0), spec.timing.tRAS);
+}
+
+TEST(DramDevice, ActivateAfterPrechargeRespectsTrp)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    dev.issueActivate(0, 1, 0);
+    const auto tPre = dev.earliestPrecharge(0);
+    dev.issuePrecharge(0, tPre);
+    EXPECT_FALSE(dev.rowOpen(0));
+    EXPECT_GE(dev.earliestActivate(0), tPre + spec.timing.tRP);
+}
+
+TEST(DramDevice, ReadReturnsDataAfterClPlusBurst)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    dev.issueActivate(0, 1, 0);
+    const auto t = dev.earliestRead(0);
+    const auto dataEnd = dev.issueRead(0, t);
+    EXPECT_EQ(dataEnd, t + spec.timing.tCL + spec.timing.burstCycles);
+}
+
+TEST(DramDevice, FourActivateWindowEnforced)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    std::uint64_t t = 0;
+    for (std::uint32_t b = 0; b < 4; ++b) {
+        t = std::max(t, dev.earliestActivate(b));
+        dev.issueActivate(b, 0, t);
+    }
+    // The 5th activate must wait for the tFAW window from the 1st.
+    EXPECT_GE(dev.earliestActivate(4), spec.timing.tFAW);
+}
+
+TEST(DramDevice, WriteToReadTurnaround)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    dev.issueActivate(0, 1, 0);
+    dev.issueActivate(1, 1, dev.earliestActivate(1));
+    const auto tw = dev.earliestWrite(0);
+    const auto wEnd = dev.issueWrite(0, tw);
+    EXPECT_GE(dev.earliestRead(1), wEnd + spec.timing.tWTR);
+}
+
+TEST(DramDevice, RefreshBlocksAllBanks)
+{
+    const MemSpec spec = testSpec();
+    DramDevice dev(spec);
+    const auto done = dev.issueRefresh(0);
+    EXPECT_EQ(done, spec.timing.tRFC);
+    for (std::uint32_t b = 0; b < spec.totalBanks(); ++b)
+        EXPECT_GE(dev.earliestActivate(b), done);
+}
+
+TEST(DramDevice, CommandCountsAccumulate)
+{
+    DramDevice dev(testSpec());
+    dev.issueActivate(0, 1, 0);
+    dev.issueRead(0, dev.earliestRead(0));
+    dev.issueWrite(0, dev.earliestWrite(0));
+    dev.issuePrecharge(0, dev.earliestPrecharge(0));
+    const auto &c = dev.counts();
+    EXPECT_EQ(c.activates, 1u);
+    EXPECT_EQ(c.reads, 1u);
+    EXPECT_EQ(c.writes, 1u);
+    EXPECT_EQ(c.precharges, 1u);
+}
+
+TEST(DramDevice, OpenCyclesTracksRowState)
+{
+    DramDevice dev(testSpec());
+    EXPECT_EQ(dev.openCycles(100), 0u);
+    dev.issueActivate(0, 1, 100);
+    EXPECT_EQ(dev.openCycles(150), 50u);
+    dev.issuePrecharge(0, dev.earliestPrecharge(0));
+    const auto atPre = dev.openCycles(1000000);
+    EXPECT_EQ(atPre, dev.openCycles(2000000));  // closed: no growth
+}
+
+// --------------------------------------------------------------------
+// Power model
+// --------------------------------------------------------------------
+
+TEST(PowerModel, EnergyMatchesHandComputation)
+{
+    const MemSpec spec = testSpec();
+    CommandCounts counts;
+    counts.activates = 10;
+    counts.reads = 20;
+    const auto p = computePower(spec, counts, 1000, 400);
+    EXPECT_DOUBLE_EQ(p.actPj, 10 * spec.energy.actPj);
+    EXPECT_DOUBLE_EQ(p.rdPj, 20 * spec.energy.rdPj);
+    const double openNs = 400 * spec.clockNs;
+    const double closedNs = 600 * spec.clockNs;
+    EXPECT_DOUBLE_EQ(p.backgroundPj,
+                     openNs * spec.energy.actStandbyMw +
+                         closedNs * spec.energy.preStandbyMw);
+}
+
+TEST(PowerModel, PowerIsEnergyOverTime)
+{
+    const MemSpec spec = testSpec();
+    CommandCounts counts;
+    counts.reads = 100;
+    const auto p = computePower(spec, counts, 10000, 0);
+    const double totalNs = 10000 * spec.clockNs;
+    EXPECT_NEAR(p.avgPowerW, p.totalPj() / totalNs / 1000.0, 1e-12);
+}
+
+// --------------------------------------------------------------------
+// Controller end-to-end
+// --------------------------------------------------------------------
+
+SimResult
+simulate(const ControllerConfig &cfg, TracePattern pattern,
+         std::size_t n = 300)
+{
+    DramController ctrl(testSpec(), cfg);
+    return ctrl.run(makeTrace(pattern, n));
+}
+
+TEST(Controller, AllRequestsComplete)
+{
+    const SimResult r = simulate(ControllerConfig{},
+                                 TracePattern::Streaming);
+    EXPECT_EQ(r.requests, 300u);
+    EXPECT_EQ(r.reads + r.writes, 300u);
+    EXPECT_GT(r.avgLatencyNs, 0.0);
+    EXPECT_GT(r.totalTimeNs, 0.0);
+}
+
+TEST(Controller, LatencyAtLeastDeviceMinimum)
+{
+    const MemSpec spec = testSpec();
+    // Minimum read latency: tRCD + tCL + burst.
+    const double minNs = (spec.timing.tRCD + spec.timing.tCL +
+                          spec.timing.burstCycles) *
+                         spec.clockNs;
+    const SimResult r = simulate(ControllerConfig{}, TracePattern::Random);
+    EXPECT_GE(r.avgReadLatencyNs, minNs * 0.99);
+}
+
+TEST(Controller, StreamingRowHitRateHigh)
+{
+    ControllerConfig cfg;
+    cfg.pagePolicy = PagePolicy::Open;
+    cfg.scheduler = SchedulerPolicy::FrFcFs;
+    const SimResult r = simulate(cfg, TracePattern::Streaming);
+    EXPECT_GT(r.rowHitRate(), 0.8);
+}
+
+TEST(Controller, RandomRowHitRateLow)
+{
+    ControllerConfig cfg;
+    cfg.pagePolicy = PagePolicy::Open;
+    const SimResult r = simulate(cfg, TracePattern::Random);
+    EXPECT_LT(r.rowHitRate(), 0.2);
+}
+
+TEST(Controller, ClosedPolicyKillsRowHitsOnRandom)
+{
+    ControllerConfig open;
+    open.pagePolicy = PagePolicy::Open;
+    ControllerConfig closed;
+    closed.pagePolicy = PagePolicy::Closed;
+    const SimResult ro = simulate(open, TracePattern::Streaming);
+    const SimResult rc = simulate(closed, TracePattern::Streaming);
+    EXPECT_GT(ro.rowHitRate(), rc.rowHitRate());
+}
+
+TEST(Controller, FrFcFsBeatsFifoOnMixedLocality)
+{
+    ControllerConfig fifo;
+    fifo.scheduler = SchedulerPolicy::Fifo;
+    ControllerConfig frfcfs;
+    frfcfs.scheduler = SchedulerPolicy::FrFcFs;
+    const SimResult rf = simulate(fifo, TracePattern::Cloud2, 600);
+    const SimResult rr = simulate(frfcfs, TracePattern::Cloud2, 600);
+    EXPECT_LE(rr.avgLatencyNs, rf.avgLatencyNs * 1.05);
+    EXPECT_GE(rr.rowHitRate(), rf.rowHitRate());
+}
+
+TEST(Controller, MaxActiveTransactionsOneSerializes)
+{
+    ControllerConfig serial;
+    serial.maxActiveTransactions = 1;
+    ControllerConfig parallel;
+    parallel.maxActiveTransactions = 64;
+    const SimResult rs = simulate(serial, TracePattern::Streaming, 400);
+    const SimResult rp = simulate(parallel, TracePattern::Streaming, 400);
+    EXPECT_GT(rs.totalTimeNs, rp.totalTimeNs);
+    EXPECT_GE(rs.avgLatencyNs, rp.avgLatencyNs);
+}
+
+TEST(Controller, SerializationLowersPower)
+{
+    // The Table 4 finding: MaxActiveTrans=1 appears in every low-power
+    // design because stretching time lowers average power.
+    ControllerConfig serial;
+    serial.maxActiveTransactions = 1;
+    ControllerConfig parallel;
+    parallel.maxActiveTransactions = 64;
+    const SimResult rs = simulate(serial, TracePattern::Streaming, 400);
+    const SimResult rp = simulate(parallel, TracePattern::Streaming, 400);
+    EXPECT_LT(rs.power.avgPowerW, rp.power.avgPowerW);
+}
+
+TEST(Controller, RefreshesHappenOnLongTraces)
+{
+    const SimResult r = simulate(ControllerConfig{}, TracePattern::Random,
+                                 800);
+    EXPECT_GT(r.refreshes, 0u);
+}
+
+TEST(Controller, PostponeLimitForcesRefreshes)
+{
+    // A continuously busy trace long enough to cross several tREFI
+    // intervals: with the postpone limit at 1 the controller must squeeze
+    // forced refreshes into live traffic.
+    ControllerConfig tight;
+    tight.refreshMaxPostponed = 1;
+    const SimResult r = simulate(tight, TracePattern::Streaming, 8000);
+    EXPECT_GT(r.refreshes, 0u);
+    EXPECT_GT(r.forcedRefreshes, 0u);
+}
+
+TEST(Controller, PostponingDefersRefreshesVersusTightLimit)
+{
+    ControllerConfig tight;
+    tight.refreshMaxPostponed = 1;
+    ControllerConfig loose;
+    loose.refreshMaxPostponed = 8;
+    const SimResult rt = simulate(tight, TracePattern::Streaming, 8000);
+    const SimResult rl = simulate(loose, TracePattern::Streaming, 8000);
+    EXPECT_GE(rl.avgLatencyNs, 0.0);
+    // The loose config is never forced more often than the tight one.
+    EXPECT_LE(rl.forcedRefreshes, rt.forcedRefreshes);
+}
+
+TEST(Controller, ReorderArbiterRelievesHeadOfLineBlocking)
+{
+    // Tiny per-bank queues and a trace that hammers one bank while other
+    // banks sit idle: an in-order arbiter stalls younger requests behind
+    // the full queue, a reordering arbiter admits them around it.
+    std::vector<MemoryRequest> trace;
+    const MemSpec spec = testSpec();
+    DramController probe(spec, ControllerConfig{});
+    // 40 requests to one row-sweeping bank-0 stream...
+    for (int i = 0; i < 40; ++i) {
+        MemoryRequest r;
+        r.id = trace.size();
+        // Same bank, different rows -> every access is a row conflict.
+        r.address = static_cast<std::uint64_t>(i) << 20;
+        r.arrivalCycle = 0;
+        trace.push_back(r);
+    }
+    // ...followed by independent requests spread over other banks.
+    for (int i = 0; i < 24; ++i) {
+        MemoryRequest r;
+        r.id = trace.size();
+        r.address = 0x2000u + static_cast<std::uint64_t>(i % 7 + 1) *
+                                  spec.accessBytes() * 16;
+        r.arrivalCycle = 1;
+        trace.push_back(r);
+    }
+
+    ControllerConfig inOrder;
+    inOrder.schedulerBuffer = BufferOrg::Bankwise;
+    inOrder.requestBufferSize = 1;
+    inOrder.arbiter = ArbiterPolicy::Fifo;
+    ControllerConfig reorder = inOrder;
+    reorder.arbiter = ArbiterPolicy::Reorder;
+
+    DramController c1(spec, inOrder);
+    DramController c2(spec, reorder);
+    const SimResult r1 = c1.run(trace);
+    const SimResult r2 = c2.run(trace);
+    EXPECT_LT(r2.avgLatencyNs, r1.avgLatencyNs);
+}
+
+TEST(Controller, SimpleArbiterNeverBeatsFifoOnBackToBackTraffic)
+{
+    ControllerConfig simple;
+    simple.arbiter = ArbiterPolicy::Simple;
+    ControllerConfig fifo;
+    fifo.arbiter = ArbiterPolicy::Fifo;
+    const SimResult rs = simulate(simple, TracePattern::Streaming, 400);
+    const SimResult rf = simulate(fifo, TracePattern::Streaming, 400);
+    // One admission per scheduling round can only slow things down.
+    EXPECT_GE(rs.avgLatencyNs, rf.avgLatencyNs * 0.999);
+}
+
+TEST(Controller, RespQueueFifoNeverFasterThanReorder)
+{
+    ControllerConfig fifoResp;
+    fifoResp.respQueue = RespQueuePolicy::Fifo;
+    fifoResp.scheduler = SchedulerPolicy::FrFcFs;
+    ControllerConfig reorder = fifoResp;
+    reorder.respQueue = RespQueuePolicy::Reorder;
+    const SimResult rf = simulate(fifoResp, TracePattern::Cloud2, 500);
+    const SimResult rr = simulate(reorder, TracePattern::Cloud2, 500);
+    EXPECT_GE(rf.avgReadLatencyNs, rr.avgReadLatencyNs * 0.999);
+}
+
+TEST(Controller, EnergyBreakdownSumsToTotal)
+{
+    const SimResult r = simulate(ControllerConfig{}, TracePattern::Cloud1);
+    const auto &p = r.power;
+    EXPECT_NEAR(p.totalPj(),
+                p.actPj + p.prePj + p.rdPj + p.wrPj + p.refPj +
+                    p.backgroundPj + p.controllerPj,
+                1e-6);
+    EXPECT_GT(p.totalPj(), 0.0);
+    EXPECT_GT(p.controllerPj, 0.0);
+}
+
+TEST(ControllerPower, EveryParameterIsPowerRelevant)
+{
+    // The low-power study (§6.3) requires each of the nine DSE knobs to
+    // move the power number; verify each one changes the controller
+    // overhead in the expected direction.
+    ControllerConfig base;
+    const double p0 = controllerPowerMw(base);
+
+    ControllerConfig c = base;
+    c.requestBufferSize = base.requestBufferSize + 4;
+    EXPECT_GT(controllerPowerMw(c), p0);
+
+    c = base;
+    c.scheduler = SchedulerPolicy::Fifo;
+    ControllerConfig cam = base;
+    cam.scheduler = SchedulerPolicy::FrFcFsGrp;
+    EXPECT_LT(controllerPowerMw(c), controllerPowerMw(cam));
+
+    c = base;
+    c.arbiter = ArbiterPolicy::Simple;
+    ControllerConfig reorder = base;
+    reorder.arbiter = ArbiterPolicy::Reorder;
+    EXPECT_LT(controllerPowerMw(c), controllerPowerMw(reorder));
+
+    c = base;
+    c.respQueue = RespQueuePolicy::Fifo;
+    reorder = base;
+    reorder.respQueue = RespQueuePolicy::Reorder;
+    EXPECT_LT(controllerPowerMw(c), controllerPowerMw(reorder));
+
+    c = base;
+    c.maxActiveTransactions = 128;
+    ControllerConfig shallow = base;
+    shallow.maxActiveTransactions = 1;
+    EXPECT_GT(controllerPowerMw(c), controllerPowerMw(shallow));
+
+    c = base;
+    c.refreshMaxPostponed = 8;
+    c.refreshMaxPulledin = 8;
+    shallow = base;
+    shallow.refreshMaxPostponed = 1;
+    shallow.refreshMaxPulledin = 1;
+    EXPECT_GT(controllerPowerMw(c), controllerPowerMw(shallow));
+}
+
+TEST(Controller, PowerTimesTimeEqualsEnergy)
+{
+    const SimResult r = simulate(ControllerConfig{}, TracePattern::Cloud1);
+    EXPECT_NEAR(r.power.avgPowerW * r.totalTimeNs * 1000.0,
+                r.power.totalPj(), r.power.totalPj() * 1e-9);
+}
+
+// --------------------------------------------------------------------
+// Parameterized sweep over the controller design space
+// --------------------------------------------------------------------
+
+struct CtrlCase
+{
+    PagePolicy page;
+    SchedulerPolicy sched;
+    BufferOrg buffer;
+    ArbiterPolicy arbiter;
+    RespQueuePolicy resp;
+};
+
+void
+PrintTo(const CtrlCase &c, std::ostream *os)
+{
+    *os << toString(c.page) << "/" << toString(c.sched) << "/"
+        << toString(c.buffer) << "/" << toString(c.arbiter) << "/"
+        << toString(c.resp);
+}
+
+class ControllerSweep : public ::testing::TestWithParam<CtrlCase>
+{
+};
+
+TEST_P(ControllerSweep, InvariantsHoldOnEveryConfig)
+{
+    const auto &c = GetParam();
+    ControllerConfig cfg;
+    cfg.pagePolicy = c.page;
+    cfg.scheduler = c.sched;
+    cfg.schedulerBuffer = c.buffer;
+    cfg.arbiter = c.arbiter;
+    cfg.respQueue = c.resp;
+    cfg.requestBufferSize = 4;
+    cfg.maxActiveTransactions = 8;
+
+    for (auto pattern : {TracePattern::Streaming, TracePattern::Random}) {
+        DramController ctrl(testSpec(), cfg);
+        const auto trace = makeTrace(pattern, 250);
+        const SimResult r = ctrl.run(trace);
+
+        // Everything completes, once.
+        EXPECT_EQ(r.requests, 250u);
+        EXPECT_EQ(r.rowHits + r.rowMisses, 250u);
+        // Latency is positive and bounded by the whole simulation.
+        EXPECT_GT(r.avgLatencyNs, 0.0);
+        EXPECT_LE(r.avgLatencyNs, r.totalTimeNs);
+        EXPECT_GE(r.maxLatencyNs, r.avgLatencyNs);
+        // Power is physical.
+        EXPECT_GT(r.power.avgPowerW, 0.0);
+        EXPECT_LT(r.power.avgPowerW, 50.0);
+        // Bandwidth can never exceed the peak bus rate.
+        const MemSpec spec = testSpec();
+        const double peak =
+            static_cast<double>(spec.accessBytes()) /
+            (spec.timing.burstCycles * spec.clockNs);
+        EXPECT_LE(r.bandwidthGBps, peak * 1.001);
+    }
+}
+
+std::vector<CtrlCase>
+allCtrlCases()
+{
+    std::vector<CtrlCase> cases;
+    for (auto page : {PagePolicy::Open, PagePolicy::OpenAdaptive,
+                      PagePolicy::Closed, PagePolicy::ClosedAdaptive}) {
+        for (auto sched : {SchedulerPolicy::Fifo, SchedulerPolicy::FrFcFs,
+                           SchedulerPolicy::FrFcFsGrp}) {
+            for (auto buf : {BufferOrg::Bankwise, BufferOrg::ReadWrite,
+                             BufferOrg::Shared}) {
+                cases.push_back(CtrlCase{page, sched, buf,
+                                         ArbiterPolicy::Fifo,
+                                         RespQueuePolicy::Reorder});
+            }
+        }
+    }
+    // Arbiter / response-queue variants on one base config.
+    for (auto arb : {ArbiterPolicy::Simple, ArbiterPolicy::Reorder}) {
+        cases.push_back(CtrlCase{PagePolicy::Open, SchedulerPolicy::FrFcFs,
+                                 BufferOrg::Bankwise, arb,
+                                 RespQueuePolicy::Fifo});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, ControllerSweep,
+                         ::testing::ValuesIn(allCtrlCases()));
+
+} // namespace
+} // namespace archgym::dram

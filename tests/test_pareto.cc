@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the multi-objective analysis utilities: dominance, Pareto
+ * front extraction, 2-D hypervolume, plus an integration check on real
+ * TimeloopGym trajectories (latency/energy frontier).
+ */
+
+#include <gtest/gtest.h>
+
+#include "agents/registry.h"
+#include "core/driver.h"
+#include "core/pareto.h"
+#include "envs/timeloop_gym_env.h"
+
+namespace archgym {
+namespace {
+
+Transition
+point(double x, double y)
+{
+    Transition t;
+    t.observation = {x, y};
+    return t;
+}
+
+const std::vector<std::size_t> kBoth = {0, 1};
+const std::vector<Sense> kMinMin = {Sense::Minimize, Sense::Minimize};
+
+// --------------------------------------------------------------------
+// Dominance
+// --------------------------------------------------------------------
+
+TEST(Dominance, StrictlyBetterOnBothDominates)
+{
+    EXPECT_TRUE(dominates({1.0, 1.0}, {2.0, 2.0}, kBoth, kMinMin));
+    EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 1.0}, kBoth, kMinMin));
+}
+
+TEST(Dominance, EqualOnOneBetterOnOtherDominates)
+{
+    EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}, kBoth, kMinMin));
+}
+
+TEST(Dominance, IdenticalPointsDoNotDominate)
+{
+    EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}, kBoth, kMinMin));
+}
+
+TEST(Dominance, TradeOffPointsAreIncomparable)
+{
+    EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}, kBoth, kMinMin));
+    EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 3.0}, kBoth, kMinMin));
+}
+
+TEST(Dominance, MaximizeSenseFlipsDirection)
+{
+    const std::vector<Sense> maxmax = {Sense::Maximize, Sense::Maximize};
+    EXPECT_TRUE(dominates({2.0, 2.0}, {1.0, 1.0}, kBoth, maxmax));
+    EXPECT_FALSE(dominates({1.0, 1.0}, {2.0, 2.0}, kBoth, maxmax));
+}
+
+TEST(Dominance, MixedSenses)
+{
+    // Minimize metric 0, maximize metric 1.
+    const std::vector<Sense> minmax = {Sense::Minimize, Sense::Maximize};
+    EXPECT_TRUE(dominates({1.0, 5.0}, {2.0, 4.0}, kBoth, minmax));
+    EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 4.0}, kBoth, minmax));
+}
+
+// --------------------------------------------------------------------
+// Pareto front
+// --------------------------------------------------------------------
+
+TEST(ParetoFront, ExtractsStaircase)
+{
+    const std::vector<Transition> pts = {
+        point(1.0, 5.0), point(2.0, 3.0), point(3.0, 4.0),  // dominated
+        point(4.0, 1.0), point(5.0, 2.0),                   // dominated
+    };
+    const auto front = paretoFront(pts, kBoth, kMinMin);
+    EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(ParetoFront, SinglePointIsItsOwnFront)
+{
+    const std::vector<Transition> pts = {point(1.0, 1.0)};
+    EXPECT_EQ(paretoFront(pts, kBoth, kMinMin).size(), 1u);
+}
+
+TEST(ParetoFront, DuplicatesKeepFirstOccurrence)
+{
+    const std::vector<Transition> pts = {point(1.0, 2.0),
+                                         point(1.0, 2.0)};
+    const auto front = paretoFront(pts, kBoth, kMinMin);
+    EXPECT_EQ(front, (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoFront, AllIncomparablePointsKept)
+{
+    std::vector<Transition> pts;
+    for (int i = 0; i < 6; ++i)
+        pts.push_back(point(i, 5 - i));
+    EXPECT_EQ(paretoFront(pts, kBoth, kMinMin).size(), 6u);
+}
+
+TEST(ParetoFront, FrontIsMutuallyNonDominated)
+{
+    // Random cloud; property: no front member dominates another, and
+    // every non-member is dominated by some member.
+    Rng rng(5);
+    std::vector<Transition> pts;
+    for (int i = 0; i < 120; ++i)
+        pts.push_back(point(rng.uniform(0.0, 10.0),
+                            rng.uniform(0.0, 10.0)));
+    const auto front = paretoFront(pts, kBoth, kMinMin);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t a : front) {
+        for (std::size_t b : front) {
+            if (a == b)
+                continue;
+            EXPECT_FALSE(dominates(pts[a].observation,
+                                   pts[b].observation, kBoth, kMinMin));
+        }
+    }
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (std::find(front.begin(), front.end(), i) != front.end())
+            continue;
+        bool covered = false;
+        for (std::size_t f : front) {
+            if (dominates(pts[f].observation, pts[i].observation, kBoth,
+                          kMinMin) ||
+                pts[f].observation == pts[i].observation) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered) << "point " << i << " neither on front nor "
+                             << "dominated";
+    }
+}
+
+// --------------------------------------------------------------------
+// Hypervolume
+// --------------------------------------------------------------------
+
+TEST(Hypervolume, SinglePointRectangle)
+{
+    const std::vector<Transition> pts = {point(2.0, 3.0)};
+    const auto front = paretoFront(pts, kBoth, kMinMin);
+    EXPECT_DOUBLE_EQ(hypervolume2d(pts, front, 0, 1, 10.0, 10.0),
+                     8.0 * 7.0);
+}
+
+TEST(Hypervolume, StaircaseSumsStrips)
+{
+    const std::vector<Transition> pts = {point(1.0, 5.0),
+                                         point(3.0, 2.0)};
+    const auto front = paretoFront(pts, kBoth, kMinMin);
+    // Strip 1: x in [1,3), height 10-5=5 -> 10; strip 2: x in [3,10),
+    // height 10-2=8 -> 56.
+    EXPECT_DOUBLE_EQ(hypervolume2d(pts, front, 0, 1, 10.0, 10.0), 66.0);
+}
+
+TEST(Hypervolume, PointsOutsideReferenceIgnored)
+{
+    const std::vector<Transition> pts = {point(20.0, 1.0),
+                                         point(1.0, 20.0),
+                                         point(5.0, 5.0)};
+    const auto front = paretoFront(pts, kBoth, kMinMin);
+    EXPECT_DOUBLE_EQ(hypervolume2d(pts, front, 0, 1, 10.0, 10.0), 25.0);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero)
+{
+    EXPECT_DOUBLE_EQ(hypervolume2d({}, {}, 0, 1, 1.0, 1.0), 0.0);
+}
+
+TEST(Hypervolume, DominatingFrontHasLargerVolume)
+{
+    const std::vector<Transition> good = {point(1.0, 1.0)};
+    const std::vector<Transition> bad = {point(5.0, 5.0)};
+    const auto fg = paretoFront(good, kBoth, kMinMin);
+    const auto fb = paretoFront(bad, kBoth, kMinMin);
+    EXPECT_GT(hypervolume2d(good, fg, 0, 1, 10.0, 10.0),
+              hypervolume2d(bad, fb, 0, 1, 10.0, 10.0));
+}
+
+// --------------------------------------------------------------------
+// Integration: latency/energy frontier from a real trajectory
+// --------------------------------------------------------------------
+
+TEST(ParetoIntegration, TimeloopTrajectoryYieldsTradeOffFront)
+{
+    TimeloopGymEnv::Options o;
+    o.network = timeloop::resNet18();
+    TimeloopGymEnv env(o);
+    auto agent = makeAgent("RW", env.actionSpace(), {}, 3);
+    RunConfig cfg;
+    cfg.maxSamples = 150;
+    cfg.logTrajectory = true;
+    const RunResult r = runSearch(env, *agent, cfg);
+
+    // latency (0) and energy (1), both minimized.
+    const auto front =
+        paretoFront(r.trajectory.transitions(), {0, 1}, kMinMin);
+    ASSERT_GE(front.size(), 2u);  // a genuine trade-off exists
+    // Walking the front in latency order, energy must strictly decrease.
+    for (std::size_t i = 1; i < front.size(); ++i) {
+        const auto &prev = r.trajectory[front[i - 1]].observation;
+        const auto &cur = r.trajectory[front[i]].observation;
+        EXPECT_LT(prev[0], cur[0]);
+        EXPECT_GT(prev[1], cur[1]);
+    }
+}
+
+} // namespace
+} // namespace archgym

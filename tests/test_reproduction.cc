@@ -1,0 +1,225 @@
+/**
+ * @file
+ * End-to-end reproduction regression tests: miniature versions of the
+ * paper's headline experiments with the qualitative claim asserted, so a
+ * refactor that silently breaks a finding fails CI rather than only
+ * showing up in bench output. Budgets are kept small; each test runs in
+ * at most a few seconds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "agents/registry.h"
+#include "bench_util.h"
+#include "core/driver.h"
+#include "envs/dram_gym_env.h"
+#include "envs/farsi_gym_env.h"
+#include "envs/maestro_gym_env.h"
+#include "proxy/proxy_model.h"
+
+namespace archgym {
+namespace {
+
+using bench::lotterySweep;
+
+// --------------------------------------------------------------------
+// Fig. 4/5 — the hyperparameter lottery exists and best cases overlap
+// --------------------------------------------------------------------
+
+TEST(Reproduction, LotterySpreadExistsOnDram)
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Cloud1;
+    o.objective = DramObjective::LowPower;
+    o.powerTargetW = 0.9;
+    o.traceLength = 128;
+    DramGymEnv env(o);
+
+    int cellsWithSpread = 0;
+    for (const auto &agent : agentNames()) {
+        const auto best = lotterySweep(env, agent, 8, 80, 11);
+        if (summarize(best).iqr() > 0.0)
+            ++cellsWithSpread;
+    }
+    // At least four of five agent families show hyperparameter-induced
+    // spread in their best rewards.
+    EXPECT_GE(cellsWithSpread, 4);
+}
+
+TEST(Reproduction, BestConfigsOverlapAcrossAgents)
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Streaming;
+    o.objective = DramObjective::LowPower;
+    o.powerTargetW = 0.9;
+    o.traceLength = 128;
+    DramGymEnv env(o);
+
+    std::vector<double> maxima;
+    for (const auto &agent : agentNames())
+        maxima.push_back(summarize(lotterySweep(env, agent, 8, 80, 12))
+                             .max);
+    const auto [lo, hi] = std::minmax_element(maxima.begin(),
+                                              maxima.end());
+    // No agent family's best configuration is more than 2x another's.
+    EXPECT_LT(*hi / *lo, 2.0);
+}
+
+// --------------------------------------------------------------------
+// Fig. 6 — tuned vanilla GA matches GAMMA's domain operators
+// --------------------------------------------------------------------
+
+TEST(Reproduction, VanillaGaMatchesGammaOnMaestro)
+{
+    MaestroGymEnv::Options o;
+    o.network = timeloop::resNet18();
+    MaestroGymEnv env(o);
+
+    auto bestLatency = [&](const HyperParams &ops) {
+        Rng rng(21);
+        auto configs = defaultHyperGrid("GA").randomSample(6, rng);
+        for (auto &hp : configs)
+            for (const auto &[k, v] : ops.values())
+                hp.set(k, v);
+        double best = 0.0;
+        const AgentBuilder builder = [](const ParamSpace &s,
+                                        const HyperParams &hp,
+                                        std::uint64_t seed) {
+            return makeAgent("GA", s, hp, seed);
+        };
+        RunConfig cfg;
+        cfg.maxSamples = 300;
+        const SweepResult sweep =
+            runSweep(env, "GA", builder, configs, cfg, 21);
+        for (double r : sweep.bestRewards)
+            best = std::max(best, r);
+        return 1.0 / best;  // reward = 1/runtime
+    };
+
+    const double gamma = bestLatency(HyperParams{{"max_age", 5},
+                                                 {"growth_add", 4},
+                                                 {"reorder_prob", 0.3}});
+    const double vanilla = bestLatency(HyperParams{});
+    EXPECT_LT(vanilla, gamma * 1.1);  // within 10%, usually <= gamma
+}
+
+// --------------------------------------------------------------------
+// Fig. 7 — RL improves with sample budget
+// --------------------------------------------------------------------
+
+TEST(Reproduction, RlImprovesWithBudget)
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Cloud1;
+    o.objective = DramObjective::LatencyAndPower;
+    o.latencyTargetNs = 150.0;
+    o.traceLength = 96;
+    DramGymEnv env(o);
+
+    const auto low = lotterySweep(env, "RL", 3, 100, 31);
+    const auto high = lotterySweep(env, "RL", 3, 3000, 31);
+    EXPECT_GT(mean(high), mean(low));
+}
+
+// --------------------------------------------------------------------
+// Table 4 — every agent reaches the power target with some config
+// --------------------------------------------------------------------
+
+TEST(Reproduction, EveryAgentFindsThePowerTarget)
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Random;
+    o.objective = DramObjective::LowPower;
+    o.powerTargetW = 1.0;
+    o.traceLength = 128;
+
+    for (const auto &name : agentNames()) {
+        DramGymEnv env(o);
+        Rng rng(41);
+        HyperGrid grid = defaultHyperGrid(name);
+        if (name == "BO")
+            grid.add("num_candidates", {48}).add("max_history", {64});
+        const auto configs = grid.randomSample(3, rng);
+        bool satisfied = false;
+        for (std::size_t c = 0; c < configs.size() && !satisfied; ++c) {
+            auto agent = makeAgent(name, env.actionSpace(), configs[c],
+                                   900 + c);
+            RunConfig cfg;
+            cfg.maxSamples = 400;
+            const RunResult r = runSearch(env, *agent, cfg);
+            satisfied = env.objective().satisfied(r.bestMetrics);
+        }
+        EXPECT_TRUE(satisfied) << name << " never met the 1 W target";
+    }
+}
+
+// --------------------------------------------------------------------
+// Figs. 10-12 — dataset diversity improves the proxy
+// --------------------------------------------------------------------
+
+TEST(Reproduction, DiverseDatasetImprovesProxyRmse)
+{
+    DramGymEnv::Options o;
+    o.pattern = dram::TracePattern::Cloud1;
+    o.objective = DramObjective::LatencyAndPower;
+    o.latencyTargetNs = 150.0;
+    o.traceLength = 96;
+    DramGymEnv env(o);
+
+    Dataset dataset;
+    for (const std::string agentName : {"ACO", "GA", "RW", "BO"}) {
+        // Two hyperparameter runs per agent.
+        Rng rng(51);
+        HyperGrid grid = defaultHyperGrid(agentName);
+        if (agentName == "BO")
+            grid.add("num_candidates", {32}).add("max_history", {48});
+        for (const auto &hp : grid.randomSample(2, rng)) {
+            auto agent = makeAgent(agentName, env.actionSpace(), hp, 61);
+            RunConfig cfg;
+            cfg.maxSamples = 250;
+            cfg.logTrajectory = true;
+            dataset.add(runSearch(env, *agent, cfg).trajectory);
+        }
+    }
+
+    std::vector<Transition> test;
+    Rng rng(71);
+    for (int i = 0; i < 100; ++i) {
+        Transition t;
+        t.action = env.actionSpace().sample(rng);
+        t.observation = env.step(t.action).observation;
+        test.push_back(std::move(t));
+    }
+
+    ForestConfig cfg;
+    cfg.numTrees = 25;
+    const std::vector<std::string> agents = {"ACO", "GA", "RW", "BO"};
+    const auto single = runDatasetExperiment(
+        dataset, env.actionSpace(), env.metricNames(), 800, false,
+        agents, test, cfg, rng);
+    const auto diverse = runDatasetExperiment(
+        dataset, env.actionSpace(), env.metricNames(), 800, true, agents,
+        test, cfg, rng);
+    EXPECT_LT(diverse.accuracy.meanRelativeRmse(),
+              single.accuracy.meanRelativeRmse());
+}
+
+// --------------------------------------------------------------------
+// §6.1 — FARSIGym searches reach the budget region
+// --------------------------------------------------------------------
+
+TEST(Reproduction, FarsiBudgetsReachableByGa)
+{
+    FarsiGymEnv env;
+    auto agent = makeAgent("GA", env.actionSpace(), {}, 81);
+    RunConfig cfg;
+    cfg.maxSamples = 1500;
+    cfg.stopWhenSatisfied = true;
+    const RunResult r = runSearch(env, *agent, cfg);
+    EXPECT_GE(r.bestReward, -0.05);  // essentially at distance 0
+}
+
+} // namespace
+} // namespace archgym

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the DNN accelerator analytical cost model: workload algebra,
+ * area model, mapping feasibility, roofline behaviour, and monotonicity
+ * properties across the architecture parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "timeloop/accelerator.h"
+#include "timeloop/cost_model.h"
+#include "timeloop/workload.h"
+
+namespace archgym::timeloop {
+namespace {
+
+ConvLayer
+smallLayer()
+{
+    ConvLayer l;
+    l.name = "test";
+    l.inChannels = 16;
+    l.outChannels = 32;
+    l.kernelH = 3;
+    l.kernelW = 3;
+    l.outH = 14;
+    l.outW = 14;
+    return l;
+}
+
+// --------------------------------------------------------------------
+// Workload algebra
+// --------------------------------------------------------------------
+
+TEST(Workload, MacCountMatchesHandComputation)
+{
+    const ConvLayer l = smallLayer();
+    EXPECT_DOUBLE_EQ(l.macs(), 1.0 * 32 * 16 * 3 * 3 * 14 * 14);
+}
+
+TEST(Workload, TensorCounts)
+{
+    const ConvLayer l = smallLayer();
+    EXPECT_DOUBLE_EQ(l.weightCount(), 32.0 * 16 * 3 * 3);
+    EXPECT_DOUBLE_EQ(l.outputCount(), 32.0 * 14 * 14);
+    EXPECT_DOUBLE_EQ(l.inputCount(), 16.0 * 16 * 16);  // (14-1)*1+3 = 16
+}
+
+TEST(Workload, StridedInputDimensions)
+{
+    ConvLayer l = smallLayer();
+    l.stride = 2;
+    EXPECT_EQ(l.inputH(), (14u - 1) * 2 + 3);
+}
+
+TEST(Workload, NetworksAreNonEmptyAndPlausible)
+{
+    for (const Network &net :
+         {alexNet(), mobileNet(), resNet50(), resNet18(), vgg16()}) {
+        EXPECT_GE(net.layers.size(), 5u) << net.name;
+        EXPECT_GT(net.totalMacs(), 1e6) << net.name;
+        for (const auto &l : net.layers) {
+            EXPECT_GT(l.macs(), 0.0) << net.name << "/" << l.name;
+        }
+    }
+}
+
+TEST(Workload, Vgg16HeavierThanAlexNetSubset)
+{
+    EXPECT_GT(vgg16().totalMacs(), alexNet().totalMacs());
+}
+
+// --------------------------------------------------------------------
+// Area model
+// --------------------------------------------------------------------
+
+TEST(Accelerator, AreaGrowsWithPEs)
+{
+    TechModel tech;
+    AcceleratorConfig small;
+    small.numPEs = 64;
+    AcceleratorConfig big = small;
+    big.numPEs = 512;
+    EXPECT_GT(areaMm2(big, tech), areaMm2(small, tech));
+}
+
+TEST(Accelerator, AreaGrowsWithBuffers)
+{
+    TechModel tech;
+    AcceleratorConfig small;
+    small.globalBufferKb = 32;
+    AcceleratorConfig big = small;
+    big.globalBufferKb = 512;
+    EXPECT_GT(areaMm2(big, tech), areaMm2(small, tech));
+}
+
+// --------------------------------------------------------------------
+// Cost model
+// --------------------------------------------------------------------
+
+TEST(CostModel, FiniteAndPositiveOnDefaults)
+{
+    const LayerCost c = evaluateLayer(AcceleratorConfig{}, smallLayer());
+    EXPECT_GT(c.cycles, 0.0);
+    EXPECT_GT(c.energyUj, 0.0);
+    EXPECT_GT(c.areaMm2, 0.0);
+    EXPECT_GT(c.utilization, 0.0);
+    EXPECT_LE(c.utilization, 1.0);
+    EXPECT_TRUE(std::isfinite(c.edp()));
+}
+
+TEST(CostModel, ComputeLowerBoundRespected)
+{
+    const ConvLayer l = smallLayer();
+    const AcceleratorConfig cfg;
+    const LayerCost c = evaluateLayer(cfg, l);
+    EXPECT_GE(c.cycles, l.macs() / cfg.numPEs * 0.999);
+}
+
+TEST(CostModel, MorePEsNeverSlowerWhenBandwidthAmple)
+{
+    ConvLayer l = smallLayer();
+    AcceleratorConfig few;
+    few.numPEs = 32;
+    few.nocWordsPerCycle = 16;
+    few.dramWordsPerCycle = 8;
+    AcceleratorConfig many = few;
+    many.numPEs = 256;
+    const LayerCost cf = evaluateLayer(few, l);
+    const LayerCost cm = evaluateLayer(many, l);
+    EXPECT_LE(cm.cycles, cf.cycles * 1.001);
+}
+
+TEST(CostModel, StarvedDramBandwidthHurtsLatency)
+{
+    ConvLayer l = smallLayer();
+    AcceleratorConfig fast;
+    fast.dramWordsPerCycle = 8;
+    AcceleratorConfig slow = fast;
+    slow.dramWordsPerCycle = 1;
+    EXPECT_GE(evaluateLayer(slow, l).cycles,
+              evaluateLayer(fast, l).cycles);
+}
+
+TEST(CostModel, BiggerScratchpadsNeverIncreaseDramTraffic)
+{
+    ConvLayer l = smallLayer();
+    AcceleratorConfig small;
+    small.weightSpadEntries = 16;
+    small.globalBufferKb = 32;
+    AcceleratorConfig big = small;
+    big.weightSpadEntries = 512;
+    big.globalBufferKb = 512;
+    EXPECT_LE(evaluateLayer(big, l).dramAccesses,
+              evaluateLayer(small, l).dramAccesses * 1.001);
+}
+
+TEST(CostModel, DramTrafficAtLeastCompulsory)
+{
+    const ConvLayer l = smallLayer();
+    const LayerCost c = evaluateLayer(AcceleratorConfig{}, l);
+    const double compulsory =
+        l.weightCount() + l.inputCount() + l.outputCount();
+    EXPECT_GE(c.dramAccesses, compulsory * 0.999);
+}
+
+TEST(CostModel, NetworkCostIsSumOfLayers)
+{
+    const Network net = resNet18();
+    const AcceleratorConfig cfg;
+    const LayerCost total = evaluateNetwork(cfg, net);
+    double cycles = 0.0, energy = 0.0;
+    for (const auto &l : net.layers) {
+        const LayerCost c = evaluateLayer(cfg, l);
+        cycles += c.cycles;
+        energy += c.energyUj;
+    }
+    EXPECT_NEAR(total.cycles, cycles, cycles * 1e-9);
+    EXPECT_NEAR(total.energyUj, energy, energy * 1e-9);
+}
+
+TEST(CostModel, DepthwiseLayersHaveLowArithmeticIntensity)
+{
+    // MobileNet's depthwise stages have C=1: each fetched word supports
+    // far fewer MACs than a dense/pointwise conv, so the DRAM words per
+    // MAC ratio must be visibly higher.
+    AcceleratorConfig cfg;
+    const Network net = mobileNet();
+    const LayerCost dw = evaluateLayer(cfg, net.layers[1]);   // dw2
+    const LayerCost pw = evaluateLayer(cfg, net.layers[2]);   // pw2
+    const double dwIntensity =
+        net.layers[1].macs() / dw.dramAccesses;
+    const double pwIntensity =
+        net.layers[2].macs() / pw.dramAccesses;
+    EXPECT_LT(dwIntensity, pwIntensity);
+}
+
+// Parameterized monotonicity sweep: clock scaling must not change cycle
+// counts, and energy must scale with the technology constants.
+class ClockSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClockSweep, LatencyScalesInverselyWithClock)
+{
+    ConvLayer l = smallLayer();
+    AcceleratorConfig base;
+    base.clockGhz = 1.0;
+    AcceleratorConfig scaled = base;
+    scaled.clockGhz = GetParam();
+    const LayerCost cb = evaluateLayer(base, l);
+    const LayerCost cs = evaluateLayer(scaled, l);
+    EXPECT_DOUBLE_EQ(cb.cycles, cs.cycles);
+    EXPECT_NEAR(cs.latencyMs, cb.latencyMs / GetParam(),
+                cb.latencyMs * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Clocks, ClockSweep,
+                         ::testing::Values(0.5, 1.5, 2.0));
+
+} // namespace
+} // namespace archgym::timeloop
