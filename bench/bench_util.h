@@ -48,6 +48,9 @@ lotterySweep(Environment &env, const std::string &agent_name,
     };
     RunConfig runCfg;
     runCfg.maxSamples = samples;
+    // Lottery tickets only need the best reward; do not retain the full
+    // per-sample reward curve of every configuration.
+    runCfg.recordRewardHistory = false;
     const SweepResult sweep =
         runSweep(env, agent_name, builder, configs, runCfg, seed);
     return sweep.bestRewards;
@@ -77,6 +80,7 @@ lotterySweepParallel(const EnvFactory &env_factory,
     };
     RunConfig runCfg;
     runCfg.maxSamples = samples;
+    runCfg.recordRewardHistory = false;
     const SweepResult sweep = runSweepParallel(
         env_factory, agent_name, builder, configs, runCfg, seed);
     return sweep.bestRewards;

@@ -54,18 +54,19 @@ GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
     assert(xs.size() == ys.size());
     xs_ = xs;
     ysRaw_ = ys;
+    refitFromMembers();
+}
+
+void
+GaussianProcess::refitFromMembers()
+{
     fitted_ = false;
     if (xs_.empty())
         return;
 
-    // Standardize targets for numerical conditioning.
-    yMean_ = std::accumulate(ys.begin(), ys.end(), 0.0) /
-             static_cast<double>(ys.size());
-    double var = 0.0;
-    for (double y : ys)
-        var += (y - yMean_) * (y - yMean_);
-    var /= static_cast<double>(ys.size());
-    yStd_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+    // Standardize targets for numerical conditioning (kept updated even
+    // when factorization fails: predict() falls back to yMean_).
+    standardizeTargets();
 
     const std::size_t n = xs_.size();
     Matrix k(n, n);
@@ -81,10 +82,63 @@ GaussianProcess::fit(const std::vector<std::vector<double>> &xs,
     if (!chol_->ok())
         return;
 
+    solveAlpha();
+    fitted_ = true;
+}
+
+void
+GaussianProcess::standardizeTargets()
+{
+    const std::size_t n = ysRaw_.size();
+    yMean_ = std::accumulate(ysRaw_.begin(), ysRaw_.end(), 0.0) /
+             static_cast<double>(n);
+    double var = 0.0;
+    for (double y : ysRaw_)
+        var += (y - yMean_) * (y - yMean_);
+    var /= static_cast<double>(n);
+    yStd_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+}
+
+void
+GaussianProcess::solveAlpha()
+{
+    const std::size_t n = ysRaw_.size();
     std::vector<double> yStd(n);
     for (std::size_t i = 0; i < n; ++i)
-        yStd[i] = (ys[i] - yMean_) / yStd_;
+        yStd[i] = (ysRaw_[i] - yMean_) / yStd_;
     alpha_ = chol_->solve(yStd);
+}
+
+void
+GaussianProcess::recomputeAlpha()
+{
+    // The mean/std move with every appended observation, but alpha is
+    // only a solve against the (incrementally grown) factor: O(n^2).
+    standardizeTargets();
+    solveAlpha();
+}
+
+void
+GaussianProcess::appendFit(const std::vector<double> &x, double y)
+{
+    xs_.push_back(x);
+    ysRaw_.push_back(y);
+    if (!fitted_ || !chol_ || !chol_->ok() ||
+        chol_->size() + 1 != xs_.size()) {
+        refitFromMembers();
+        return;
+    }
+
+    const std::size_t n = xs_.size() - 1;
+    std::vector<double> col(n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = kernel(xs_.back(), xs_[i]);
+    col[n] = kernel(xs_.back(), xs_.back()) + noiseVar_;
+    if (!chol_->append(col)) {
+        refitFromMembers();
+        return;
+    }
+    recomputeAlpha();
     fitted_ = true;
 }
 
@@ -153,7 +207,17 @@ BayesianOptAgent::acquisitionValue(double mean, double variance) const
 void
 BayesianOptAgent::refit()
 {
-    gp_.fit(xs_, ys_);
+    // Window-append fast path: when exactly one observation arrived and
+    // the trim window did not reshuffle history, the GP's training set
+    // is a strict prefix of ours and a rank-1 Cholesky bordering update
+    // replaces the O(n^3) refactorization.
+    if (!trimmedSinceFit_ && gp_.fitted() &&
+        gp_.sampleCount() + 1 == xs_.size()) {
+        gp_.appendFit(xs_.back(), ys_.back());
+    } else {
+        gp_.fit(xs_, ys_);
+    }
+    trimmedSinceFit_ = false;
     dirty_ = false;
 }
 
@@ -246,7 +310,10 @@ BayesianOptAgent::observe(const Action &action, const Metrics &metrics,
     }
     xs_.push_back(std::move(u));
     ys_.push_back(reward);
+    const std::size_t before = xs_.size();
     trimHistory();
+    if (xs_.size() != before)
+        trimmedSinceFit_ = true;
     dirty_ = true;
 }
 
@@ -259,6 +326,7 @@ BayesianOptAgent::reset()
     hasBest_ = false;
     bestY_ = 0.0;
     bestX_.clear();
+    trimmedSinceFit_ = true;  // force a full fit after reset
     dirty_ = true;
 }
 

@@ -56,6 +56,16 @@ class GaussianProcess
     void fit(const std::vector<std::vector<double>> &xs,
              const std::vector<double> &ys);
 
+    /**
+     * Absorb one observation appended to the current training set via a
+     * rank-1 Cholesky bordering update: O(n^2) instead of the O(n^3)
+     * full refit, numerically equivalent to calling fit() on the
+     * extended set. Falls back to a full refit when the update does not
+     * apply (nothing fitted yet, or the bordered matrix is not
+     * positive definite).
+     */
+    void appendFit(const std::vector<double> &x, double y);
+
     bool fitted() const { return fitted_; }
     std::size_t sampleCount() const { return xs_.size(); }
 
@@ -67,6 +77,15 @@ class GaussianProcess
                   const std::vector<double> &b) const;
 
   private:
+    /** Full factor-and-solve of the members xs_/ysRaw_. */
+    void refitFromMembers();
+    /** Recompute yMean_/yStd_ from ysRaw_. */
+    void standardizeTargets();
+    /** Solve for alpha_ against chol_ with the current standardization. */
+    void solveAlpha();
+    /** Recompute y standardization and alpha against chol_. */
+    void recomputeAlpha();
+
     double lengthScale_;
     double signalVar_;
     double noiseVar_;
@@ -131,6 +150,7 @@ class BayesianOptAgent : public Agent
     std::vector<double> bestX_;
     bool hasBest_ = false;
     bool dirty_ = true;  ///< GP needs refit before next prediction
+    bool trimmedSinceFit_ = false;  ///< history reshuffled; full refit
 };
 
 } // namespace archgym

@@ -25,7 +25,8 @@ runSearch(Environment &env, Agent &agent, const RunConfig &config)
     RunResult result;
     result.trajectory = TrajectoryLog(env.name(), agent.name(),
                                       agent.hyperParams().str());
-    result.rewardHistory.reserve(config.maxSamples);
+    if (config.recordRewardHistory)
+        result.rewardHistory.reserve(config.maxSamples);
 
     env.reset();
     const auto start = std::chrono::steady_clock::now();
@@ -34,7 +35,8 @@ runSearch(Environment &env, Agent &agent, const RunConfig &config)
         StepResult sr = env.step(action);
         agent.observe(action, sr.observation, sr.reward);
 
-        result.rewardHistory.push_back(sr.reward);
+        if (config.recordRewardHistory)
+            result.rewardHistory.push_back(sr.reward);
         if (sr.reward > result.bestReward) {
             result.bestReward = sr.reward;
             result.bestAction = action;

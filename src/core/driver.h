@@ -30,6 +30,13 @@ struct RunConfig
     std::size_t maxSamples = 1000;  ///< simulator sample budget
     bool logTrajectory = false;     ///< record all transitions
     bool stopWhenSatisfied = false; ///< stop early when objective met
+    /**
+     * Record the per-sample reward curve in RunResult::rewardHistory.
+     * Lottery-scale sweeps only consume SweepResult::bestRewards, so
+     * they turn this off to avoid retaining maxSamples doubles for every
+     * one of thousands of configurations.
+     */
+    bool recordRewardHistory = true;
 };
 
 /** Outcome of one search run. */
@@ -88,6 +95,12 @@ using EnvFactory = std::function<std::unique_ptr<Environment>()>;
  * configurations are distributed over worker threads, each with its own
  * environment instance from the factory. This is how lottery-scale
  * studies (the paper's 21,600 experiments) stay tractable.
+ *
+ * Each worker constructs its environment once and reuses it across all
+ * configurations it processes, so per-environment startup cost (trace
+ * generation and decoding, simulator allocation) is paid per worker,
+ * not per configuration, and the environment's internal buffers stay
+ * warm across runs.
  *
  * @param num_threads  0 = hardware concurrency
  */

@@ -1,6 +1,7 @@
 #include "controller.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 
@@ -8,69 +9,25 @@ namespace archgym::dram {
 
 namespace {
 
-constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
 constexpr std::size_t kReorderWindow = 8;
 constexpr std::size_t kWriteDrainWatermark = 12;
-
-std::uint32_t
-log2u(std::uint32_t v)
-{
-    std::uint32_t bits = 0;
-    while ((1u << bits) < v)
-        ++bits;
-    return bits;
-}
 
 } // namespace
 
 DramController::DramController(const MemSpec &spec,
                                const ControllerConfig &config)
-    : spec_(spec), config_(config), device_(spec)
+    : spec_(spec), config_(config), addressMap_(spec), device_(spec)
 {
-    // Row : Rank : Bank : Column : ByteOffset (LSB), so that sequential
-    // streams sweep columns within a row and neighbouring rows land in
-    // the same bank only after touching every bank (bank parallelism).
-    const std::uint32_t offsetBits = log2u(spec_.accessBytes());
-    const std::uint32_t columnBits =
-        log2u(spec_.columnsPerRow * spec_.bytesPerColumn /
-              spec_.accessBytes());
-    const std::uint32_t bankBits = log2u(spec_.banksPerRank);
-    const std::uint32_t rankBits = log2u(spec_.ranks);
-
-    columnShift_ = offsetBits;
-    bankShift_ = columnShift_ + columnBits;
-    rankShift_ = bankShift_ + bankBits;
-    rowShift_ = rankShift_ + rankBits;
-    columnMask_ = (1u << columnBits) - 1;
-    bankMask_ = (1u << bankBits) - 1;
-    rankMask_ = rankBits ? (1u << rankBits) - 1 : 0;
-    rowMask_ = spec_.rowsPerBank - 1;
-}
-
-DramAddress
-DramController::decode(std::uint64_t address) const
-{
-    DramAddress loc;
-    loc.column = static_cast<std::uint32_t>(address >> columnShift_) &
-                 columnMask_;
-    loc.bank = static_cast<std::uint32_t>(address >> bankShift_) &
-               bankMask_;
-    loc.rank = rankMask_
-                   ? static_cast<std::uint32_t>(address >> rankShift_) &
-                         rankMask_
-                   : 0;
-    loc.row = static_cast<std::uint32_t>(address >> rowShift_) & rowMask_;
-    return loc;
 }
 
 std::size_t
-DramController::queueIndexFor(const MemoryRequest &req) const
+DramController::queueIndexFor(const DecodedRequest &e) const
 {
     switch (config_.schedulerBuffer) {
       case BufferOrg::Bankwise:
-        return req.loc.flatBank(spec_.banksPerRank);
+        return e.flatBank;
       case BufferOrg::ReadWrite:
-        return req.isWrite ? 1 : 0;
+        return e.isWrite ? 1 : 0;
       case BufferOrg::Shared:
       default:
         return 0;
@@ -78,47 +35,121 @@ DramController::queueIndexFor(const MemoryRequest &req) const
 }
 
 bool
-DramController::queueHasSpace(std::size_t queue_index) const
+DramController::olderThan(std::uint32_t a, std::uint32_t b) const
 {
-    return buffers_.queues[queue_index].size() <
-           buffers_.capacityPerQueue;
+    if (nodes_[a].admitCycle != nodes_[b].admitCycle)
+        return nodes_[a].admitCycle < nodes_[b].admitCycle;
+    if (tieBreakByIndex_)
+        return a < b;
+    return (*trace_)[a].id < (*trace_)[b].id;
+}
+
+template <std::uint32_t DramController::Node::*Next,
+          std::uint32_t DramController::Node::*Prev>
+void
+DramController::insertSorted(ListHead &list, std::uint32_t i)
+{
+    // Admission keys (admitCycle, id) are non-decreasing in admission
+    // order except for one Reorder-arbiter corner (the cycle-0 admit
+    // bump), so this walk is O(1) amortized: the common case appends at
+    // the tail.
+    std::uint32_t at = list.tail;
+    while (at != kNone && olderThan(i, at))
+        at = nodes_[at].*Prev;
+    if (at == kNone) {
+        nodes_[i].*Next = list.head;
+        nodes_[i].*Prev = kNone;
+        if (list.head != kNone)
+            nodes_[list.head].*Prev = i;
+        else
+            list.tail = i;
+        list.head = i;
+    } else {
+        nodes_[i].*Next = nodes_[at].*Next;
+        nodes_[i].*Prev = at;
+        if (nodes_[at].*Next != kNone)
+            nodes_[nodes_[at].*Next].*Prev = i;
+        else
+            list.tail = i;
+        nodes_[at].*Next = i;
+    }
+}
+
+template <std::uint32_t DramController::Node::*Next,
+          std::uint32_t DramController::Node::*Prev>
+void
+DramController::unlink(ListHead &list, std::uint32_t i)
+{
+    Node &n = nodes_[i];
+    if (n.*Prev != kNone)
+        nodes_[n.*Prev].*Next = n.*Next;
+    else
+        list.head = n.*Next;
+    if (n.*Next != kNone)
+        nodes_[n.*Next].*Prev = n.*Prev;
+    else
+        list.tail = n.*Prev;
+}
+
+std::uint32_t
+DramController::rowPending(const DecodedRequest &e) const
+{
+    std::uint32_t n = rowLists_[e.rowGroup].count;
+    if (e.buddyGroup != kNoGroup)
+        n += rowLists_[e.buddyGroup].count;
+    return n;
 }
 
 void
-DramController::admitInto(std::size_t request_index, std::uint64_t now)
+DramController::admitInto(std::uint32_t request_index, std::uint64_t now)
 {
-    MemoryRequest &req = requests_[request_index];
-    req.admitCycle = std::max(now, req.arrivalCycle);
-    buffers_.queues[queueIndexFor(req)].push_back(request_index);
+    const DecodedRequest &e = (*trace_)[request_index];
+    nodes_[request_index].admitCycle = std::max(now, e.arrivalCycle);
+
+    insertSorted<&Node::globNext, &Node::globPrev>(
+        globalKind_[e.isWrite], request_index);
+    RowList &rl = rowLists_[e.rowGroup];
+    insertSorted<&Node::rowNext, &Node::rowPrev>(rl.list, request_index);
+    ++rl.count;
+    if (bankQueued_[e.flatBank]++ == 0 && useBankMask_)
+        queuedBankMask_ |= 1ULL << e.flatBank;
+    ++queueSize_[queueIndexFor(e)];
+    if (e.isWrite)
+        ++queuedWrites_;
+    else
+        ++queuedReads_;
+    ++totalQueued_;
+
     ++activeTransactions_;
-    if (!req.isWrite && config_.respQueue == RespQueuePolicy::Fifo)
+    if (!e.isWrite && config_.respQueue == RespQueuePolicy::Fifo)
         respFifo_.push_back(request_index);
 }
 
 void
 DramController::admit(std::uint64_t now)
 {
+    const std::size_t total = trace_->size();
     auto canAdmit = [&](std::size_t idx) {
         return activeTransactions_ < config_.maxActiveTransactions &&
-               queueHasSpace(queueIndexFor(requests_[idx]));
+               queueSize_[queueIndexFor((*trace_)[idx])] < queueCapacity_;
     };
 
     switch (config_.arbiter) {
       case ArbiterPolicy::Simple:
         // Head-only, at most one admission per scheduling round.
-        if (arrivalIndex_ < requests_.size() &&
-            requests_[arrivalIndex_].arrivalCycle <= now &&
+        if (arrivalIndex_ < total &&
+            (*trace_)[arrivalIndex_].arrivalCycle <= now &&
             canAdmit(arrivalIndex_)) {
-            admitInto(arrivalIndex_, now);
+            admitInto(static_cast<std::uint32_t>(arrivalIndex_), now);
             ++arrivalIndex_;
         }
         break;
       case ArbiterPolicy::Fifo:
         // In-order admission while the head fits.
-        while (arrivalIndex_ < requests_.size() &&
-               requests_[arrivalIndex_].arrivalCycle <= now &&
+        while (arrivalIndex_ < total &&
+               (*trace_)[arrivalIndex_].arrivalCycle <= now &&
                canAdmit(arrivalIndex_)) {
-            admitInto(arrivalIndex_, now);
+            admitInto(static_cast<std::uint32_t>(arrivalIndex_), now);
             ++arrivalIndex_;
         }
         break;
@@ -127,23 +158,22 @@ DramController::admit(std::uint64_t now)
         // blocked on a full bank queue do not stall younger requests.
         std::size_t scanned = 0;
         for (std::size_t i = arrivalIndex_;
-             i < requests_.size() && scanned < kReorderWindow;
-             ++i, ++scanned) {
-            if (requests_[i].arrivalCycle > now)
+             i < total && scanned < kReorderWindow; ++i, ++scanned) {
+            if ((*trace_)[i].arrivalCycle > now)
                 break;
-            if (requests_[i].admitCycle != 0 ||
-                requests_[i].completionCycle != 0) {
+            if (nodes_[i].admitCycle != 0 || completionCycle_[i] != 0) {
                 continue;  // already admitted out of order
             }
             if (canAdmit(i)) {
                 // Mark admission by a non-zero admitCycle; requests at
                 // cycle 0 are bumped to 1 to keep the marker valid.
-                admitInto(i, std::max<std::uint64_t>(now, 1));
+                admitInto(static_cast<std::uint32_t>(i),
+                          std::max<std::uint64_t>(now, 1));
             }
         }
         // Advance past the contiguous admitted prefix.
-        while (arrivalIndex_ < requests_.size() &&
-               requests_[arrivalIndex_].admitCycle != 0) {
+        while (arrivalIndex_ < total &&
+               nodes_[arrivalIndex_].admitCycle != 0) {
             ++arrivalIndex_;
         }
         break;
@@ -151,55 +181,19 @@ DramController::admit(std::uint64_t now)
     }
 }
 
-std::size_t
-DramController::totalQueued() const
-{
-    std::size_t n = 0;
-    for (const auto &q : buffers_.queues)
-        n += q.size();
-    return n;
-}
-
-std::size_t
-DramController::queuedOfKind(bool is_write) const
-{
-    std::size_t n = 0;
-    for (const auto &q : buffers_.queues)
-        for (std::size_t idx : q)
-            if (requests_[idx].isWrite == is_write)
-                ++n;
-    return n;
-}
-
-bool
-DramController::pendingRowHitInQueues(std::uint32_t flat_bank,
-                                      std::uint32_t row) const
-{
-    for (const auto &q : buffers_.queues) {
-        for (std::size_t idx : q) {
-            const MemoryRequest &r = requests_[idx];
-            if (r.loc.flatBank(spec_.banksPerRank) == flat_bank &&
-                r.loc.row == row) {
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
-std::size_t
+std::uint32_t
 DramController::schedule(std::uint64_t now)
 {
     (void)now;
-    if (totalQueued() == 0)
-        return kNpos;
+    if (totalQueued_ == 0)
+        return kNone;
 
     // FrFcFsGrp: decide which group (reads or writes) is being drained.
     bool restrictKind = false;
     bool wantWrite = false;
     if (config_.scheduler == SchedulerPolicy::FrFcFsGrp) {
-        const std::size_t reads = queuedOfKind(false);
-        const std::size_t writes = queuedOfKind(true);
+        const std::size_t reads = queuedReads_;
+        const std::size_t writes = queuedWrites_;
         if (writeGroupActive_) {
             if (writes == 0)
                 writeGroupActive_ = false;
@@ -214,46 +208,69 @@ DramController::schedule(std::uint64_t now)
     const bool preferHits =
         config_.scheduler != SchedulerPolicy::Fifo;
 
-    std::size_t bestHit = kNpos, bestAny = kNpos;
-    auto older = [&](std::size_t a, std::size_t b) {
-        if (b == kNpos)
-            return true;
-        const MemoryRequest &ra = requests_[a];
-        const MemoryRequest &rb = requests_[b];
-        if (ra.admitCycle != rb.admitCycle)
-            return ra.admitCycle < rb.admitCycle;
-        return ra.id < rb.id;
-    };
+    // Every list head is its oldest member and the (admitCycle, id) age
+    // key is unique per request, so each pick below selects exactly the
+    // request the reference full scan would. Oldest-any comes straight
+    // off the global per-kind admission lists; oldest-row-hit is a min
+    // over the open-row pending lists of the O(banks) candidate banks.
+    std::uint32_t bestAny;
+    if (restrictKind) {
+        bestAny = globalKind_[wantWrite].head;
+    } else {
+        const std::uint32_t r = globalKind_[0].head;
+        const std::uint32_t w = globalKind_[1].head;
+        if (r == kNone)
+            bestAny = w;
+        else if (w == kNone)
+            bestAny = r;
+        else
+            bestAny = olderThan(r, w) ? r : w;
+    }
+    if (!preferHits)
+        return bestAny;  // Fifo scheduler: strictly oldest-first, O(1)
 
-    for (const auto &q : buffers_.queues) {
-        for (std::size_t idx : q) {
-            const MemoryRequest &r = requests_[idx];
-            if (restrictKind && r.isWrite != wantWrite)
+    std::uint32_t bestHit = kNone;
+    auto scanBank = [&](std::uint32_t bank) {
+        if (!device_.rowOpen(bank))
+            return;
+        for (std::uint32_t kind = 0; kind < 2; ++kind) {
+            if (restrictKind && (kind != 0) != wantWrite)
                 continue;
-            const std::uint32_t bank =
-                r.loc.flatBank(spec_.banksPerRank);
-            if (preferHits && device_.rowOpen(bank) &&
-                device_.openRow(bank) == r.loc.row) {
-                if (older(idx, bestHit))
-                    bestHit = idx;
-            }
-            if (older(idx, bestAny))
-                bestAny = idx;
+            const std::uint32_t g = openRowGroup_[bank * 2 + kind];
+            if (g == kNoGroup)
+                continue;
+            const std::uint32_t h = rowLists_[g].list.head;
+            if (h != kNone &&
+                (bestHit == kNone || olderThan(h, bestHit)))
+                bestHit = h;
+        }
+    };
+    if (useBankMask_) {
+        // Only banks with queued requests can contribute a hit
+        // candidate (their row lists are empty otherwise).
+        for (std::uint64_t mask = queuedBankMask_; mask;
+             mask &= mask - 1) {
+            scanBank(static_cast<std::uint32_t>(std::countr_zero(mask)));
+        }
+    } else {
+        const std::uint32_t banks = spec_.totalBanks();
+        for (std::uint32_t bank = 0; bank < banks; ++bank) {
+            if (bankQueued_[bank] != 0)
+                scanBank(bank);
         }
     }
-    if (preferHits && bestHit != kNpos)
+    if (bestHit != kNone)
         return bestHit;
     return bestAny;
 }
 
 void
-DramController::resolveReadCompletion(std::size_t request_index)
+DramController::resolveReadCompletion(std::uint32_t request_index)
 {
-    MemoryRequest &req = requests_[request_index];
     if (config_.respQueue == RespQueuePolicy::Reorder) {
-        req.completionCycle = req.dataCycle;
+        completionCycle_[request_index] = dataCycle_[request_index];
         ++resolvedCount_;
-        retireHeap_.emplace_back(req.completionCycle, request_index);
+        retireHeap_.push_back(completionCycle_[request_index]);
         std::push_heap(retireHeap_.begin(), retireHeap_.end(),
                        std::greater<>());
         return;
@@ -265,14 +282,14 @@ void
 DramController::drainRespFifo()
 {
     while (respFifoHead_ < respFifo_.size()) {
-        const std::size_t idx = respFifo_[respFifoHead_];
-        MemoryRequest &req = requests_[idx];
-        if (req.dataCycle == 0)
+        const std::uint32_t idx = respFifo_[respFifoHead_];
+        if (dataCycle_[idx] == 0)
             break;  // head not yet serviced: younger responses blocked
-        req.completionCycle = std::max(req.dataCycle, lastRespRelease_);
-        lastRespRelease_ = req.completionCycle;
+        completionCycle_[idx] =
+            std::max(dataCycle_[idx], lastRespRelease_);
+        lastRespRelease_ = completionCycle_[idx];
         ++resolvedCount_;
-        retireHeap_.emplace_back(req.completionCycle, idx);
+        retireHeap_.push_back(completionCycle_[idx]);
         std::push_heap(retireHeap_.begin(), retireHeap_.end(),
                        std::greater<>());
         ++respFifoHead_;
@@ -282,7 +299,7 @@ DramController::drainRespFifo()
 void
 DramController::retire(std::uint64_t now)
 {
-    while (!retireHeap_.empty() && retireHeap_.front().first <= now) {
+    while (!retireHeap_.empty() && retireHeap_.front() <= now) {
         std::pop_heap(retireHeap_.begin(), retireHeap_.end(),
                       std::greater<>());
         retireHeap_.pop_back();
@@ -327,15 +344,28 @@ DramController::performRefresh(std::uint64_t now)
 }
 
 std::uint64_t
-DramController::service(std::size_t request_index, std::uint64_t now)
+DramController::service(std::uint32_t request_index, std::uint64_t now)
 {
-    MemoryRequest &req = requests_[request_index];
-    const std::uint32_t bank = req.loc.flatBank(spec_.banksPerRank);
-    const std::uint32_t row = req.loc.row;
+    const DecodedRequest &e = (*trace_)[request_index];
+    const std::uint32_t bank = e.flatBank;
+    const std::uint32_t row = e.row;
 
-    // Remove from its scheduler queue.
-    auto &queue = buffers_.queues[queueIndexFor(req)];
-    queue.erase(std::find(queue.begin(), queue.end(), request_index));
+    // Remove from the scheduler structures first (the page-policy
+    // checks below must not see the request being serviced, matching
+    // the reference's erase-then-decide order).
+    unlink<&Node::globNext, &Node::globPrev>(globalKind_[e.isWrite],
+                                             request_index);
+    RowList &rl = rowLists_[e.rowGroup];
+    unlink<&Node::rowNext, &Node::rowPrev>(rl.list, request_index);
+    --rl.count;
+    if (--bankQueued_[bank] == 0 && useBankMask_)
+        queuedBankMask_ &= ~(1ULL << bank);
+    --queueSize_[queueIndexFor(e)];
+    if (e.isWrite)
+        --queuedWrites_;
+    else
+        --queuedReads_;
+    --totalQueued_;
 
     std::uint64_t firstIssue = std::numeric_limits<std::uint64_t>::max();
 
@@ -355,10 +385,15 @@ DramController::service(std::size_t request_index, std::uint64_t now)
             std::max(now, device_.earliestActivate(bank));
         device_.issueActivate(bank, row, tAct);
         firstIssue = std::min(firstIssue, tAct);
+        // The row groups of (bank, row) are trace-global, so filling the
+        // open-row candidate cache at activate time covers every future
+        // admit to this row as well.
+        openRowGroup_[bank * 2 + e.isWrite] = e.rowGroup;
+        openRowGroup_[bank * 2 + !e.isWrite] = e.buddyGroup;
     }
 
     std::uint64_t tCol, dataEnd;
-    if (req.isWrite) {
+    if (e.isWrite) {
         tCol = std::max(now, device_.earliestWrite(bank));
         dataEnd = device_.issueWrite(bank, tCol);
     } else {
@@ -366,9 +401,11 @@ DramController::service(std::size_t request_index, std::uint64_t now)
         dataEnd = device_.issueRead(bank, tCol);
     }
     firstIssue = std::min(firstIssue, tCol);
-    req.dataCycle = dataEnd;
+    dataCycle_[request_index] = dataEnd;
 
-    // Row-buffer management after the column access.
+    // Row-buffer management after the column access: the O(Q) conflict
+    // scans reduce to O(1) counter arithmetic. A queued conflict on this
+    // bank exists iff more requests queue to the bank than to this row.
     bool doPrecharge = false;
     switch (config_.pagePolicy) {
       case PagePolicy::Open:
@@ -377,24 +414,11 @@ DramController::service(std::size_t request_index, std::uint64_t now)
         doPrecharge = true;
         break;
       case PagePolicy::OpenAdaptive:
-        // Keep the row open unless a queued conflict is waiting on this
-        // bank with a different row.
-        for (const auto &q : buffers_.queues) {
-            for (std::size_t idx : q) {
-                const MemoryRequest &r = requests_[idx];
-                if (r.loc.flatBank(spec_.banksPerRank) == bank &&
-                    r.loc.row != row) {
-                    doPrecharge = true;
-                    break;
-                }
-            }
-            if (doPrecharge)
-                break;
-        }
+        doPrecharge = bankQueued_[bank] > rowPending(e);
         break;
       case PagePolicy::ClosedAdaptive:
         // Close unless another queued request hits this very row.
-        doPrecharge = !pendingRowHitInQueues(bank, row);
+        doPrecharge = rowPending(e) == 0;
         break;
     }
     if (doPrecharge && device_.rowOpen(bank)) {
@@ -404,10 +428,10 @@ DramController::service(std::size_t request_index, std::uint64_t now)
     }
 
     // Completion semantics.
-    if (req.isWrite) {
-        req.completionCycle = dataEnd;
+    if (e.isWrite) {
+        completionCycle_[request_index] = dataEnd;
         ++resolvedCount_;
-        retireHeap_.emplace_back(req.completionCycle, request_index);
+        retireHeap_.push_back(dataEnd);
         std::push_heap(retireHeap_.begin(), retireHeap_.end(),
                        std::greater<>());
     } else {
@@ -416,13 +440,58 @@ DramController::service(std::size_t request_index, std::uint64_t now)
     return firstIssue;
 }
 
-SimResult
-DramController::run(std::vector<MemoryRequest> trace)
+void
+DramController::resetRunState(const DecodedTrace &trace)
 {
-    // Reset per-run state.
-    device_ = DramDevice(spec_);
-    requests_ = std::move(trace);
-    buffers_ = QueueSet{};
+    const std::size_t total = trace.size();
+    device_.reset();
+
+    // resize() keeps capacity: after the first run of a trace of this
+    // size, none of these reallocate. Only state that a run reads
+    // before writing needs clearing: the Reorder arbiter uses
+    // admitCycle/completionCycle as already-admitted markers, and the
+    // Fifo response queue uses dataCycle == 0 as not-yet-serviced.
+    // Everything else is written before first read.
+    nodes_.resize(total);
+    dataCycle_.resize(total);
+    completionCycle_.resize(total);
+    if (config_.arbiter == ArbiterPolicy::Reorder) {
+        std::fill(nodes_.begin(), nodes_.begin() + total, Node{});
+        std::fill(completionCycle_.begin(),
+                  completionCycle_.begin() + total, 0);
+    }
+    if (config_.respQueue == RespQueuePolicy::Fifo)
+        std::fill(dataCycle_.begin(), dataCycle_.begin() + total, 0);
+    tieBreakByIndex_ = trace.idsFollowOrder();
+
+    const std::uint32_t banks = spec_.totalBanks();
+    globalKind_[0] = ListHead{};
+    globalKind_[1] = ListHead{};
+    queuedBankMask_ = 0;
+    useBankMask_ = banks <= 64;
+    openRowGroup_.assign(banks * 2, kNoGroup);
+    bankQueued_.assign(banks, 0);
+    rowLists_.assign(trace.numRowGroups(), RowList{});
+
+    switch (config_.schedulerBuffer) {
+      case BufferOrg::Bankwise:
+        queueSize_.assign(banks, 0);
+        queueCapacity_ = config_.requestBufferSize;
+        break;
+      case BufferOrg::ReadWrite:
+        queueSize_.assign(2, 0);
+        queueCapacity_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(config_.requestBufferSize) *
+                   banks / 2);
+        break;
+      case BufferOrg::Shared:
+        queueSize_.assign(1, 0);
+        queueCapacity_ =
+            static_cast<std::size_t>(config_.requestBufferSize) * banks;
+        break;
+    }
+    queuedReads_ = queuedWrites_ = totalQueued_ = 0;
+
     arrivalIndex_ = 0;
     activeTransactions_ = 0;
     respFifo_.clear();
@@ -436,35 +505,23 @@ DramController::run(std::vector<MemoryRequest> trace)
     forcedRefreshes_ = 0;
     writeGroupActive_ = false;
     rowHits_ = rowMisses_ = 0;
+}
 
-    const std::uint32_t banks = spec_.totalBanks();
-    switch (config_.schedulerBuffer) {
-      case BufferOrg::Bankwise:
-        buffers_.queues.resize(banks);
-        buffers_.capacityPerQueue = config_.requestBufferSize;
-        break;
-      case BufferOrg::ReadWrite:
-        buffers_.queues.resize(2);
-        buffers_.capacityPerQueue = std::max<std::size_t>(
-            1, static_cast<std::size_t>(config_.requestBufferSize) *
-                   banks / 2);
-        break;
-      case BufferOrg::Shared:
-        buffers_.queues.resize(1);
-        buffers_.capacityPerQueue =
-            static_cast<std::size_t>(config_.requestBufferSize) * banks;
-        break;
-    }
+SimResult
+DramController::run(const std::vector<MemoryRequest> &trace)
+{
+    scratch_.assign(spec_, trace);
+    return run(scratch_);
+}
 
-    for (auto &r : requests_) {
-        r.loc = decode(r.address);
-        r.admitCycle = 0;
-        r.dataCycle = 0;
-        r.completionCycle = 0;
-    }
+SimResult
+DramController::run(const DecodedTrace &trace)
+{
+    trace_ = &trace;
+    resetRunState(trace);
 
     std::uint64_t now = 0;
-    const std::size_t total = requests_.size();
+    const std::size_t total = trace.size();
     while (resolvedCount_ < total) {
         retire(now);
         accrueRefreshDebt(now);
@@ -476,8 +533,8 @@ DramController::run(std::vector<MemoryRequest> trace)
             continue;
         }
 
-        const std::size_t pick = schedule(now);
-        if (pick != kNpos) {
+        const std::uint32_t pick = schedule(now);
+        if (pick != kNone) {
             const std::uint64_t firstIssue = service(pick, now);
             now = std::max(now + 1, firstIssue + 1);
             continue;
@@ -486,7 +543,7 @@ DramController::run(std::vector<MemoryRequest> trace)
         // Idle: pull refreshes in early when the bus has slack.
         const bool arrivalsSoon =
             arrivalIndex_ < total &&
-            requests_[arrivalIndex_].arrivalCycle <=
+            trace[arrivalIndex_].arrivalCycle <=
                 now + spec_.timing.tRFC;
         if (!arrivalsSoon && activeTransactions_ == 0 &&
             refreshOwed_ >
@@ -499,12 +556,12 @@ DramController::run(std::vector<MemoryRequest> trace)
         std::uint64_t next = std::numeric_limits<std::uint64_t>::max();
         if (arrivalIndex_ < total) {
             next = std::min(next,
-                            std::max(requests_[arrivalIndex_].arrivalCycle,
+                            std::max(trace[arrivalIndex_].arrivalCycle,
                                      now + 1));
         }
         if (!retireHeap_.empty()) {
             next = std::min(next,
-                            std::max(retireHeap_.front().first, now + 1));
+                            std::max(retireHeap_.front(), now + 1));
         }
         next = std::min(next, std::max(nextRefreshDue_, now + 1));
         if (next == std::numeric_limits<std::uint64_t>::max())
@@ -512,24 +569,27 @@ DramController::run(std::vector<MemoryRequest> trace)
         now = next;
     }
 
-    // Aggregate results.
+    // Aggregate results. The loop shape (request order, operation
+    // order) matches the reference so the floating-point sums are
+    // bit-identical.
     SimResult result;
-    result.requests = requests_.size();
+    result.requests = total;
     double latencySum = 0.0, readLatencySum = 0.0;
     std::uint64_t lastCompletion = 0;
-    for (const auto &r : requests_) {
+    for (std::size_t i = 0; i < total; ++i) {
+        const DecodedRequest &e = trace[i];
         const double latencyNs =
-            static_cast<double>(r.completionCycle - r.arrivalCycle) *
+            static_cast<double>(completionCycle_[i] - e.arrivalCycle) *
             spec_.clockNs;
         latencySum += latencyNs;
         result.maxLatencyNs = std::max(result.maxLatencyNs, latencyNs);
-        if (r.isWrite) {
+        if (e.isWrite) {
             ++result.writes;
         } else {
             ++result.reads;
             readLatencySum += latencyNs;
         }
-        lastCompletion = std::max(lastCompletion, r.completionCycle);
+        lastCompletion = std::max(lastCompletion, completionCycle_[i]);
     }
     result.avgLatencyNs =
         latencySum / static_cast<double>(result.requests);
@@ -551,6 +611,7 @@ DramController::run(std::vector<MemoryRequest> trace)
                                 result.totalCycles,
                                 device_.openCycles(result.totalCycles),
                                 controllerPowerMw(config_));
+    trace_ = nullptr;
     return result;
 }
 

@@ -14,6 +14,34 @@
  * complete when their data burst ends; reads pass through the response
  * queue, where the Fifo policy introduces head-of-line blocking that
  * interacts with the MaxActiveTransactions admission limit.
+ *
+ * Implementation notes (the incremental-state hot loop):
+ *
+ * The scheduler state is maintained incrementally instead of re-scanned
+ * per round, so one scheduling round costs O(banks) rather than O(Q):
+ *
+ *  - Queued requests live on intrusive doubly-linked lists threaded
+ *    through per-request nodes, ordered by (admitCycle, id) — the exact
+ *    age key the FR-FCFS tie-break uses — so every list head is the
+ *    oldest eligible candidate. One global list per access kind serves
+ *    the oldest-any pick in O(1); one list per (bank, row, read/write)
+ *    "row group" (dense ids precomputed by DecodedTrace) serves the
+ *    oldest-row-hit pick, scanned only over banks with queued requests
+ *    (a bitmask); unlink on service is O(1).
+ *  - Cached counters (per-queue size, queued reads/writes, per-bank and
+ *    per-row-group pending counts) replace the full-scan queuedOfKind /
+ *    pendingRowHitInQueues / OpenAdaptive conflict checks with O(1)
+ *    arithmetic.
+ *  - `run(const DecodedTrace &)` is zero-copy: the immutable decoded
+ *    trace is shared read-only across runs, all per-run mutable state
+ *    lives in controller-owned arrays that are reset with assign()
+ *    (capacity retained), and `setConfig()` re-points the design vector
+ *    without reallocating. After the first run of a given trace, a run
+ *    performs no trace copies and no queue (re)allocations.
+ *
+ * Behaviour is bit-identical to ReferenceDramController (the seed
+ * implementation); tests/test_dramsys.cc enforces this across the full
+ * configuration cross-product on all four trace patterns.
  */
 
 #ifndef ARCHGYM_DRAMSYS_CONTROLLER_H
@@ -22,6 +50,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dramsys/decoded_trace.h"
 #include "dramsys/dram_config.h"
 #include "dramsys/dram_device.h"
 #include "dramsys/power_model.h"
@@ -65,64 +94,129 @@ class DramController
   public:
     DramController(const MemSpec &spec, const ControllerConfig &config);
 
-    /** Simulate a full trace to completion. */
-    SimResult run(std::vector<MemoryRequest> trace);
+    /**
+     * Swap in a new design point. All allocations survive; the next
+     * run() rebuilds the (cheap) derived queue-capacity state. This is
+     * how DramGymEnv evaluates a new action per step without
+     * reconstructing the controller.
+     */
+    void setConfig(const ControllerConfig &config) { config_ = config; }
+
+    /**
+     * Simulate a pre-decoded trace to completion. Zero-copy: the trace
+     * is shared read-only and must outlive the call; per-request mutable
+     * state lives in controller-owned arrays.
+     */
+    SimResult run(const DecodedTrace &trace);
+
+    /**
+     * Convenience overload: decodes into an internal scratch trace
+     * first. Accepts lvalues and rvalues; does not retain the argument.
+     */
+    SimResult run(const std::vector<MemoryRequest> &trace);
 
     /** Address decode (row-bank-column interleave); exposed for tests. */
-    DramAddress decode(std::uint64_t address) const;
+    DramAddress decode(std::uint64_t address) const
+    {
+        return addressMap_.decode(address);
+    }
 
     const ControllerConfig &config() const { return config_; }
 
   private:
-    struct QueueSet
+    /** Sentinel request index / group id ("null" link). */
+    static constexpr std::uint32_t kNone = 0xffffffffu;
+
+    /**
+     * Hot per-request scheduler state, kept together so one cache line
+     * serves the age comparison and both list traversals.
+     */
+    struct Node
     {
-        std::vector<std::vector<std::size_t>> queues;  ///< request indices
-        std::size_t capacityPerQueue = 0;
+        std::uint64_t admitCycle = 0;
+        std::uint32_t rowNext = kNone;
+        std::uint32_t rowPrev = kNone;
+        std::uint32_t globNext = kNone;
+        std::uint32_t globPrev = kNone;
     };
 
-    std::size_t queueIndexFor(const MemoryRequest &req) const;
-    bool queueHasSpace(std::size_t queue_index) const;
-    void admitInto(std::size_t request_index, std::uint64_t now);
+    /** Intrusive list endpoints; links live in the per-request nodes. */
+    struct ListHead
+    {
+        std::uint32_t head = kNone;
+        std::uint32_t tail = kNone;
+    };
+
+    /** Pending list for one (bank, row, kind) row group. */
+    struct RowList
+    {
+        ListHead list;
+        std::uint32_t count = 0;
+    };
+
+    std::size_t queueIndexFor(const DecodedRequest &e) const;
+    /** Strict (admitCycle, id) age order: a older than b. */
+    bool olderThan(std::uint32_t a, std::uint32_t b) const;
+    template <std::uint32_t Node::*Next, std::uint32_t Node::*Prev>
+    void insertSorted(ListHead &list, std::uint32_t i);
+    template <std::uint32_t Node::*Next, std::uint32_t Node::*Prev>
+    void unlink(ListHead &list, std::uint32_t i);
+    /** Queued requests to (bank,row) of e, both kinds (e excluded). */
+    std::uint32_t rowPending(const DecodedRequest &e) const;
+
+    void admitInto(std::uint32_t request_index, std::uint64_t now);
     void admit(std::uint64_t now);
-    bool pendingRowHitInQueues(std::uint32_t flat_bank,
-                               std::uint32_t row) const;
-    /** Index into requests_ of the next request to service, or npos. */
-    std::size_t schedule(std::uint64_t now);
+    /** Index of the next request to service, or kNone. */
+    std::uint32_t schedule(std::uint64_t now);
     /** Issue the full command sequence; returns first issue cycle. */
-    std::uint64_t service(std::size_t request_index, std::uint64_t now);
-    void resolveReadCompletion(std::size_t request_index);
+    std::uint64_t service(std::uint32_t request_index, std::uint64_t now);
+    void resolveReadCompletion(std::uint32_t request_index);
     void drainRespFifo();
     void retire(std::uint64_t now);
     void accrueRefreshDebt(std::uint64_t now);
     bool refreshForced() const;
     /** Close all banks and refresh; returns completion cycle. */
     std::uint64_t performRefresh(std::uint64_t now);
-    std::size_t totalQueued() const;
-    std::size_t queuedOfKind(bool is_write) const;
+    void resetRunState(const DecodedTrace &trace);
 
     MemSpec spec_;
     ControllerConfig config_;
+    AddressMap addressMap_;
     DramDevice device_;
 
-    // Address decode shifts/masks derived from the spec.
-    std::uint32_t columnShift_ = 0;
-    std::uint32_t bankShift_ = 0;
-    std::uint32_t rankShift_ = 0;
-    std::uint32_t rowShift_ = 0;
-    std::uint32_t columnMask_ = 0;
-    std::uint32_t bankMask_ = 0;
-    std::uint32_t rankMask_ = 0;
-    std::uint32_t rowMask_ = 0;
+    // --- per-run state; reset (allocation-preserving) by run() -------
+    const DecodedTrace *trace_ = nullptr;  ///< valid during run() only
+    DecodedTrace scratch_;                 ///< for the raw-trace overload
 
-    // Per-run state.
-    std::vector<MemoryRequest> requests_;
-    QueueSet buffers_;
+    // Per-request mutable simulation state, indexed by position: the
+    // scheduler-hot fields live in nodes_, the completion-path fields
+    // in their own arrays (only touched on service/drain/aggregate).
+    std::vector<Node> nodes_;
+    std::vector<std::uint64_t> dataCycle_;
+    std::vector<std::uint64_t> completionCycle_;
+    bool tieBreakByIndex_ = true;  ///< ids follow positions this run
+
+    // Indexed scheduler state.
+    ListHead globalKind_[2];                 ///< all queued, per kind
+    std::vector<RowList> rowLists_;          ///< [rowGroup]
+    std::vector<std::uint32_t> openRowGroup_;///< [flatBank * 2 + kind]
+    std::vector<std::uint32_t> bankQueued_;  ///< queued count per bank
+    std::uint64_t queuedBankMask_ = 0;  ///< bit per bank with queued reqs
+    bool useBankMask_ = true;           ///< totalBanks() fits the mask
+    std::vector<std::uint32_t> queueSize_;   ///< per scheduler queue
+    std::size_t queueCapacity_ = 0;          ///< capacity per queue
+    std::size_t queuedReads_ = 0;
+    std::size_t queuedWrites_ = 0;
+    std::size_t totalQueued_ = 0;
+
     std::size_t arrivalIndex_ = 0;
     std::uint32_t activeTransactions_ = 0;
-    std::vector<std::size_t> respFifo_;   ///< admission-ordered read ids
+    std::vector<std::uint32_t> respFifo_;  ///< admission-ordered read ids
     std::size_t respFifoHead_ = 0;
     std::uint64_t lastRespRelease_ = 0;
-    std::vector<std::pair<std::uint64_t, std::size_t>> retireHeap_;
+    /** Min-heap of completion cycles; retire only counts transactions,
+     *  so it does not need to know which request completed. */
+    std::vector<std::uint64_t> retireHeap_;
     std::size_t resolvedCount_ = 0;
 
     std::int64_t refreshOwed_ = 0;

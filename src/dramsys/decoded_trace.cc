@@ -1,0 +1,90 @@
+#include "decoded_trace.h"
+
+namespace archgym::dram {
+
+namespace {
+
+std::uint32_t
+log2u(std::uint32_t v)
+{
+    std::uint32_t bits = 0;
+    while ((1u << bits) < v)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+AddressMap::AddressMap(const MemSpec &spec)
+{
+    // Row : Rank : Bank : Column : ByteOffset (LSB), so that sequential
+    // streams sweep columns within a row and neighbouring rows land in
+    // the same bank only after touching every bank (bank parallelism).
+    const std::uint32_t offsetBits = log2u(spec.accessBytes());
+    const std::uint32_t columnBits =
+        log2u(spec.columnsPerRow * spec.bytesPerColumn /
+              spec.accessBytes());
+    const std::uint32_t bankBits = log2u(spec.banksPerRank);
+    const std::uint32_t rankBits = log2u(spec.ranks);
+
+    columnShift_ = offsetBits;
+    bankShift_ = columnShift_ + columnBits;
+    rankShift_ = bankShift_ + bankBits;
+    rowShift_ = rankShift_ + rankBits;
+    columnMask_ = (1u << columnBits) - 1;
+    bankMask_ = (1u << bankBits) - 1;
+    rankMask_ = rankBits ? (1u << rankBits) - 1 : 0;
+    rowMask_ = spec.rowsPerBank - 1;
+}
+
+void
+DecodedTrace::assign(const MemSpec &spec,
+                     const std::vector<MemoryRequest> &trace)
+{
+    const AddressMap map(spec);
+    entries_.clear();
+    entries_.reserve(trace.size());
+
+    // Dense row-group assignment: hashing happens exactly once, here,
+    // never in the simulation loop.
+    std::unordered_map<std::uint64_t, std::uint32_t> groupOf;
+    groupOf.reserve(trace.size() * 2);
+    numRowGroups_ = 0;
+    idsFollowOrder_ = true;
+
+    for (const MemoryRequest &req : trace) {
+        if (!entries_.empty() && req.id <= entries_.back().id)
+            idsFollowOrder_ = false;
+        DecodedRequest e;
+        e.id = req.id;
+        e.arrivalCycle = req.arrivalCycle;
+        e.isWrite = req.isWrite;
+        const DramAddress loc = map.decode(req.address);
+        e.flatBank = loc.flatBank(spec.banksPerRank);
+        e.row = loc.row;
+        const std::uint64_t key =
+            ((static_cast<std::uint64_t>(e.flatBank) * spec.rowsPerBank +
+              e.row)
+             << 1) |
+            static_cast<std::uint64_t>(e.isWrite);
+        const auto [it, inserted] = groupOf.emplace(key, numRowGroups_);
+        if (inserted)
+            ++numRowGroups_;
+        e.rowGroup = it->second;
+        entries_.push_back(e);
+    }
+
+    // Second pass: link each entry to the opposite-kind group on the
+    // same (bank, row), if one exists.
+    for (DecodedRequest &e : entries_) {
+        const std::uint64_t key =
+            ((static_cast<std::uint64_t>(e.flatBank) * spec.rowsPerBank +
+              e.row)
+             << 1) |
+            static_cast<std::uint64_t>(!e.isWrite);
+        const auto it = groupOf.find(key);
+        e.buddyGroup = it == groupOf.end() ? kNoGroup : it->second;
+    }
+}
+
+} // namespace archgym::dram

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Immutable, decoded-once view of a memory trace: the zero-copy half of
+ * the DRAM evaluation path.
+ *
+ * `DramGymEnv::step()` evaluates the same trace thousands of times under
+ * different controller configurations. Address decode depends only on
+ * the MemSpec — never on the controller configuration — so the trace can
+ * be decoded exactly once and shared read-only across every run:
+ *
+ *  - `AddressMap` holds the row:rank:bank:column interleave shifts/masks
+ *    derived from a MemSpec (factored out of the controller so that
+ *    trace decoding does not require a controller instance).
+ *  - `DecodedTrace` stores, per request, the decoded coordinates plus a
+ *    dense "row group" id for the (flat bank, row, read/write) triple.
+ *    Row groups let the controller keep per-(bank,row,kind) pending
+ *    lists in a plain vector indexed by group id — no hashing anywhere
+ *    in the simulation hot loop. `buddyGroup` is the group of the
+ *    opposite access kind on the same (bank,row), so the controller can
+ *    find both row-hit candidate lists for an open row in O(1).
+ *
+ * Invariants relied upon by DramController::run(const DecodedTrace &):
+ *  - entries are in the original trace order (arrival-sorted, ids as
+ *    produced by the trace source) and are never mutated by a run;
+ *  - rowGroup ids are dense in [0, numRowGroups());
+ *  - buddyGroup == kNoGroup iff the trace contains no opposite-kind
+ *    request to that (bank, row).
+ */
+
+#ifndef ARCHGYM_DRAMSYS_DECODED_TRACE_H
+#define ARCHGYM_DRAMSYS_DECODED_TRACE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dramsys/dram_config.h"
+#include "dramsys/request.h"
+
+namespace archgym::dram {
+
+/** Physical-address interleave (Row:Rank:Bank:Column:Offset, LSB last). */
+class AddressMap
+{
+  public:
+    AddressMap() = default;
+    explicit AddressMap(const MemSpec &spec);
+
+    DramAddress decode(std::uint64_t address) const
+    {
+        DramAddress loc;
+        loc.column = static_cast<std::uint32_t>(address >> columnShift_) &
+                     columnMask_;
+        loc.bank = static_cast<std::uint32_t>(address >> bankShift_) &
+                   bankMask_;
+        loc.rank = rankMask_
+                       ? static_cast<std::uint32_t>(address >> rankShift_) &
+                             rankMask_
+                       : 0;
+        loc.row = static_cast<std::uint32_t>(address >> rowShift_) &
+                  rowMask_;
+        return loc;
+    }
+
+  private:
+    std::uint32_t columnShift_ = 0;
+    std::uint32_t bankShift_ = 0;
+    std::uint32_t rankShift_ = 0;
+    std::uint32_t rowShift_ = 0;
+    std::uint32_t columnMask_ = 0;
+    std::uint32_t bankMask_ = 0;
+    std::uint32_t rankMask_ = 0;
+    std::uint32_t rowMask_ = 0;
+};
+
+/** Sentinel for "no opposite-kind group exists in this trace". */
+inline constexpr std::uint32_t kNoGroup = 0xffffffffu;
+
+/** One decoded request: everything the controller hot loop reads. */
+struct DecodedRequest
+{
+    std::uint64_t id = 0;           ///< trace order, FIFO tie-break key
+    std::uint64_t arrivalCycle = 0;
+    std::uint32_t flatBank = 0;     ///< bank index across ranks
+    std::uint32_t row = 0;
+    std::uint32_t rowGroup = 0;     ///< dense (bank,row,kind) id
+    std::uint32_t buddyGroup = kNoGroup;  ///< same (bank,row), other kind
+    bool isWrite = false;
+};
+
+class DecodedTrace
+{
+  public:
+    DecodedTrace() = default;
+    DecodedTrace(const MemSpec &spec,
+                 const std::vector<MemoryRequest> &trace)
+    {
+        assign(spec, trace);
+    }
+
+    /** (Re)build from a raw trace, reusing prior allocations. */
+    void assign(const MemSpec &spec,
+                const std::vector<MemoryRequest> &trace);
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+    const DecodedRequest &operator[](std::size_t i) const
+    {
+        return entries_[i];
+    }
+    /** Number of distinct (flat bank, row, kind) triples in the trace. */
+    std::uint32_t numRowGroups() const { return numRowGroups_; }
+
+    /**
+     * True when ids increase with position (every trace generated or
+     * parsed by trace_gen). The controller then tie-breaks request age
+     * by position — one fewer indirection on the scheduling fast path —
+     * with identical outcomes.
+     */
+    bool idsFollowOrder() const { return idsFollowOrder_; }
+
+  private:
+    std::vector<DecodedRequest> entries_;
+    std::uint32_t numRowGroups_ = 0;
+    bool idsFollowOrder_ = true;
+};
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_DECODED_TRACE_H

@@ -11,6 +11,22 @@ DramDevice::DramDevice(const MemSpec &spec)
 {
 }
 
+void
+DramDevice::reset()
+{
+    std::fill(banks_.begin(), banks_.end(), Bank{});
+    for (auto &window : actWindow_)
+        window.clear();
+    busFree_ = 0;
+    nextReadIssue_ = 0;
+    nextWriteIssue_ = 0;
+    nextActAny_ = 0;
+    counts_ = CommandCounts{};
+    lastTrack_ = 0;
+    openBankCount_ = 0;
+    openCycles_ = 0;
+}
+
 bool
 DramDevice::anyRowOpen() const
 {

@@ -37,6 +37,13 @@ class DramDevice
   public:
     explicit DramDevice(const MemSpec &spec);
 
+    /**
+     * Return to the power-on state (all banks closed, timers and
+     * command counts cleared) without releasing any allocations — the
+     * per-run reset path of the controller's reusable hot loop.
+     */
+    void reset();
+
     const MemSpec &spec() const { return spec_; }
 
     // --- row-buffer state -------------------------------------------

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The original (seed) DRAM controller implementation, kept verbatim as
+ * the golden reference for the optimized `DramController`.
+ *
+ * Every scheduling decision here is made by scanning the full contents
+ * of the scheduler queues (O(Q) per round) and every run copies and
+ * re-decodes the trace. That is exactly why it was replaced on the hot
+ * path — but it is also small, obviously correct, and matches the
+ * behaviour the optimized controller must reproduce bit-for-bit. The
+ * golden-equivalence suite in tests/test_dramsys.cc sweeps the full
+ * scheduler x page-policy x buffer-org x arbiter x response-queue
+ * cross-product on all four trace patterns and asserts `SimResult`
+ * equality between the two, and bench/perf_dram_hotloop.cc measures the
+ * speedup against it. Behavioural changes must be made to both
+ * implementations in lockstep, or equivalence testing loses its anchor.
+ */
+
+#ifndef ARCHGYM_DRAMSYS_REFERENCE_CONTROLLER_H
+#define ARCHGYM_DRAMSYS_REFERENCE_CONTROLLER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "dramsys/controller.h"
+#include "dramsys/dram_config.h"
+#include "dramsys/dram_device.h"
+#include "dramsys/power_model.h"
+#include "dramsys/request.h"
+
+namespace archgym::dram {
+
+class ReferenceDramController
+{
+  public:
+    ReferenceDramController(const MemSpec &spec,
+                            const ControllerConfig &config);
+
+    /** Simulate a full trace to completion. */
+    SimResult run(std::vector<MemoryRequest> trace);
+
+    /** Address decode (row-bank-column interleave); exposed for tests. */
+    DramAddress decode(std::uint64_t address) const;
+
+    const ControllerConfig &config() const { return config_; }
+
+  private:
+    struct QueueSet
+    {
+        std::vector<std::vector<std::size_t>> queues;  ///< request indices
+        std::size_t capacityPerQueue = 0;
+    };
+
+    std::size_t queueIndexFor(const MemoryRequest &req) const;
+    bool queueHasSpace(std::size_t queue_index) const;
+    void admitInto(std::size_t request_index, std::uint64_t now);
+    void admit(std::uint64_t now);
+    bool pendingRowHitInQueues(std::uint32_t flat_bank,
+                               std::uint32_t row) const;
+    /** Index into requests_ of the next request to service, or npos. */
+    std::size_t schedule(std::uint64_t now);
+    /** Issue the full command sequence; returns first issue cycle. */
+    std::uint64_t service(std::size_t request_index, std::uint64_t now);
+    void resolveReadCompletion(std::size_t request_index);
+    void drainRespFifo();
+    void retire(std::uint64_t now);
+    void accrueRefreshDebt(std::uint64_t now);
+    bool refreshForced() const;
+    /** Close all banks and refresh; returns completion cycle. */
+    std::uint64_t performRefresh(std::uint64_t now);
+    std::size_t totalQueued() const;
+    std::size_t queuedOfKind(bool is_write) const;
+
+    MemSpec spec_;
+    ControllerConfig config_;
+    DramDevice device_;
+
+    // Address decode shifts/masks derived from the spec.
+    std::uint32_t columnShift_ = 0;
+    std::uint32_t bankShift_ = 0;
+    std::uint32_t rankShift_ = 0;
+    std::uint32_t rowShift_ = 0;
+    std::uint32_t columnMask_ = 0;
+    std::uint32_t bankMask_ = 0;
+    std::uint32_t rankMask_ = 0;
+    std::uint32_t rowMask_ = 0;
+
+    // Per-run state.
+    std::vector<MemoryRequest> requests_;
+    QueueSet buffers_;
+    std::size_t arrivalIndex_ = 0;
+    std::uint32_t activeTransactions_ = 0;
+    std::vector<std::size_t> respFifo_;   ///< admission-ordered read ids
+    std::size_t respFifoHead_ = 0;
+    std::uint64_t lastRespRelease_ = 0;
+    std::vector<std::pair<std::uint64_t, std::size_t>> retireHeap_;
+    std::size_t resolvedCount_ = 0;
+
+    std::int64_t refreshOwed_ = 0;
+    std::uint64_t nextRefreshDue_ = 0;
+    std::uint64_t refreshBusyUntil_ = 0;
+    std::uint64_t forcedRefreshes_ = 0;
+
+    bool writeGroupActive_ = false;  ///< FrFcFsGrp current group
+
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace archgym::dram
+
+#endif // ARCHGYM_DRAMSYS_REFERENCE_CONTROLLER_H

@@ -2,6 +2,12 @@
  * @file
  * Memory request and address decomposition types shared across the DRAM
  * subsystem simulator.
+ *
+ * MemoryRequest is the raw trace record (what trace_gen produces and
+ * parses). The simulation hot loop does not consume it directly: traces
+ * are decoded once into the immutable DecodedTrace view
+ * (decoded_trace.h) and all per-run mutable state lives inside
+ * DramController, so a request is never copied or mutated per run.
  */
 
 #ifndef ARCHGYM_DRAMSYS_REQUEST_H

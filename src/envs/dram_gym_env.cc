@@ -13,7 +13,9 @@ toString(DramObjective o)
     return "?";
 }
 
-DramGymEnv::DramGymEnv(Options options) : options_(std::move(options))
+DramGymEnv::DramGymEnv(Options options)
+    : options_(std::move(options)),
+      controller_(options_.spec, dram::ControllerConfig{})
 {
     buildSpace();
     buildObjective();
@@ -22,6 +24,7 @@ DramGymEnv::DramGymEnv(Options options) : options_(std::move(options))
     tc.numRequests = options_.traceLength;
     tc.seed = options_.traceSeed;
     trace_ = dram::generateTrace(tc);
+    decoded_.assign(options_.spec, trace_);
 }
 
 void
@@ -80,8 +83,8 @@ DramGymEnv::decodeAction(const Action &action) const
 dram::SimResult
 DramGymEnv::simulate(const Action &action)
 {
-    dram::DramController controller(options_.spec, decodeAction(action));
-    return controller.run(trace_);
+    controller_.setConfig(decodeAction(action));
+    return controller_.run(decoded_);
 }
 
 StepResult

@@ -7,6 +7,12 @@
  * <latency, power, energy>; the reward follows the Table 3 target form
  * r = X_target / |X_target - X_obs| for the selected objective (low
  * power, low latency, or the joint combination).
+ *
+ * Zero-copy evaluation invariant: the trace is generated and decoded
+ * exactly once, in the constructor. Every step() reconfigures a single
+ * persistent DramController (setConfig) and runs it against the shared
+ * immutable DecodedTrace — no trace copies, no controller
+ * reconstruction, and (after the first step) no queue allocations.
  */
 
 #ifndef ARCHGYM_ENVS_DRAM_GYM_ENV_H
@@ -62,6 +68,11 @@ class DramGymEnv : public Environment
 
     const Options &options() const { return options_; }
     const Objective &objective() const { return *objective_; }
+    /** The raw generated trace (serialization, inspection). */
+    const std::vector<dram::MemoryRequest> &trace() const
+    {
+        return trace_;
+    }
 
   private:
     void buildSpace();
@@ -74,6 +85,8 @@ class DramGymEnv : public Environment
     ParamSpace space_;
     std::unique_ptr<Objective> objective_;
     std::vector<dram::MemoryRequest> trace_;
+    dram::DecodedTrace decoded_;      ///< decoded once, shared by steps
+    dram::DramController controller_; ///< reused across steps
 };
 
 } // namespace archgym

@@ -99,6 +99,38 @@ Cholesky::factor(const Matrix &a, double jitter)
     return true;
 }
 
+bool
+Cholesky::append(const std::vector<double> &col)
+{
+    assert(ok_);
+    const std::size_t n = l_.rows();
+    assert(col.size() == n + 1);
+
+    // l = L^-1 k (forward substitution against the existing factor).
+    std::vector<double> l(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = col[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= l_(i, k) * l[k];
+        l[i] = s / l_(i, i);
+    }
+    double s = col[n] + jitterUsed_;
+    for (double v : l)
+        s -= v * v;
+    if (s <= 0.0 || !std::isfinite(s))
+        return false;
+
+    Matrix grown(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            grown(i, j) = l_(i, j);
+    for (std::size_t j = 0; j < n; ++j)
+        grown(n, j) = l[j];
+    grown(n, n) = std::sqrt(s);
+    l_ = std::move(grown);
+    return true;
+}
+
 std::vector<double>
 Cholesky::solveLower(const std::vector<double> &b) const
 {

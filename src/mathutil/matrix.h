@@ -6,7 +6,10 @@
  *
  * The GP posterior requires solving K x = y for a symmetric positive
  * definite kernel matrix K. BO's cubic cost in the sample count, which the
- * paper calls out as its main scalability limit, lives here.
+ * paper calls out as its main scalability limit, lives here. The
+ * window-append case (one observation added to the training set) is
+ * served by Cholesky::append, a rank-1 bordering update that extends
+ * the factor in O(n^2) instead of refactorizing in O(n^3).
  */
 
 #ifndef ARCHGYM_MATHUTIL_MATRIX_H
@@ -76,8 +79,30 @@ class Cholesky
     /** Whether factorization succeeded (possibly with jitter). */
     bool ok() const { return ok_; }
 
+    /** Dimension n of the factored matrix. */
+    std::size_t size() const { return l_.rows(); }
+
     /** Total jitter that had to be added to the diagonal. */
     double jitterUsed() const { return jitterUsed_; }
+
+    /**
+     * Rank-1 bordering update: extend the factorization of the n x n
+     * matrix A to the (n+1) x (n+1) matrix [[A, k], [k^T, d]] in
+     * O(n^2), where a full refactorization would cost O(n^3):
+     *
+     *   L' = [[L, 0], [l^T, s]],  l = L^{-1} k,  s = sqrt(d - l^T l).
+     *
+     * Any jitter used by the original factorization is applied to the
+     * new diagonal entry as well, matching what a full refactorization
+     * with that jitter would produce.
+     *
+     * @param col  the new column: k (n entries) followed by the new
+     *             diagonal element d
+     * @return false — leaving the factor unchanged — if the bordered
+     *         matrix is not numerically positive definite.
+     * @pre ok() && col.size() == size() + 1
+     */
+    bool append(const std::vector<double> &col);
 
     const Matrix &lower() const { return l_; }
 

@@ -391,6 +391,39 @@ TEST(BayesianOpt, MaternKernelRunsEndToEnd)
     EXPECT_GT(r.bestReward, r.rewardHistory.front());
 }
 
+TEST(GaussianProcessModel, AppendFitMatchesFullFit)
+{
+    // The rank-1 incremental path must agree with a from-scratch fit on
+    // the same training set, point for point.
+    Rng rng(5);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 30; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform(-2.0, 2.0));
+    }
+
+    GaussianProcess incremental(0.25, 1.0, 1e-4);
+    incremental.appendFit(xs[0], ys[0]);  // bootstraps via full fit
+    for (std::size_t i = 1; i < xs.size(); ++i)
+        incremental.appendFit(xs[i], ys[i]);
+    ASSERT_TRUE(incremental.fitted());
+    EXPECT_EQ(incremental.sampleCount(), xs.size());
+
+    GaussianProcess full(0.25, 1.0, 1e-4);
+    full.fit(xs, ys);
+    ASSERT_TRUE(full.fitted());
+
+    for (int i = 0; i < 50; ++i) {
+        const std::vector<double> q = {rng.uniform(), rng.uniform()};
+        double m1, v1, m2, v2;
+        incremental.predict(q, m1, v1);
+        full.predict(q, m2, v2);
+        EXPECT_NEAR(m1, m2, 1e-9);
+        EXPECT_NEAR(v1, v2, 1e-9);
+    }
+}
+
 TEST(GaussianProcessModel, UnfittedFallsBackToPrior)
 {
     GaussianProcess gp(0.2, 2.0, 1e-4);

@@ -12,9 +12,11 @@
 #include <sstream>
 
 #include "dramsys/controller.h"
+#include "dramsys/decoded_trace.h"
 #include "dramsys/dram_device.h"
 #include "dramsys/power_model.h"
 #include "dramsys/memspec_presets.h"
+#include "dramsys/reference_controller.h"
 #include "dramsys/trace_gen.h"
 
 namespace archgym::dram {
@@ -698,6 +700,177 @@ allCtrlCases()
 
 INSTANTIATE_TEST_SUITE_P(DesignSpace, ControllerSweep,
                          ::testing::ValuesIn(allCtrlCases()));
+
+// --------------------------------------------------------------------
+// Golden equivalence: optimized controller vs the seed reference
+// --------------------------------------------------------------------
+//
+// The optimized DramController replaces the reference's O(Q) per-round
+// queue scans with incrementally maintained indexed state. The contract
+// is bit-identical SimResults, so every field — including the
+// floating-point aggregates — is compared with exact equality across
+// the full SchedulerPolicy x PagePolicy x BufferOrg x Arbiter x
+// RespQueuePolicy cross-product on all four trace patterns.
+
+void
+expectIdenticalResults(const SimResult &opt, const SimResult &ref,
+                       const std::string &label)
+{
+    EXPECT_EQ(opt.requests, ref.requests) << label;
+    EXPECT_EQ(opt.reads, ref.reads) << label;
+    EXPECT_EQ(opt.writes, ref.writes) << label;
+    EXPECT_EQ(opt.avgLatencyNs, ref.avgLatencyNs) << label;
+    EXPECT_EQ(opt.avgReadLatencyNs, ref.avgReadLatencyNs) << label;
+    EXPECT_EQ(opt.maxLatencyNs, ref.maxLatencyNs) << label;
+    EXPECT_EQ(opt.totalCycles, ref.totalCycles) << label;
+    EXPECT_EQ(opt.totalTimeNs, ref.totalTimeNs) << label;
+    EXPECT_EQ(opt.bandwidthGBps, ref.bandwidthGBps) << label;
+    EXPECT_EQ(opt.rowHits, ref.rowHits) << label;
+    EXPECT_EQ(opt.rowMisses, ref.rowMisses) << label;
+    EXPECT_EQ(opt.refreshes, ref.refreshes) << label;
+    EXPECT_EQ(opt.forcedRefreshes, ref.forcedRefreshes) << label;
+    EXPECT_EQ(opt.power.actPj, ref.power.actPj) << label;
+    EXPECT_EQ(opt.power.prePj, ref.power.prePj) << label;
+    EXPECT_EQ(opt.power.rdPj, ref.power.rdPj) << label;
+    EXPECT_EQ(opt.power.wrPj, ref.power.wrPj) << label;
+    EXPECT_EQ(opt.power.refPj, ref.power.refPj) << label;
+    EXPECT_EQ(opt.power.backgroundPj, ref.power.backgroundPj) << label;
+    EXPECT_EQ(opt.power.controllerPj, ref.power.controllerPj) << label;
+    EXPECT_EQ(opt.power.avgPowerW, ref.power.avgPowerW) << label;
+}
+
+TEST(GoldenEquivalence, FullConfigCrossProductOnAllPatterns)
+{
+    const MemSpec spec = testSpec();
+    const TracePattern patterns[] = {
+        TracePattern::Streaming, TracePattern::Random,
+        TracePattern::Cloud1, TracePattern::Cloud2};
+
+    for (auto pattern : patterns) {
+        const auto trace = makeTrace(pattern, 300);
+        const DecodedTrace decoded(spec, trace);
+
+        for (auto page : {PagePolicy::Open, PagePolicy::OpenAdaptive,
+                          PagePolicy::Closed,
+                          PagePolicy::ClosedAdaptive}) {
+            for (auto sched :
+                 {SchedulerPolicy::Fifo, SchedulerPolicy::FrFcFs,
+                  SchedulerPolicy::FrFcFsGrp}) {
+                for (auto buf : {BufferOrg::Bankwise, BufferOrg::ReadWrite,
+                                 BufferOrg::Shared}) {
+                    for (auto arb :
+                         {ArbiterPolicy::Simple, ArbiterPolicy::Fifo,
+                          ArbiterPolicy::Reorder}) {
+                        for (auto resp : {RespQueuePolicy::Fifo,
+                                          RespQueuePolicy::Reorder}) {
+                            ControllerConfig cfg;
+                            cfg.pagePolicy = page;
+                            cfg.scheduler = sched;
+                            cfg.schedulerBuffer = buf;
+                            cfg.arbiter = arb;
+                            cfg.respQueue = resp;
+                            cfg.requestBufferSize = 2;
+                            cfg.maxActiveTransactions = 8;
+
+                            DramController opt(spec, cfg);
+                            ReferenceDramController ref(spec, cfg);
+                            std::ostringstream label;
+                            label << toString(pattern) << "/"
+                                  << toString(page) << "/"
+                                  << toString(sched) << "/"
+                                  << toString(buf) << "/"
+                                  << toString(arb) << "/"
+                                  << toString(resp);
+                            expectIdenticalResults(opt.run(decoded),
+                                                   ref.run(trace),
+                                                   label.str());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(GoldenEquivalence, ControllerReuseMatchesFreshConstruction)
+{
+    // The zero-copy path reuses one controller across steps via
+    // setConfig(); the results must match fresh-controller runs for
+    // every design point visited, in any order.
+    const MemSpec spec = testSpec();
+    const auto trace = makeTrace(TracePattern::Cloud2, 400);
+    const DecodedTrace decoded(spec, trace);
+
+    DramController reused(spec, ControllerConfig{});
+    Rng rng(11);
+    for (int i = 0; i < 24; ++i) {
+        ControllerConfig cfg;
+        cfg.pagePolicy = static_cast<PagePolicy>(rng.below(4));
+        cfg.scheduler = static_cast<SchedulerPolicy>(rng.below(3));
+        cfg.schedulerBuffer = static_cast<BufferOrg>(rng.below(3));
+        cfg.arbiter = static_cast<ArbiterPolicy>(rng.below(3));
+        cfg.respQueue = static_cast<RespQueuePolicy>(rng.below(2));
+        cfg.requestBufferSize = 1 + static_cast<std::uint32_t>(rng.below(8));
+        cfg.maxActiveTransactions =
+            1u << static_cast<std::uint32_t>(rng.below(8));
+
+        reused.setConfig(cfg);
+        const SimResult a = reused.run(decoded);
+        DramController fresh(spec, cfg);
+        const SimResult b = fresh.run(decoded);
+        expectIdenticalResults(a, b, "reuse step " + std::to_string(i));
+    }
+}
+
+TEST(GoldenEquivalence, LongRefreshHeavyTraceMatches)
+{
+    // Long enough to cross several tREFI intervals, with a tight
+    // postpone limit forcing refreshes into live traffic.
+    const MemSpec spec = testSpec();
+    const auto trace = makeTrace(TracePattern::Streaming, 6000);
+    const DecodedTrace decoded(spec, trace);
+    for (auto sched : {SchedulerPolicy::FrFcFs,
+                       SchedulerPolicy::FrFcFsGrp}) {
+        ControllerConfig cfg;
+        cfg.scheduler = sched;
+        cfg.refreshMaxPostponed = 1;
+        cfg.refreshMaxPulledin = 1;
+        DramController opt(spec, cfg);
+        ReferenceDramController ref(spec, cfg);
+        expectIdenticalResults(opt.run(decoded), ref.run(trace),
+                               std::string("long/") + toString(sched));
+    }
+}
+
+TEST(DecodedTrace, MatchesControllerDecodeAndGroupsAreConsistent)
+{
+    const MemSpec spec = testSpec();
+    const auto trace = makeTrace(TracePattern::Cloud1, 500);
+    const DecodedTrace decoded(spec, trace);
+    ASSERT_EQ(decoded.size(), trace.size());
+
+    DramController ctrl(spec, ControllerConfig{});
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const DramAddress loc = ctrl.decode(trace[i].address);
+        EXPECT_EQ(decoded[i].flatBank, loc.flatBank(spec.banksPerRank));
+        EXPECT_EQ(decoded[i].row, loc.row);
+        EXPECT_EQ(decoded[i].isWrite, trace[i].isWrite);
+        EXPECT_EQ(decoded[i].id, trace[i].id);
+        EXPECT_EQ(decoded[i].arrivalCycle, trace[i].arrivalCycle);
+        EXPECT_LT(decoded[i].rowGroup, decoded.numRowGroups());
+        // Same (bank,row,kind) <=> same group; buddy links are mutual.
+        for (std::size_t j = i + 1; j < trace.size(); j += 97) {
+            const bool sameTriple =
+                decoded[i].flatBank == decoded[j].flatBank &&
+                decoded[i].row == decoded[j].row &&
+                decoded[i].isWrite == decoded[j].isWrite;
+            EXPECT_EQ(sameTriple,
+                      decoded[i].rowGroup == decoded[j].rowGroup);
+        }
+        if (decoded[i].buddyGroup != kNoGroup)
+            EXPECT_LT(decoded[i].buddyGroup, decoded.numRowGroups());
+    }
+}
 
 } // namespace
 } // namespace archgym::dram

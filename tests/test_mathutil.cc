@@ -329,6 +329,98 @@ TEST(Cholesky, JitterRescuesSemidefinite)
     EXPECT_GT(chol.jitterUsed(), 0.0);
 }
 
+TEST(Cholesky, AppendMatchesFullRefactorization)
+{
+    // Rank-1 bordering update: factor the leading n-1 x n-1 block, then
+    // append the final column; every entry of the factor must match a
+    // full refactorization of the complete matrix to 1e-9.
+    const std::size_t n = 24;
+    Rng rng(77);
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transpose());
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+
+    Matrix leading(n - 1, n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        for (std::size_t j = 0; j + 1 < n; ++j)
+            leading(i, j) = a(i, j);
+
+    Cholesky incremental(leading);
+    ASSERT_TRUE(incremental.ok());
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = a(i, n - 1);
+    ASSERT_TRUE(incremental.append(col));
+    EXPECT_EQ(incremental.size(), n);
+
+    const Cholesky full(a);
+    ASSERT_TRUE(full.ok());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            EXPECT_NEAR(incremental.lower()(i, j), full.lower()(i, j),
+                        1e-9)
+                << i << "," << j;
+
+    // The updated factor solves the bordered system.
+    std::vector<double> xTrue(n);
+    for (auto &x : xTrue)
+        x = rng.uniform(-2.0, 2.0);
+    const auto x = incremental.solve(a.multiply(xTrue));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
+TEST(Cholesky, AppendChainMatchesFullRefactorization)
+{
+    // Grow one column at a time from a 4x4 seed to the full matrix, as
+    // the BO agent does across sequential observations.
+    const std::size_t n = 20;
+    Rng rng(123);
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transpose());
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+
+    const std::size_t start = 4;
+    Matrix leading(start, start);
+    for (std::size_t i = 0; i < start; ++i)
+        for (std::size_t j = 0; j < start; ++j)
+            leading(i, j) = a(i, j);
+    Cholesky incremental(leading);
+    ASSERT_TRUE(incremental.ok());
+    for (std::size_t m = start; m < n; ++m) {
+        std::vector<double> col(m + 1);
+        for (std::size_t i = 0; i <= m; ++i)
+            col[i] = a(i, m);
+        ASSERT_TRUE(incremental.append(col)) << m;
+    }
+
+    const Cholesky full(a);
+    ASSERT_TRUE(full.ok());
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            EXPECT_NEAR(incremental.lower()(i, j), full.lower()(i, j),
+                        1e-9);
+}
+
+TEST(Cholesky, AppendRejectsIndefiniteBorder)
+{
+    Matrix a(1, 1);
+    a(0, 0) = 1.0;
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    // Border that makes the matrix indefinite: [[1, 2], [2, 1]].
+    EXPECT_FALSE(chol.append({2.0, 1.0}));
+    EXPECT_EQ(chol.size(), 1u);  // factor unchanged
+}
+
 TEST(Cholesky, LogDetMatchesProduct)
 {
     Matrix a(2, 2);
