@@ -81,6 +81,8 @@ GaussianProcess::refitFromMembers()
     chol_ = std::make_unique<Cholesky>(k);
     if (!chol_->ok())
         return;
+    if (reserveHint_ > n)
+        chol_->reserve(reserveHint_);
 
     solveAlpha();
     fitted_ = true;
@@ -182,6 +184,8 @@ BayesianOptAgent::BayesianOptAgent(const ParamSpace &space, HyperParams hp,
         std::max<std::int64_t>(8, hp_.getInt("num_candidates", 256)));
     maxHistory_ = static_cast<std::size_t>(
         std::max<std::int64_t>(16, hp_.getInt("max_history", 150)));
+    // Window appends then never reallocate the Cholesky factor.
+    gp_.reserveCapacity(maxHistory_ + 1);
 }
 
 double

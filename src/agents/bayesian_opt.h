@@ -69,6 +69,16 @@ class GaussianProcess
     bool fitted() const { return fitted_; }
     std::size_t sampleCount() const { return xs_.size(); }
 
+    /**
+     * Hint the maximum training-set size (e.g. the BO sliding-window
+     * capacity): every full refit pre-reserves Cholesky factor storage
+     * for that dimension, so window appends never reallocate.
+     */
+    void reserveCapacity(std::size_t max_samples)
+    {
+        reserveHint_ = max_samples;
+    }
+
     /** Posterior mean and variance at x (in the original y units). */
     void predict(const std::vector<double> &x, double &mean,
                  double &variance) const;
@@ -98,6 +108,7 @@ class GaussianProcess
     std::vector<double> alpha_;  ///< K^-1 y (standardized)
     std::unique_ptr<Cholesky> chol_;
     bool fitted_ = false;
+    std::size_t reserveHint_ = 0;  ///< expected max training-set size
 };
 
 class BayesianOptAgent : public Agent

@@ -1,8 +1,10 @@
 #include "driver.h"
 
-#include <atomic>
+#include <algorithm>
 #include <chrono>
 #include <thread>
+
+#include "core/worker_pool.h"
 
 namespace archgym {
 
@@ -98,14 +100,25 @@ runSweepParallel(const EnvFactory &env_factory,
     num_threads = std::min(num_threads, std::max<std::size_t>(
                                             1, configs.size()));
 
-    std::atomic<std::size_t> next{0};
-    auto worker = [&]() {
-        // One private environment per worker; agents are per run.
-        std::unique_ptr<Environment> env = env_factory();
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= configs.size())
-                return;
+    // One private environment per logical worker slot, built lazily on
+    // the slot's first configuration and reused for all of them; agents
+    // stay per run. Results are keyed by configuration index and seeds
+    // depend only on the index, so the outcome is independent of how the
+    // pool schedules slots onto threads.
+    std::vector<std::unique_ptr<Environment>> envs(num_threads);
+
+    // Search runs are heavyweight (maxSamples cost-model calls each), so
+    // chunk = 1 is usually right; only very large sweeps of very small
+    // runs benefit from coarser chunks that spare the shared counter.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, configs.size() / (num_threads * 64));
+
+    WorkerPool::shared().parallelFor(
+        configs.size(),
+        [&](std::size_t slot, std::size_t i) {
+            auto &env = envs[slot];
+            if (!env)
+                env = env_factory();
             const std::uint64_t seed =
                 base_seed * 0x9e3779b97f4a7c15ULL +
                 static_cast<std::uint64_t>(i);
@@ -113,15 +126,8 @@ runSweepParallel(const EnvFactory &env_factory,
             RunResult run = runSearch(*env, *agent, run_config);
             sweep.bestRewards[i] = run.bestReward;
             sweep.runs[i] = std::move(run);
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(num_threads);
-    for (std::size_t t = 0; t < num_threads; ++t)
-        threads.emplace_back(worker);
-    for (auto &t : threads)
-        t.join();
+        },
+        num_threads, chunk);
     return sweep;
 }
 

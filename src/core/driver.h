@@ -102,7 +102,17 @@ using EnvFactory = std::function<std::unique_ptr<Environment>()>;
  * not per configuration, and the environment's internal buffers stay
  * warm across runs.
  *
- * @param num_threads  0 = hardware concurrency
+ * Work is submitted to the process-wide WorkerPool::shared(), so
+ * consecutive sweeps reuse the same pooled threads instead of
+ * spawning/joining a fresh set each call. If the environment factory,
+ * the agent builder, or a step throws, the first exception is rethrown
+ * here on the calling thread (the sweep result is then abandoned).
+ *
+ * @param num_threads  logical workers (environment instances);
+ *                     0 = hardware concurrency. Values above the shared
+ *                     pool's size still get that many environments, but
+ *                     they multiplex onto the pool's threads, so OS-level
+ *                     parallelism is capped at hardware concurrency.
  */
 SweepResult runSweepParallel(const EnvFactory &env_factory,
                              const std::string &agent_name,

@@ -73,7 +73,11 @@ ParamDesc::levelToValue(std::size_t level) const
         return static_cast<double>(level);
     if (!explicitValues_.empty())
         return explicitValues_[level];
-    return min_ + static_cast<double>(level) * step_;
+    // Clamp: min + level * step can drift past max in floating point
+    // (e.g. 0.4 + 8 * 0.2 = 2.0000000000000004), which would silently
+    // hand cost models out-of-range parameter values at the top level.
+    return std::clamp(min_ + static_cast<double>(level) * step_, min_,
+                      max_);
 }
 
 std::size_t

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 namespace archgym {
 
@@ -27,10 +29,89 @@ dominates(const Metrics &a, const Metrics &b,
     return strictlyBetter;
 }
 
+namespace {
+
+/**
+ * Sort-based skyline for the two-metric case, O(N log N): order points
+ * by the first metric (best first, second metric and index breaking
+ * ties), then keep every point that strictly improves the running best
+ * of the second metric. A point that ties the running best is either a
+ * duplicate of the previous front point or dominated by it; a point
+ * that worsens it is dominated. Matches the all-pairs scan's output
+ * contract exactly, including first-occurrence duplicate handling and
+ * best-first ordering along the first metric.
+ */
+std::vector<std::size_t>
+paretoFront2d(const std::vector<Transition> &transitions,
+              const std::vector<std::size_t> &metric_indices,
+              const std::vector<Sense> &senses)
+{
+    const std::size_t m0 = metric_indices[0];
+    const std::size_t m1 = metric_indices[1];
+    // Normalize both metrics to "smaller is better".
+    const double s0 = senses[0] == Sense::Minimize ? 1.0 : -1.0;
+    const double s1 = senses[1] == Sense::Minimize ? 1.0 : -1.0;
+
+    std::vector<std::size_t> order(transitions.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const double ax = s0 * transitions[a].observation[m0];
+                  const double bx = s0 * transitions[b].observation[m0];
+                  if (ax != bx)
+                      return ax < bx;
+                  const double ay = s1 * transitions[a].observation[m1];
+                  const double by = s1 * transitions[b].observation[m1];
+                  if (ay != by)
+                      return ay < by;
+                  return a < b;  // first occurrence wins among duplicates
+              });
+
+    std::vector<std::size_t> front;
+    double bestY = std::numeric_limits<double>::infinity();
+    for (std::size_t idx : order) {
+        const double y = s1 * transitions[idx].observation[m1];
+        // front.empty() admits a first point with y == +inf, which is
+        // still non-dominated (it has the best first metric).
+        if (front.empty() || y < bestY) {
+            front.push_back(idx);
+            bestY = y;
+        }
+    }
+    return front;
+}
+
+} // namespace
+
 std::vector<std::size_t>
 paretoFront(const std::vector<Transition> &transitions,
             const std::vector<std::size_t> &metric_indices,
             const std::vector<Sense> &senses)
+{
+    assert(metric_indices.size() == senses.size());
+    if (metric_indices.size() == 2) {
+        // NaN metrics break the skyline sort comparator's strict weak
+        // ordering; route them to the all-pairs scan, whose NaN-aware
+        // output ordering keeps the result defined.
+        bool hasNan = false;
+        for (const Transition &t : transitions) {
+            if (std::isnan(t.observation[metric_indices[0]]) ||
+                std::isnan(t.observation[metric_indices[1]])) {
+                hasNan = true;
+                break;
+            }
+        }
+        if (!hasNan)
+            return paretoFront2d(transitions, metric_indices, senses);
+    }
+    return paretoFrontNaive(transitions, metric_indices, senses);
+}
+
+std::vector<std::size_t>
+paretoFrontNaive(const std::vector<Transition> &transitions,
+                 const std::vector<std::size_t> &metric_indices,
+                 const std::vector<Sense> &senses)
 {
     std::vector<std::size_t> front;
     auto sameSelected = [&](const Metrics &a, const Metrics &b) {
@@ -64,7 +145,9 @@ paretoFront(const std::vector<Transition> &transitions,
             front.push_back(i);
     }
 
-    // Order along the first selected metric, best first.
+    // Order along the first selected metric, best first; NaN keys sort
+    // last (they compare false both ways, which would otherwise break
+    // the comparator's strict weak ordering).
     if (!metric_indices.empty()) {
         const std::size_t m0 = metric_indices.front();
         const bool minimize = senses.front() == Sense::Minimize;
@@ -72,6 +155,10 @@ paretoFront(const std::vector<Transition> &transitions,
                   [&](std::size_t a, std::size_t b) {
                       const double av = transitions[a].observation[m0];
                       const double bv = transitions[b].observation[m0];
+                      const bool aNan = std::isnan(av);
+                      const bool bNan = std::isnan(bv);
+                      if (aNan || bNan)
+                          return !aNan && bNan;
                       return minimize ? av < bv : av > bv;
                   });
     }

@@ -38,11 +38,24 @@ bool dominates(const Metrics &a, const Metrics &b,
  * Indices (into `transitions`) of the non-dominated set. Duplicated
  * metric vectors keep their first occurrence only. Order follows the
  * first selected metric, best first.
+ *
+ * For the common two-metric case this runs a sort-based skyline sweep
+ * in O(N log N); other arities fall back to the all-pairs scan.
  */
 std::vector<std::size_t>
 paretoFront(const std::vector<Transition> &transitions,
             const std::vector<std::size_t> &metric_indices,
             const std::vector<Sense> &senses);
+
+/**
+ * Reference all-pairs O(N^2 * F) dominance scan with identical output
+ * contract. Kept as the correctness oracle for the skyline fast path
+ * (randomized equivalence tests compare the two); prefer paretoFront.
+ */
+std::vector<std::size_t>
+paretoFrontNaive(const std::vector<Transition> &transitions,
+                 const std::vector<std::size_t> &metric_indices,
+                 const std::vector<Sense> &senses);
 
 /**
  * Hypervolume indicator in two dimensions (both minimized), w.r.t. a

@@ -1,0 +1,164 @@
+#include "worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <exception>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace archgym {
+
+namespace {
+
+/** Shared state of one parallelFor invocation. */
+struct LoopState
+{
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    const std::function<void(std::size_t, std::size_t)> *body = nullptr;
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> cancelled{false};
+
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pendingSlots = 0;
+    std::exception_ptr error;
+
+    /** Drain chunks as logical worker `slot` until the loop is empty or
+     *  cancelled; record the first exception and cancel on throw. */
+    void runSlot(std::size_t slot)
+    {
+        for (;;) {
+            if (cancelled.load(std::memory_order_relaxed))
+                break;
+            const std::size_t begin =
+                next.fetch_add(chunk, std::memory_order_relaxed);
+            if (begin >= count)
+                break;
+            const std::size_t end = std::min(begin + chunk, count);
+            try {
+                for (std::size_t i = begin; i != end; ++i) {
+                    if (cancelled.load(std::memory_order_relaxed))
+                        break;
+                    (*body)(slot, i);
+                }
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                cancelled.store(true, std::memory_order_relaxed);
+            }
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--pendingSlots == 0)
+            done.notify_all();
+    }
+};
+
+} // namespace
+
+WorkerPool::WorkerPool(std::size_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = std::max(1u, std::thread::hardware_concurrency());
+    threads_.reserve(num_threads);
+    for (std::size_t t = 0; t < num_threads; ++t)
+        threads_.emplace_back([this, t] { workerMain(t); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+std::vector<std::thread::id>
+WorkerPool::threadIds() const
+{
+    std::vector<std::thread::id> ids;
+    ids.reserve(threads_.size());
+    for (const auto &t : threads_)
+        ids.push_back(t.get_id());
+    return ids;
+}
+
+void
+WorkerPool::workerMain(std::size_t worker_index)
+{
+#if defined(__linux__)
+    // Thread names are capped at 15 characters on Linux.
+    char name[16];
+    std::snprintf(name, sizeof(name), "archgym-w%zu", worker_index);
+    pthread_setname_np(pthread_self(), name);
+#else
+    (void)worker_index;
+#endif
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+WorkerPool::parallelFor(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)> &body,
+    std::size_t slots, std::size_t chunk)
+{
+    if (count == 0)
+        return;
+    if (slots == 0)
+        slots = size();
+    slots = std::max<std::size_t>(1, std::min(slots, count));
+    chunk = std::max<std::size_t>(1, chunk);
+
+    LoopState loop;
+    loop.count = count;
+    loop.chunk = chunk;
+    loop.body = &body;
+    loop.pendingSlots = slots;
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t s = 0; s < slots; ++s)
+            queue_.emplace_back([&loop, s] { loop.runSlot(s); });
+    }
+    if (slots == 1)
+        wake_.notify_one();
+    else
+        wake_.notify_all();
+
+    std::unique_lock<std::mutex> lock(loop.mutex);
+    loop.done.wait(lock, [&loop] { return loop.pendingSlots == 0; });
+    if (loop.error)
+        std::rethrow_exception(loop.error);
+}
+
+WorkerPool &
+WorkerPool::shared()
+{
+    static WorkerPool pool;
+    return pool;
+}
+
+} // namespace archgym

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Persistent worker pool for lottery-scale sweeps.
+ *
+ * The paper's headline studies run tens of thousands of (agent config,
+ * environment) experiments; spawning and joining a fresh std::thread per
+ * sweep pays thread startup/teardown on every call. WorkerPool keeps a
+ * fixed set of named threads alive for the process lifetime and exposes
+ * a chunked parallelFor: logical worker slots drain contiguous index
+ * chunks from one shared counter, so thousands of tiny runs do not all
+ * contend on a single atomic, and slot-local state (one environment per
+ * slot, built lazily by the caller) stays warm within a loop.
+ *
+ * Exceptions thrown by the loop body are captured in the pool and the
+ * first one is rethrown on the calling thread once the loop has drained —
+ * a worker failure can never silently corrupt a sweep or terminate the
+ * process.
+ */
+
+#ifndef ARCHGYM_CORE_WORKER_POOL_H
+#define ARCHGYM_CORE_WORKER_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace archgym {
+
+class WorkerPool
+{
+  public:
+    /** @param num_threads 0 = hardware concurrency (at least 1). */
+    explicit WorkerPool(std::size_t num_threads = 0);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Number of pool threads. */
+    std::size_t size() const { return threads_.size(); }
+
+    /** Identifiers of the pool threads (stable for the pool lifetime);
+     *  lets callers verify that work really runs on pooled workers. */
+    std::vector<std::thread::id> threadIds() const;
+
+    /**
+     * Chunked parallel loop: calls body(slot, index) for every index in
+     * [0, count). `slots` logical workers (0 = pool size) each drain
+     * contiguous chunks of `chunk` indices from a shared counter; `slot`
+     * in [0, slots) identifies the logical worker, so callers can keep
+     * worker-local state (e.g. one environment per slot) in a vector
+     * indexed by it. Each slot runs on exactly one pool thread at a time,
+     * so slot-local state needs no synchronization.
+     *
+     * Blocks until the loop completes. If any body call throws, the
+     * remaining chunks are abandoned and the first exception is rethrown
+     * here, on the calling thread.
+     *
+     * Must not be called from inside a pool task (the caller would wait
+     * on workers that can never be scheduled).
+     */
+    void
+    parallelFor(std::size_t count,
+                const std::function<void(std::size_t slot,
+                                         std::size_t index)> &body,
+                std::size_t slots = 0, std::size_t chunk = 1);
+
+    /**
+     * The process-wide pool, created on first use with one thread per
+     * hardware core. runSweepParallel submits here, so consecutive
+     * sweeps reuse the same workers.
+     */
+    static WorkerPool &shared();
+
+  private:
+    void workerMain(std::size_t worker_index);
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_WORKER_POOL_H

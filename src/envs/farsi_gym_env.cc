@@ -3,7 +3,8 @@
 
 namespace archgym {
 
-FarsiGymEnv::FarsiGymEnv(Options options) : options_(std::move(options))
+FarsiGymEnv::FarsiGymEnv(Options options)
+    : options_(std::move(options)), view_(options_.graph)
 {
     space_.add(ParamDesc::integer("LittleCores", 0, 4))
         .add(ParamDesc::integer("BigCores", 0, 4))
@@ -41,10 +42,9 @@ StepResult
 FarsiGymEnv::step(const Action &action)
 {
     recordSample();
-    const farsi::SocResult sim =
-        farsi::evaluateSoc(decodeAction(action), options_.graph);
+    farsi::evaluateSoc(decodeAction(action), view_, scratch_, sim_);
     StepResult sr;
-    sr.observation = {sim.powerW, sim.latencyMs, sim.areaMm2};
+    sr.observation = {sim_.powerW, sim_.latencyMs, sim_.areaMm2};
     sr.reward = std::max(objective_->reward(sr.observation),
                          -options_.rewardFloor);
     sr.done = objective_->satisfied(sr.observation);

@@ -58,6 +58,11 @@ class FarsiGymEnv : public Environment
     Options options_;
     ParamSpace space_;
     std::unique_ptr<BudgetDistanceObjective> objective_;
+    /** Decoded-once workload view plus reusable evaluation buffers:
+     *  step() performs no per-step allocation or graph re-derivation. */
+    farsi::TaskGraphView view_;
+    farsi::SocEvalScratch scratch_;
+    farsi::SocResult sim_;
 };
 
 } // namespace archgym

@@ -2,7 +2,8 @@
 
 namespace archgym {
 
-MaestroGymEnv::MaestroGymEnv(Options options) : options_(std::move(options))
+MaestroGymEnv::MaestroGymEnv(Options options)
+    : options_(std::move(options)), view_(options_.network)
 {
     space_.add(ParamDesc::powerOfTwo("NumPEs", 64, 1024))
         .add(ParamDesc::categorical("SpatialDim", {"K", "C", "Y", "X"}))
@@ -45,7 +46,7 @@ MaestroGymEnv::step(const Action &action)
 {
     recordSample();
     const maestro::MappingCost cost = maestro::evaluateMappingOnNetwork(
-        decodeAction(action), options_.network, options_.hardware);
+        decodeAction(action), view_, options_.hardware);
     StepResult sr;
     double runtime = cost.runtimeCycles;
     if (!cost.buffersFit)

@@ -54,6 +54,9 @@ class MaestroGymEnv : public Environment
     Options options_;
     ParamSpace space_;
     std::unique_ptr<Objective> objective_;
+    /** Decoded-once workload view (clamp extents, operand counts):
+     *  step() derives only mapping-dependent state. */
+    maestro::NetworkView view_;
 };
 
 } // namespace archgym

@@ -3,7 +3,7 @@
 namespace archgym {
 
 TimeloopGymEnv::TimeloopGymEnv(Options options)
-    : options_(std::move(options))
+    : options_(std::move(options)), view_(options_.network)
 {
     space_.add(ParamDesc::powerOfTwo("NumPEs", 16, 1024))
         .add(ParamDesc::powerOfTwo("WeightsSPad_Entries", 16, 512))
@@ -46,7 +46,7 @@ TimeloopGymEnv::step(const Action &action)
 {
     recordSample();
     const timeloop::LayerCost cost =
-        timeloop::evaluateNetwork(decodeAction(action), options_.network);
+        timeloop::evaluateNetwork(decodeAction(action), view_);
     StepResult sr;
     sr.observation = {cost.latencyMs, cost.energyUj, cost.areaMm2};
     sr.reward = objective_->reward(sr.observation);

@@ -53,6 +53,9 @@ class TimeloopGymEnv : public Environment
     Options options_;
     ParamSpace space_;
     std::unique_ptr<Objective> objective_;
+    /** Decoded-once workload view (per-layer tile candidates and loop
+     *  bounds): step() re-derives nothing about the network. */
+    timeloop::NetworkView view_;
 };
 
 } // namespace archgym

@@ -41,8 +41,76 @@ struct SocResult
  * Evaluate the SoC. Infeasible allocations (a task with no compatible PE)
  * return feasible=false with pessimistic metrics so searches are steered
  * away smoothly rather than crashing.
+ *
+ * This entry point re-derives the per-task dependency structure on every
+ * call — it is the per-step-rebuild reference path. Hot loops (the gym
+ * environment's step()) use the TaskGraphView overload below, which is
+ * bit-identical but allocation-free at steady state.
  */
 SocResult evaluateSoc(const SocConfig &config, const TaskGraph &graph);
+
+/**
+ * Immutable preprocessed workload view, built once per environment and
+ * shared read-only across steps: the topological order is validated at
+ * construction, incoming edges are grouped per destination task (CSR
+ * layout, preserving edge-list order), and per-task operand footprints
+ * (total inbound transfer bytes) are precomputed.
+ */
+class TaskGraphView
+{
+  public:
+    /** One incoming dependency of a task. */
+    struct InEdge
+    {
+        std::size_t src = 0;
+        double bytes = 0.0;
+    };
+
+    explicit TaskGraphView(const TaskGraph &graph);
+
+    std::size_t taskCount() const { return kinds_.size(); }
+    TaskKind kind(std::size_t task) const { return kinds_[task]; }
+    double ops(std::size_t task) const { return ops_[task]; }
+
+    /** Total inbound transfer volume of the task, in bytes. */
+    double operandBytes(std::size_t task) const
+    {
+        return operandBytes_[task];
+    }
+
+    const InEdge *inBegin(std::size_t task) const
+    {
+        return inEdges_.data() + inStart_[task];
+    }
+    const InEdge *inEnd(std::size_t task) const
+    {
+        return inEdges_.data() + inStart_[task + 1];
+    }
+
+  private:
+    std::vector<TaskKind> kinds_;
+    std::vector<double> ops_;
+    std::vector<double> operandBytes_;
+    std::vector<std::size_t> inStart_;  ///< CSR offsets, size tasks+1
+    std::vector<InEdge> inEdges_;       ///< grouped by dst, edge order
+};
+
+/** Reusable per-environment evaluation buffers, reset by reuse. */
+struct SocEvalScratch
+{
+    std::vector<double> peFree;
+    std::vector<double> peBusy;
+    std::vector<double> finish;
+};
+
+/**
+ * Zero-copy evaluation path: identical results to
+ * evaluateSoc(config, graph) for the graph the view was built from, but
+ * all working storage lives in `scratch` and `out` and is reset by
+ * reuse — after the first call, no allocation happens per step.
+ */
+void evaluateSoc(const SocConfig &config, const TaskGraphView &view,
+                 SocEvalScratch &scratch, SocResult &out);
 
 } // namespace archgym::farsi
 

@@ -55,8 +55,16 @@ double
 SocConfig::areaMm2() const
 {
     double area = 0.8;  // memory interface + misc
-    for (const auto &pe : instantiate())
-        area += pe.areaMm2;
+    // Per-PE accumulation (not count * area) so the sum is bit-identical
+    // to iterating an instantiated PE list, without allocating one.
+    for (std::uint32_t i = 0; i < littleCores; ++i)
+        area += peSpec(PeType::LittleCore).areaMm2;
+    for (std::uint32_t i = 0; i < bigCores; ++i)
+        area += peSpec(PeType::BigCore).areaMm2;
+    for (std::uint32_t i = 0; i < dspAccels; ++i)
+        area += peSpec(PeType::DspAccel).areaMm2;
+    for (std::uint32_t i = 0; i < imageAccels; ++i)
+        area += peSpec(PeType::ImageAccel).areaMm2;
     // Bus area scales with width.
     area += 0.002 * static_cast<double>(busWidthBits);
     return area;

@@ -57,13 +57,61 @@ struct MappingCost
     bool buffersFit = true;        ///< capacity respected without spills
 };
 
-/** Evaluate one layer under the mapping; always finite. */
+/** Evaluate one layer under the mapping; always finite.
+ *
+ *  Re-derives the loop order and every layer extent per call — the
+ *  per-step-rebuild reference path. Hot loops use the NetworkView
+ *  overloads below, which are bit-identical but derive the loop-order
+ *  reuse analysis once per mapping and the layer extents once ever. */
 MappingCost evaluateMapping(const Mapping &mapping, const ConvLayer &layer,
                             const MaestroHardware &hw = {});
 
 /** Sum over a network with the same mapping applied to every layer. */
 MappingCost evaluateMappingOnNetwork(const Mapping &mapping,
                                      const Network &network,
+                                     const MaestroHardware &hw = {});
+
+/** Immutable per-layer extents: the dimension sizes the per-step tile
+ *  clamp runs against, plus the operand counts the DRAM-traffic term
+ *  re-derives per evaluation. */
+struct LayerView
+{
+    explicit LayerView(const ConvLayer &layer);
+
+    std::array<double, kNumDims> sizes{};  ///< indexed by Dim
+    double stride = 1.0;
+    double macs = 0.0;
+    /** weightCount + inputCount + 2 * outputCount (DRAM words/layer). */
+    double baseDramWords = 0.0;
+};
+
+/** Immutable preprocessed workload view, built once per environment and
+ *  shared read-only across steps. */
+class NetworkView
+{
+  public:
+    explicit NetworkView(const Network &network);
+
+    const std::string &name() const { return name_; }
+    const std::vector<LayerView> &layers() const { return layers_; }
+    double totalMacs() const { return totalMacs_; }
+
+  private:
+    std::string name_;
+    std::vector<LayerView> layers_;
+    double totalMacs_ = 0.0;
+};
+
+/** Bit-identical to evaluateMapping(mapping, layer, hw) for the layer
+ *  the view was built from. */
+MappingCost evaluateMapping(const Mapping &mapping, const LayerView &layer,
+                            const MaestroHardware &hw = {});
+
+/** Bit-identical to the Network overload: the loop-order reuse analysis
+ *  (argsort + per-operand reuse runs) is derived once per mapping
+ *  instead of once per layer. */
+MappingCost evaluateMappingOnNetwork(const Mapping &mapping,
+                                     const NetworkView &network,
                                      const MaestroHardware &hw = {});
 
 } // namespace archgym::maestro

@@ -79,69 +79,89 @@ bool
 Cholesky::factor(const Matrix &a, double jitter)
 {
     const std::size_t n = a.rows();
-    l_ = Matrix(n, n);
+    n_ = n;
+    fac_.assign(rowStart(n), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
+        double *ri = fac_.data() + rowStart(i);
         for (std::size_t j = 0; j <= i; ++j) {
+            const double *rj = fac_.data() + rowStart(j);
             double s = a(i, j);
             if (i == j)
                 s += jitter;
             for (std::size_t k = 0; k < j; ++k)
-                s -= l_(i, k) * l_(j, k);
+                s -= ri[k] * rj[k];
             if (i == j) {
                 if (s <= 0.0 || !std::isfinite(s))
                     return false;
-                l_(i, i) = std::sqrt(s);
+                ri[i] = std::sqrt(s);
             } else {
-                l_(i, j) = s / l_(j, j);
+                ri[j] = s / rj[j];
             }
         }
     }
     return true;
 }
 
+void
+Cholesky::reserve(std::size_t max_dim)
+{
+    fac_.reserve(rowStart(max_dim));
+}
+
 bool
 Cholesky::append(const std::vector<double> &col)
 {
     assert(ok_);
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     assert(col.size() == n + 1);
 
-    // l = L^-1 k (forward substitution against the existing factor).
-    std::vector<double> l(n, 0.0);
+    // Grow the packed storage by one row and run the forward
+    // substitution l = L^-1 k directly in place — with reserved
+    // capacity this allocates and copies nothing.
+    const std::size_t base = fac_.size();
+    fac_.resize(base + n + 1);
+    double *row = fac_.data() + base;
     for (std::size_t i = 0; i < n; ++i) {
+        const double *ri = fac_.data() + rowStart(i);
         double s = col[i];
         for (std::size_t k = 0; k < i; ++k)
-            s -= l_(i, k) * l[k];
-        l[i] = s / l_(i, i);
+            s -= ri[k] * row[k];
+        row[i] = s / ri[i];
     }
     double s = col[n] + jitterUsed_;
-    for (double v : l)
-        s -= v * v;
-    if (s <= 0.0 || !std::isfinite(s))
+    for (std::size_t k = 0; k < n; ++k)
+        s -= row[k] * row[k];
+    if (s <= 0.0 || !std::isfinite(s)) {
+        fac_.resize(base);  // leave the factor unchanged
         return false;
-
-    Matrix grown(n + 1, n + 1);
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j <= i; ++j)
-            grown(i, j) = l_(i, j);
-    for (std::size_t j = 0; j < n; ++j)
-        grown(n, j) = l[j];
-    grown(n, n) = std::sqrt(s);
-    l_ = std::move(grown);
+    }
+    row[n] = std::sqrt(s);
+    ++n_;
     return true;
+}
+
+Matrix
+Cholesky::lower() const
+{
+    Matrix out(n_, n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            out(i, j) = at(i, j);
+    return out;
 }
 
 std::vector<double>
 Cholesky::solveLower(const std::vector<double> &b) const
 {
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     assert(b.size() == n);
     std::vector<double> y(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
+        const double *ri = fac_.data() + rowStart(i);
         double s = b[i];
         for (std::size_t k = 0; k < i; ++k)
-            s -= l_(i, k) * y[k];
-        y[i] = s / l_(i, i);
+            s -= ri[k] * y[k];
+        y[i] = s / ri[i];
     }
     return y;
 }
@@ -149,7 +169,7 @@ Cholesky::solveLower(const std::vector<double> &b) const
 std::vector<double>
 Cholesky::solve(const std::vector<double> &b) const
 {
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     std::vector<double> y = solveLower(b);
     // Backward substitution with L^T.
     std::vector<double> x(n, 0.0);
@@ -157,8 +177,8 @@ Cholesky::solve(const std::vector<double> &b) const
         const std::size_t i = ii - 1;
         double s = y[i];
         for (std::size_t k = i + 1; k < n; ++k)
-            s -= l_(k, i) * x[k];
-        x[i] = s / l_(i, i);
+            s -= at(k, i) * x[k];
+        x[i] = s / at(i, i);
     }
     return x;
 }
@@ -167,8 +187,8 @@ double
 Cholesky::logDet() const
 {
     double s = 0.0;
-    for (std::size_t i = 0; i < l_.rows(); ++i)
-        s += std::log(l_(i, i));
+    for (std::size_t i = 0; i < n_; ++i)
+        s += std::log(at(i, i));
     return 2.0 * s;
 }
 

@@ -65,6 +65,12 @@ class Matrix
  *
  * Construction adds escalating jitter to the diagonal if the matrix is not
  * numerically positive definite, which is the standard GP stabilization.
+ *
+ * The factor is stored packed (lower triangle only, row-major), so the
+ * bordering update `append` just writes the new row at the end of the
+ * buffer — with `reserve`d capacity it never reallocates or copies the
+ * existing factor, keeping the per-append cost at exactly the O(n^2)
+ * forward substitution.
  */
 class Cholesky
 {
@@ -80,10 +86,17 @@ class Cholesky
     bool ok() const { return ok_; }
 
     /** Dimension n of the factored matrix. */
-    std::size_t size() const { return l_.rows(); }
+    std::size_t size() const { return n_; }
 
     /** Total jitter that had to be added to the diagonal. */
     double jitterUsed() const { return jitterUsed_; }
+
+    /**
+     * Pre-allocate factor storage for appends up to max_dim, so no
+     * append below that dimension reallocates. The BO agent reserves
+     * its sliding-window capacity once, up front.
+     */
+    void reserve(std::size_t max_dim);
 
     /**
      * Rank-1 bordering update: extend the factorization of the n x n
@@ -92,9 +105,11 @@ class Cholesky
      *
      *   L' = [[L, 0], [l^T, s]],  l = L^{-1} k,  s = sqrt(d - l^T l).
      *
-     * Any jitter used by the original factorization is applied to the
-     * new diagonal entry as well, matching what a full refactorization
-     * with that jitter would produce.
+     * The new row is written directly into the packed factor storage
+     * (no copy of the existing factor). Any jitter used by the original
+     * factorization is applied to the new diagonal entry as well,
+     * matching what a full refactorization with that jitter would
+     * produce.
      *
      * @param col  the new column: k (n entries) followed by the new
      *             diagonal element d
@@ -104,7 +119,8 @@ class Cholesky
      */
     bool append(const std::vector<double> &col);
 
-    const Matrix &lower() const { return l_; }
+    /** The lower-triangular factor, expanded to a dense matrix. */
+    Matrix lower() const;
 
     /** Solve A x = b via forward + backward substitution. */
     std::vector<double> solve(const std::vector<double> &b) const;
@@ -118,7 +134,15 @@ class Cholesky
   private:
     bool factor(const Matrix &a, double jitter);
 
-    Matrix l_;
+    /** Start of packed row i (row i holds entries L(i, 0..i)). */
+    static std::size_t rowStart(std::size_t i) { return i * (i + 1) / 2; }
+    double at(std::size_t i, std::size_t j) const
+    {
+        return fac_[rowStart(i) + j];
+    }
+
+    std::size_t n_ = 0;
+    std::vector<double> fac_;  ///< packed lower triangle, row-major
     bool ok_ = false;
     double jitterUsed_ = 0.0;
 };

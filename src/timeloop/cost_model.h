@@ -39,7 +39,12 @@ struct LayerCost
 };
 
 /** Evaluate one layer; always returns a finite cost (worst-case tiling
- *  degenerates to streaming everything from DRAM). */
+ *  degenerates to streaming everything from DRAM).
+ *
+ *  This entry point re-derives tile candidates and operand counts per
+ *  call — the per-step-rebuild reference path. Hot loops use the
+ *  LayerView/NetworkView overloads below, which are bit-identical but
+ *  precompute everything layer-dependent once. */
 LayerCost evaluateLayer(const AcceleratorConfig &config,
                         const ConvLayer &layer,
                         const TechModel &tech = {});
@@ -47,6 +52,54 @@ LayerCost evaluateLayer(const AcceleratorConfig &config,
 /** Sum of per-layer costs over a network (area is not accumulated). */
 LayerCost evaluateNetwork(const AcceleratorConfig &config,
                           const Network &network,
+                          const TechModel &tech = {});
+
+/**
+ * Immutable preprocessed view of one layer: the power-of-two tile
+ * candidates for the K / C / P mapper dimensions plus every loop bound
+ * and operand count the mapper would otherwise re-derive for each of the
+ * hundreds of candidate tilings it scores per evaluation.
+ */
+struct LayerView
+{
+    explicit LayerView(const ConvLayer &l);
+
+    ConvLayer layer;
+    std::vector<std::uint32_t> tilesK;  ///< candidates for outChannels
+    std::vector<std::uint32_t> tilesC;  ///< candidates for inChannels
+    std::vector<std::uint32_t> tilesP;  ///< candidates for outH
+    double macs = 0.0;
+    double weightCount = 0.0;
+    double inputCount = 0.0;
+    double outputCount = 0.0;
+    double inputW = 0.0;
+    double spadWords = 0.0;             ///< 3 words per MAC
+};
+
+/** Immutable preprocessed workload view, built once per environment and
+ *  shared read-only across steps. */
+class NetworkView
+{
+  public:
+    explicit NetworkView(const Network &network);
+
+    const std::string &name() const { return name_; }
+    const std::vector<LayerView> &layers() const { return layers_; }
+
+  private:
+    std::string name_;
+    std::vector<LayerView> layers_;
+};
+
+/** Bit-identical to evaluateLayer(config, view.layer, tech), with all
+ *  layer-only quantities read from the view and candidate loops pruned
+ *  by capacity monotonicity — no per-call allocation or re-derivation. */
+LayerCost evaluateLayer(const AcceleratorConfig &config,
+                        const LayerView &view, const TechModel &tech = {});
+
+/** Bit-identical to evaluateNetwork over the network the view wraps. */
+LayerCost evaluateNetwork(const AcceleratorConfig &config,
+                          const NetworkView &network,
                           const TechModel &tech = {});
 
 } // namespace archgym::timeloop

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <mutex>
 #include <set>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
 #include "core/driver.h"
 #include "core/hyperparams.h"
@@ -17,6 +20,9 @@
 #include "core/param_space.h"
 #include "core/toy_envs.h"
 #include "core/trajectory.h"
+#include "core/worker_pool.h"
+#include "envs/dram_gym_env.h"
+#include "envs/farsi_gym_env.h"
 
 namespace archgym {
 namespace {
@@ -61,6 +67,34 @@ TEST(ParamDesc, RealGrid)
     EXPECT_EQ(d.levels(), 5u);
     EXPECT_DOUBLE_EQ(d.levelToValue(3), 0.75);
     EXPECT_EQ(d.valueToLevel(0.6), 2u);  // 0.5 is nearest
+}
+
+TEST(ParamDesc, RealGridNeverExceedsBounds)
+{
+    // Regression: min + level * step drifts above max in floating point
+    // (0.4 + 8 * 0.2 = 2.0000000000000004) — grid values must be
+    // clamped to [min, max].
+    const auto freq = ParamDesc::real("FrequencyGhz", 0.4, 2.0, 0.2);
+    ASSERT_EQ(freq.levels(), 9u);
+    for (std::size_t l = 0; l < freq.levels(); ++l) {
+        const double v = freq.levelToValue(l);
+        EXPECT_GE(v, 0.4) << "level " << l;
+        EXPECT_LE(v, 2.0) << "level " << l;
+    }
+    EXPECT_DOUBLE_EQ(freq.levelToValue(freq.levels() - 1), 2.0);
+
+    // Step-0.1 grids hit the same accumulation drift.
+    const auto tenth = ParamDesc::real("x", 0.1, 1.3, 0.1);
+    for (std::size_t l = 0; l < tenth.levels(); ++l) {
+        const double v = tenth.levelToValue(l);
+        EXPECT_GE(v, 0.1) << "level " << l;
+        EXPECT_LE(v, 1.3) << "level " << l;
+    }
+    EXPECT_DOUBLE_EQ(tenth.levelToValue(tenth.levels() - 1), 1.3);
+
+    // Clamping keeps the level <-> value round trip intact.
+    for (std::size_t l = 0; l < freq.levels(); ++l)
+        EXPECT_EQ(freq.valueToLevel(freq.levelToValue(l)), l);
 }
 
 TEST(ParamDesc, PowerOfTwoGrid)
@@ -557,6 +591,189 @@ TEST(Driver, ParallelSweepMatchesSerialExactly)
                       serial.runs[i].rewardHistory);
         }
     }
+}
+
+/** Environment whose step throws after a fixed number of samples. */
+class ThrowingEnv : public Environment
+{
+  public:
+    explicit ThrowingEnv(std::size_t throw_at) : throwAt_(throw_at)
+    {
+        space_.add(ParamDesc::integer("x", 0, 7));
+    }
+
+    const std::string &name() const override { return name_; }
+    const ParamSpace &actionSpace() const override { return space_; }
+    const std::vector<std::string> &metricNames() const override
+    {
+        return metricNames_;
+    }
+    StepResult step(const Action &action) override
+    {
+        recordSample();
+        if (sampleCount() >= throwAt_)
+            throw std::runtime_error("simulator exploded");
+        StepResult sr;
+        sr.observation = {action[0]};
+        sr.reward = action[0];
+        return sr;
+    }
+
+  private:
+    std::string name_ = "ThrowingEnv";
+    std::vector<std::string> metricNames_{"x"};
+    ParamSpace space_;
+    std::size_t throwAt_;
+};
+
+TEST(Driver, ParallelSweepRethrowsWorkerStepException)
+{
+    // An exception in a worker used to hit the std::thread boundary and
+    // call std::terminate; it must surface on the calling thread.
+    HyperGrid grid;
+    grid.add("dummy", {1, 2, 3, 4});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 20;
+    const EnvFactory factory = [] {
+        return std::unique_ptr<Environment>(
+            std::make_unique<ThrowingEnv>(10));
+    };
+    EXPECT_THROW(
+        runSweepParallel(factory, "S", builder, configs, cfg, 1, 2),
+        std::runtime_error);
+}
+
+TEST(Driver, ParallelSweepRethrowsEnvFactoryException)
+{
+    HyperGrid grid;
+    grid.add("dummy", {1, 2});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 5;
+    const EnvFactory factory = []() -> std::unique_ptr<Environment> {
+        throw std::runtime_error("no simulator license");
+    };
+    EXPECT_THROW(
+        runSweepParallel(factory, "S", builder, configs, cfg, 1, 2),
+        std::runtime_error);
+}
+
+/** Environment that records which thread each instance was built on. */
+class ThreadTrackingEnv : public QuadraticEnv
+{
+  public:
+    ThreadTrackingEnv(std::mutex &mu, std::set<std::thread::id> &ids)
+        : QuadraticEnv({1.0, 2.0})
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+    }
+};
+
+TEST(Driver, ParallelSweepReusesPooledWorkersAcrossSweeps)
+{
+    HyperGrid grid;
+    grid.add("dummy", {1, 2, 3, 4, 5, 6});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 10;
+
+    const auto poolIdsBefore = WorkerPool::shared().threadIds();
+    const std::set<std::thread::id> poolSet(poolIdsBefore.begin(),
+                                            poolIdsBefore.end());
+
+    std::mutex mu;
+    std::set<std::thread::id> workerIds;
+    const EnvFactory factory = [&] {
+        return std::unique_ptr<Environment>(
+            std::make_unique<ThreadTrackingEnv>(mu, workerIds));
+    };
+    for (int sweep = 0; sweep < 3; ++sweep)
+        runSweepParallel(factory, "S", builder, configs, cfg, 7, 2);
+
+    // Every environment was built on a pooled worker thread (never the
+    // caller), and consecutive sweeps saw the same stable pool.
+    ASSERT_FALSE(workerIds.empty());
+    EXPECT_EQ(workerIds.count(std::this_thread::get_id()), 0u);
+    for (const auto &id : workerIds)
+        EXPECT_EQ(poolSet.count(id), 1u)
+            << "sweep work ran on a non-pooled thread";
+    EXPECT_EQ(WorkerPool::shared().threadIds(), poolIdsBefore);
+}
+
+/**
+ * Cross-thread determinism on the real simulator-backed environments:
+ * the parallel sweep must be bit-identical to the serial one on DRAM
+ * and FARSI regardless of the thread count.
+ */
+template <typename MakeEnv>
+void
+expectParallelMatchesSerial(MakeEnv make_env)
+{
+    HyperGrid grid;
+    grid.add("dummy", {1, 2, 3, 4, 5});
+    const auto configs = grid.enumerate();
+    const auto builder = [](const ParamSpace &space, const HyperParams &,
+                            std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+    RunConfig cfg;
+    cfg.maxSamples = 25;
+
+    auto serialEnv = make_env();
+    const SweepResult serial =
+        runSweep(*serialEnv, "S", builder, configs, cfg, 11);
+
+    const EnvFactory factory = [&] {
+        return std::unique_ptr<Environment>(make_env());
+    };
+    for (std::size_t threads : {1u, 2u, 8u}) {
+        const SweepResult parallel = runSweepParallel(
+            factory, "S", builder, configs, cfg, 11, threads);
+        ASSERT_EQ(parallel.runs.size(), serial.runs.size());
+        EXPECT_EQ(parallel.bestRewards, serial.bestRewards)
+            << threads << " threads";
+        for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+            EXPECT_EQ(parallel.runs[i].bestAction,
+                      serial.runs[i].bestAction)
+                << threads << " threads, config " << i;
+            EXPECT_EQ(parallel.runs[i].rewardHistory,
+                      serial.runs[i].rewardHistory)
+                << threads << " threads, config " << i;
+        }
+    }
+}
+
+TEST(Driver, ParallelSweepBitIdenticalOnDramEnv)
+{
+    expectParallelMatchesSerial([] {
+        DramGymEnv::Options o;
+        o.traceLength = 128;
+        return std::make_unique<DramGymEnv>(o);
+    });
+}
+
+TEST(Driver, ParallelSweepBitIdenticalOnFarsiEnv)
+{
+    expectParallelMatchesSerial(
+        [] { return std::make_unique<FarsiGymEnv>(); });
 }
 
 TEST(Driver, SweepIsDeterministic)

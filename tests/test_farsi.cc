@@ -9,6 +9,7 @@
 #include "farsi/scheduler.h"
 #include "farsi/soc.h"
 #include "farsi/task_graph.h"
+#include "mathutil/rng.h"
 
 namespace archgym::farsi {
 namespace {
@@ -276,6 +277,72 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(4, 4, 4, 4),
                       std::make_tuple(1, 0, 4, 0),
                       std::make_tuple(0, 0, 2, 2)));
+
+// --------------------------------------------------------------------
+// Decoded-once view (zero-copy evaluation path)
+// --------------------------------------------------------------------
+
+TEST(TaskGraphView, PrecomputesDependencyStructure)
+{
+    const TaskGraph g = edgeDetection();
+    const TaskGraphView view(g);
+    ASSERT_EQ(view.taskCount(), g.tasks.size());
+    for (std::size_t i = 0; i < g.tasks.size(); ++i) {
+        EXPECT_EQ(view.kind(i), g.tasks[i].kind);
+        EXPECT_DOUBLE_EQ(view.ops(i), g.tasks[i].ops);
+        // CSR in-edges match the predecessor scan, in edge-list order.
+        const auto preds = g.predecessors(i);
+        std::vector<std::size_t> viewPreds;
+        double bytes = 0.0;
+        for (const auto *e = view.inBegin(i); e != view.inEnd(i); ++e) {
+            viewPreds.push_back(e->src);
+            bytes += e->bytes;
+        }
+        EXPECT_EQ(viewPreds, preds) << "task " << i;
+        EXPECT_DOUBLE_EQ(view.operandBytes(i), bytes) << "task " << i;
+    }
+}
+
+TEST(TaskGraphView, ViewPathBitIdenticalToReferenceAcrossRandomSocs)
+{
+    // The per-step-rebuild reference (evaluateSoc over the raw graph)
+    // is the oracle for the preallocated view path; every metric and
+    // the full PE assignment must match exactly, including infeasible
+    // and zero-PE configurations, with scratch/result buffers reused
+    // across all trials.
+    Rng rng(2024);
+    for (const TaskGraph &g :
+         {audioDecoder(), edgeDetection(), arOverlay()}) {
+        const TaskGraphView view(g);
+        SocEvalScratch scratch;
+        SocResult out;
+        for (int trial = 0; trial < 150; ++trial) {
+            SocConfig cfg;
+            cfg.littleCores = static_cast<std::uint32_t>(rng.below(5));
+            cfg.bigCores = static_cast<std::uint32_t>(rng.below(5));
+            cfg.dspAccels = static_cast<std::uint32_t>(rng.below(5));
+            cfg.imageAccels = static_cast<std::uint32_t>(rng.below(5));
+            cfg.frequencyGhz = 0.4 + 0.2 * static_cast<double>(
+                                               rng.below(9));
+            cfg.busWidthBits = 32u << rng.below(5);
+            cfg.busFrequencyGhz = 0.4 + 0.2 * static_cast<double>(
+                                                  rng.below(9));
+            cfg.memoryBandwidthGBps =
+                static_cast<double>(2u << rng.below(5));
+
+            const SocResult ref = evaluateSoc(cfg, g);
+            evaluateSoc(cfg, view, scratch, out);
+            EXPECT_EQ(out.feasible, ref.feasible);
+            EXPECT_EQ(out.latencyMs, ref.latencyMs);
+            EXPECT_EQ(out.powerW, ref.powerW);
+            EXPECT_EQ(out.areaMm2, ref.areaMm2);
+            EXPECT_EQ(out.energyMj, ref.energyMj);
+            EXPECT_EQ(out.busUtilization, ref.busUtilization);
+            EXPECT_EQ(out.assignment, ref.assignment)
+                << g.name << " trial " << trial;
+        }
+    }
+}
 
 } // namespace
 } // namespace archgym::farsi

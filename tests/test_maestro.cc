@@ -13,6 +13,7 @@
 
 #include "maestro/cost_model.h"
 #include "maestro/mapping.h"
+#include "mathutil/rng.h"
 
 namespace archgym::maestro {
 namespace {
@@ -235,6 +236,69 @@ TEST(MaestroCost, Vgg16SlowerThanResNet18SameMapping)
     EXPECT_GT(
         evaluateMappingOnNetwork(m, timeloop::vgg16()).runtimeCycles,
         evaluateMappingOnNetwork(m, timeloop::resNet18()).runtimeCycles);
+}
+
+// --------------------------------------------------------------------
+// Decoded-once network view
+// --------------------------------------------------------------------
+
+Mapping
+randomMapping(Rng &rng)
+{
+    Mapping m;
+    m.numPEs = 64u << rng.below(5);
+    m.spatialDim = static_cast<Dim>(rng.below(kNumDims));
+    for (std::size_t i = 0; i < kNumDims; ++i) {
+        // Oversized tiles exercise the per-layer clamp; ties in the
+        // priorities exercise the stable argsort.
+        m.tile[i] = 1u << rng.below(8);
+        m.priority[i] = static_cast<std::uint32_t>(rng.below(4));
+    }
+    return m;
+}
+
+void
+expectSameCost(const MappingCost &a, const MappingCost &b, int trial)
+{
+    EXPECT_EQ(a.runtimeCycles, b.runtimeCycles) << trial;
+    EXPECT_EQ(a.throughputMacsPerCycle, b.throughputMacsPerCycle)
+        << trial;
+    EXPECT_EQ(a.energyUj, b.energyUj) << trial;
+    EXPECT_EQ(a.areaMm2, b.areaMm2) << trial;
+    EXPECT_EQ(a.l1Required, b.l1Required) << trial;
+    EXPECT_EQ(a.l2Required, b.l2Required) << trial;
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses) << trial;
+    EXPECT_EQ(a.l2Accesses, b.l2Accesses) << trial;
+    EXPECT_EQ(a.buffersFit, b.buffersFit) << trial;
+}
+
+TEST(NetworkView, LayerPathBitIdenticalToReference)
+{
+    // The once-per-mapping reuse analysis must reproduce the reference
+    // per-layer loop-order scan exactly, over random mappings with tied
+    // priorities, every spatial dimension, and clamped tiles.
+    Rng rng(99);
+    const ConvLayer l = testLayer();
+    const LayerView view(l);
+    for (int trial = 0; trial < 300; ++trial) {
+        const Mapping m = randomMapping(rng);
+        expectSameCost(evaluateMapping(m, view), evaluateMapping(m, l),
+                       trial);
+    }
+}
+
+TEST(NetworkView, NetworkPathBitIdenticalToReference)
+{
+    Rng rng(123);
+    const timeloop::Network net = timeloop::resNet18();
+    const NetworkView view(net);
+    ASSERT_EQ(view.layers().size(), net.layers.size());
+    EXPECT_EQ(view.totalMacs(), net.totalMacs());
+    for (int trial = 0; trial < 100; ++trial) {
+        const Mapping m = randomMapping(rng);
+        expectSameCost(evaluateMappingOnNetwork(m, view),
+                       evaluateMappingOnNetwork(m, net), trial);
+    }
 }
 
 } // namespace

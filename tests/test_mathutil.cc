@@ -410,6 +410,53 @@ TEST(Cholesky, AppendChainMatchesFullRefactorization)
                         1e-9);
 }
 
+TEST(Cholesky, ReservedAppendChainMatchesFullRefactorization)
+{
+    // With reserve(), the append chain writes new rows into
+    // pre-allocated packed storage (no factor copy per append); the
+    // result must still match a full refactorization to 1e-9.
+    const std::size_t n = 32;
+    Rng rng(321);
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transpose());
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+
+    Matrix seed(2, 2);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            seed(i, j) = a(i, j);
+    Cholesky incremental(seed);
+    ASSERT_TRUE(incremental.ok());
+    incremental.reserve(n);
+    for (std::size_t m = 2; m < n; ++m) {
+        std::vector<double> col(m + 1);
+        for (std::size_t i = 0; i <= m; ++i)
+            col[i] = a(i, m);
+        ASSERT_TRUE(incremental.append(col)) << m;
+    }
+    EXPECT_EQ(incremental.size(), n);
+
+    const Cholesky full(a);
+    ASSERT_TRUE(full.ok());
+    const Matrix li = incremental.lower();
+    const Matrix lf = full.lower();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            EXPECT_NEAR(li(i, j), lf(i, j), 1e-9) << i << "," << j;
+
+    // Solves through the incrementally grown factor stay accurate.
+    std::vector<double> xTrue(n);
+    for (auto &x : xTrue)
+        x = rng.uniform(-2.0, 2.0);
+    const auto x = incremental.solve(a.multiply(xTrue));
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+}
+
 TEST(Cholesky, AppendRejectsIndefiniteBorder)
 {
     Matrix a(1, 1);

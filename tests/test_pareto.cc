@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "agents/registry.h"
 #include "core/driver.h"
 #include "core/pareto.h"
@@ -137,6 +139,88 @@ TEST(ParetoFront, FrontIsMutuallyNonDominated)
         EXPECT_TRUE(covered) << "point " << i << " neither on front nor "
                              << "dominated";
     }
+}
+
+TEST(ParetoFront, SkylineMatchesNaiveOracleOnRandomClouds)
+{
+    // The 2-metric fast path is a sort-based skyline; the all-pairs
+    // O(N^2) scan is kept as the oracle. They must agree exactly —
+    // including index order and duplicate handling — on random clouds
+    // under every sense combination.
+    Rng rng(42);
+    const std::vector<std::vector<Sense>> senseCombos = {
+        {Sense::Minimize, Sense::Minimize},
+        {Sense::Minimize, Sense::Maximize},
+        {Sense::Maximize, Sense::Minimize},
+        {Sense::Maximize, Sense::Maximize},
+    };
+    for (int trial = 0; trial < 40; ++trial) {
+        // Quantized coordinates force ties and duplicated vectors.
+        const double grid = trial % 2 == 0 ? 1.0 : 0.25;
+        const std::size_t n = 1 + static_cast<std::size_t>(
+                                      rng.below(trial % 3 == 0 ? 8 : 200));
+        std::vector<Transition> pts;
+        pts.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(
+                point(std::round(rng.uniform(0.0, 8.0) / grid) * grid,
+                      std::round(rng.uniform(0.0, 8.0) / grid) * grid));
+        }
+        for (const auto &senses : senseCombos) {
+            EXPECT_EQ(paretoFront(pts, kBoth, senses),
+                      paretoFrontNaive(pts, kBoth, senses))
+                << "trial " << trial << " n " << n;
+        }
+    }
+}
+
+TEST(ParetoFront, InfiniteMetricsMatchNaiveOracle)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    // A point with second metric +inf but the best first metric is
+    // still non-dominated and must survive the skyline sweep.
+    const std::vector<Transition> best = {point(1.0, inf),
+                                          point(2.0, 3.0)};
+    EXPECT_EQ(paretoFront(best, kBoth, kMinMin),
+              paretoFrontNaive(best, kBoth, kMinMin));
+    // All-infinite second metrics: only the best-x point survives.
+    const std::vector<Transition> allInf = {point(2.0, inf),
+                                            point(1.0, inf),
+                                            point(3.0, inf)};
+    EXPECT_EQ(paretoFront(allInf, kBoth, kMinMin),
+              paretoFrontNaive(allInf, kBoth, kMinMin));
+    // And under Maximize, -inf plays the same role.
+    const std::vector<Sense> maxmax = {Sense::Maximize, Sense::Maximize};
+    const std::vector<Transition> neg = {point(5.0, -inf),
+                                         point(2.0, 3.0)};
+    EXPECT_EQ(paretoFront(neg, kBoth, maxmax),
+              paretoFrontNaive(neg, kBoth, maxmax));
+}
+
+TEST(ParetoFront, NanMetricsFallBackToScanWithoutCrashing)
+{
+    // NaN would break the skyline sort's strict weak ordering; such
+    // inputs must take the all-pairs path and reproduce its (defined)
+    // output instead of invoking std::sort UB.
+    const double nan = std::nan("");
+    const std::vector<Transition> pts = {point(1.0, 5.0), point(nan, 2.0),
+                                         point(2.0, 1.0),
+                                         point(3.0, nan)};
+    EXPECT_EQ(paretoFront(pts, kBoth, kMinMin),
+              paretoFrontNaive(pts, kBoth, kMinMin));
+}
+
+TEST(ParetoFront, SkylineMatchesNaiveOnReversedMetricOrder)
+{
+    // Selected metrics need not be {0, 1} in order.
+    Rng rng(9);
+    std::vector<Transition> pts;
+    for (int i = 0; i < 60; ++i)
+        pts.push_back(point(std::round(rng.uniform(0.0, 5.0)),
+                            std::round(rng.uniform(0.0, 5.0))));
+    const std::vector<std::size_t> reversed = {1, 0};
+    EXPECT_EQ(paretoFront(pts, reversed, kMinMin),
+              paretoFrontNaive(pts, reversed, kMinMin));
 }
 
 // --------------------------------------------------------------------

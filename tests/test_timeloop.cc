@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
+#include "mathutil/rng.h"
 #include "timeloop/accelerator.h"
 #include "timeloop/cost_model.h"
 #include "timeloop/workload.h"
@@ -219,6 +221,72 @@ TEST_P(ClockSweep, LatencyScalesInverselyWithClock)
 
 INSTANTIATE_TEST_SUITE_P(Clocks, ClockSweep,
                          ::testing::Values(0.5, 1.5, 2.0));
+
+// --------------------------------------------------------------------
+// Decoded-once network view
+// --------------------------------------------------------------------
+
+AcceleratorConfig
+randomConfig(Rng &rng)
+{
+    // Sample from the TimeloopGym power-of-two action grid.
+    AcceleratorConfig cfg;
+    cfg.numPEs = 16u << rng.below(7);
+    cfg.weightSpadEntries = 16u << rng.below(6);
+    cfg.inputSpadEntries = 4u << rng.below(5);
+    cfg.accumSpadEntries = 4u << rng.below(5);
+    cfg.globalBufferKb = 32u << rng.below(5);
+    cfg.nocWordsPerCycle = 1u << rng.below(5);
+    cfg.dramWordsPerCycle = 1u << rng.below(4);
+    return cfg;
+}
+
+void
+expectSameCost(const LayerCost &a, const LayerCost &b,
+               const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.latencyMs, b.latencyMs) << what;
+    EXPECT_EQ(a.energyUj, b.energyUj) << what;
+    EXPECT_EQ(a.areaMm2, b.areaMm2) << what;
+    EXPECT_EQ(a.utilization, b.utilization) << what;
+    EXPECT_EQ(a.dramAccesses, b.dramAccesses) << what;
+    EXPECT_EQ(a.bufferAccesses, b.bufferAccesses) << what;
+    EXPECT_EQ(a.spadAccesses, b.spadAccesses) << what;
+}
+
+TEST(NetworkView, LayerPathBitIdenticalToReference)
+{
+    // The hoisted/pruned mapper over the precomputed view must pick the
+    // same mapping and report bit-identical costs for every layer of
+    // every workload, across random architecture configurations.
+    Rng rng(4242);
+    for (const Network &net : {alexNet(), mobileNet(), resNet18()}) {
+        const NetworkView view(net);
+        ASSERT_EQ(view.layers().size(), net.layers.size());
+        for (int trial = 0; trial < 30; ++trial) {
+            const AcceleratorConfig cfg = randomConfig(rng);
+            for (std::size_t li = 0; li < net.layers.size(); ++li) {
+                expectSameCost(
+                    evaluateLayer(cfg, view.layers()[li]),
+                    evaluateLayer(cfg, net.layers[li]),
+                    net.name + "/" + net.layers[li].name);
+            }
+        }
+    }
+}
+
+TEST(NetworkView, NetworkPathBitIdenticalToReference)
+{
+    Rng rng(77);
+    const Network net = resNet18();
+    const NetworkView view(net);
+    for (int trial = 0; trial < 20; ++trial) {
+        const AcceleratorConfig cfg = randomConfig(rng);
+        expectSameCost(evaluateNetwork(cfg, view),
+                       evaluateNetwork(cfg, net), net.name);
+    }
+}
 
 } // namespace
 } // namespace archgym::timeloop
