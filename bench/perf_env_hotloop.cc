@@ -17,6 +17,13 @@
  * Sweep throughput runs runSweepParallel (worker pool, one env per
  * worker slot) at 1/2/4/8 threads and reports configs/sec.
  *
+ * Batch mode measures the vectorized generation-evaluation path: a GA
+ * at population 64 searching each family through the batched ask-tell
+ * loop (selectActionBatch -> stepBatch -> observeBatch), with
+ * Environment::setBatchWorkers at 1/2/4/8 — env-steps/sec per worker
+ * count, i.e. how fast one population-based search run chews through
+ * generations when stepBatch fans out over the shared pool.
+ *
  * Emits a machine-readable line prefixed "BENCH_envs.json " on stdout
  * and writes the same JSON to BENCH_envs.json in the working directory,
  * alongside BENCH_dram.json from perf_dram_hotloop.
@@ -25,6 +32,8 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -96,6 +105,56 @@ struct FamilyResult
     double baselineStepsPerSec = 0.0;
     double speedup() const { return stepsPerSec / baselineStepsPerSec; }
 };
+
+struct BatchPoint
+{
+    std::size_t threads;
+    double stepsPerSec;
+};
+
+struct BatchResult
+{
+    std::string family;
+    std::vector<BatchPoint> points;
+};
+
+constexpr std::size_t kBatchPopulation = 64;
+
+/**
+ * Env-steps/sec of a batched GA search (population kBatchPopulation) at
+ * the given stepBatch worker count: repeated seeded runs of
+ * `generations` generations until the time budget is hit.
+ */
+double
+batchedGaStepsPerSec(Environment &env, std::size_t workers,
+                     std::size_t generations, double &guard)
+{
+    env.setBatchWorkers(workers);
+    RunConfig cfg;
+    cfg.maxSamples = kBatchPopulation * generations;
+    cfg.recordRewardHistory = false;
+    cfg.batchEval = true;
+    HyperParams hp;
+    hp.set("population_size",
+           static_cast<std::int64_t>(kBatchPopulation));
+
+    std::size_t steps = 0;
+    // One warmup run builds the per-slot evaluation state.
+    {
+        auto agent = makeAgent("GA", env.actionSpace(), hp, 1234);
+        guard += runSearch(env, *agent, cfg).bestReward;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto now = start;
+    while (seconds(start, now) < kMinSeconds && steps < kMaxSteps) {
+        auto agent = makeAgent("GA", env.actionSpace(), hp, 1234);
+        const RunResult r = runSearch(env, *agent, cfg);
+        guard += r.bestReward;
+        steps += r.samplesUsed;
+        now = std::chrono::steady_clock::now();
+    }
+    return static_cast<double>(steps) / seconds(start, now);
+}
 
 } // namespace
 
@@ -207,6 +266,66 @@ main()
                     r.stepsPerSec, r.baselineStepsPerSec, r.speedup());
     }
 
+    // --- Batch mode: GA generations through stepBatch ------------------
+    struct BatchCase
+    {
+        std::string family;
+        std::function<std::unique_ptr<Environment>()> make;
+        std::size_t generations;
+    };
+    const std::vector<BatchCase> batchCases = {
+        {"DRAMGym",
+         [] {
+             DramGymEnv::Options o;
+             o.traceLength = 512;
+             return std::unique_ptr<Environment>(
+                 std::make_unique<DramGymEnv>(o));
+         },
+         2},
+        {"FARSIGym",
+         [] {
+             return std::unique_ptr<Environment>(
+                 std::make_unique<FarsiGymEnv>());
+         },
+         32},
+        {"TimeloopGym",
+         [] {
+             TimeloopGymEnv::Options o;
+             o.network = timeloop::resNet18();
+             return std::unique_ptr<Environment>(
+                 std::make_unique<TimeloopGymEnv>(o));
+         },
+         8},
+        {"MaestroGym",
+         [] {
+             return std::unique_ptr<Environment>(
+                 std::make_unique<MaestroGymEnv>());
+         },
+         32},
+    };
+
+    std::printf("\nBatch mode (GA, population %zu, env-steps/sec via "
+                "stepBatch)\n",
+                kBatchPopulation);
+    std::printf("%-14s %10s %12s %12s %12s %12s\n", "family", "threads:",
+                "1", "2", "4", "8");
+    std::vector<BatchResult> batchResults;
+    for (const BatchCase &bc : batchCases) {
+        auto env = bc.make();
+        BatchResult br;
+        br.family = bc.family;
+        std::printf("%-14s %10s", bc.family.c_str(), "");
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            const double sps = batchedGaStepsPerSec(*env, threads,
+                                                    bc.generations,
+                                                    guard);
+            br.points.push_back(BatchPoint{threads, sps});
+            std::printf(" %12.1f", sps);
+        }
+        std::printf("\n");
+        batchResults.push_back(std::move(br));
+    }
+
     // --- Sweep throughput through the persistent worker pool ----------
     const std::size_t kSweepConfigs = 192;
     const std::size_t kSweepSamples = 100;
@@ -263,7 +382,23 @@ main()
              << ",\"rebuildStepsPerSec\":" << r.baselineStepsPerSec
              << ",\"speedup\":" << r.speedup() << "}";
     }
-    json << "],\"sweep\":{\"env\":\"FARSIGym\",\"agent\":\"RW\","
+    json << "],\"batch\":{\"agent\":\"GA\",\"population\":"
+         << kBatchPopulation << ",\"families\":[";
+    for (std::size_t i = 0; i < batchResults.size(); ++i) {
+        const BatchResult &br = batchResults[i];
+        if (i)
+            json << ",";
+        json << "{\"family\":\"" << br.family << "\",\"points\":[";
+        for (std::size_t p = 0; p < br.points.size(); ++p) {
+            if (p)
+                json << ",";
+            json << "{\"threads\":" << br.points[p].threads
+                 << ",\"stepsPerSec\":" << br.points[p].stepsPerSec
+                 << "}";
+        }
+        json << "]}";
+    }
+    json << "]},\"sweep\":{\"env\":\"FARSIGym\",\"agent\":\"RW\","
          << "\"configs\":" << kSweepConfigs
          << ",\"samplesPerConfig\":" << kSweepSamples << ",\"points\":[";
     for (std::size_t i = 0; i < sweepPoints.size(); ++i) {

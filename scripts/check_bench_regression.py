@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the BENCH_*.json trackers.
+
+Compares freshly produced bench JSON (perf_dram_hotloop ->
+BENCH_dram.json, perf_env_hotloop -> BENCH_envs.json) against the
+committed baselines in bench/baselines/ and fails when any throughput
+metric drops by more than the threshold (default 25%).
+
+Throughput metrics are discovered structurally: every numeric leaf whose
+key ends in "PerSec" (absolute, machine-dependent) or equals "speedup"
+(optimized-vs-reference ratio, machine-independent) is compared, keyed
+by its JSON path with list entries labelled by their identifying fields
+(family/config/threads), so the gate automatically covers new sections
+as benches grow. The speedup ratios keep the gate meaningful even when
+the measuring machine differs from the baseline machine; when that
+happens persistently, refresh the baselines from a known-good run on
+the measuring machine class. A metric
+present in the baseline but missing from the fresh output is an error —
+coverage must not silently shrink. Fresh-only metrics are reported but
+pass (that is how new benches land: first run records them, the next
+baseline refresh gates them).
+
+Exit status: 0 = no regression, 1 = regression or missing metric,
+2 = usage/IO error.
+
+Refresh the baselines (after an intentional perf change, on the
+reference machine):
+    ./build/perf_dram_hotloop && ./build/perf_env_hotloop
+    cp BENCH_dram.json BENCH_envs.json bench/baselines/
+"""
+
+import argparse
+import json
+import os
+import sys
+
+IDENTITY_KEYS = ("family", "config", "threads", "env", "agent", "bench")
+
+
+def _label(obj):
+    """Identifying suffix for a dict inside a list, e.g. [family=DRAMGym]."""
+    parts = []
+    for key in IDENTITY_KEYS:
+        if isinstance(obj, dict) and key in obj and not isinstance(
+                obj[key], (dict, list)):
+            parts.append(f"{key}={obj[key]}")
+    return "[" + ",".join(parts) + "]" if parts else ""
+
+
+def collect_metrics(node, path=""):
+    """Flatten {json_path: value} for every numeric *PerSec leaf."""
+    metrics = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            sub = f"{path}.{key}" if path else key
+            if isinstance(value, (int, float)) and (
+                    key.endswith("PerSec") or key == "speedup"):
+                metrics[sub] = float(value)
+            else:
+                metrics.update(collect_metrics(value, sub))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            tag = _label(value) or f"[{index}]"
+            metrics.update(collect_metrics(value, f"{path}{tag}"))
+    return metrics
+
+
+def load(path):
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory holding committed BENCH_*.json")
+    parser.add_argument("--fresh-dir", default=".",
+                        help="directory holding freshly produced "
+                             "BENCH_*.json")
+    parser.add_argument("--threshold", type=float,
+                        default=float(os.environ.get(
+                            "BENCH_REGRESSION_THRESHOLD", "0.25")),
+                        help="maximum tolerated fractional drop "
+                             "(default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    if not os.path.isdir(args.baseline_dir):
+        print(f"error: baseline dir not found: {args.baseline_dir}")
+        return 2
+    baseline_files = sorted(
+        name for name in os.listdir(args.baseline_dir)
+        if name.startswith("BENCH_") and name.endswith(".json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json baselines in {args.baseline_dir}")
+        return 2
+
+    failures = []
+    compared = 0
+    for name in baseline_files:
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.isfile(fresh_path):
+            failures.append(f"{name}: fresh output missing "
+                            f"(bench not run?)")
+            continue
+        try:
+            baseline = collect_metrics(
+                load(os.path.join(args.baseline_dir, name)))
+            fresh = collect_metrics(load(fresh_path))
+        except (json.JSONDecodeError, OSError) as err:
+            print(f"error: {name}: {err}")
+            return 2
+
+        for key, base_value in sorted(baseline.items()):
+            if key not in fresh:
+                failures.append(f"{name}: {key} missing from fresh "
+                                f"output (baseline {base_value:.1f})")
+                continue
+            compared += 1
+            fresh_value = fresh[key]
+            floor = base_value * (1.0 - args.threshold)
+            status = "ok"
+            if fresh_value < floor:
+                drop = 1.0 - fresh_value / base_value
+                status = f"REGRESSION (-{drop:.0%})"
+                failures.append(
+                    f"{name}: {key}: {fresh_value:.1f} vs baseline "
+                    f"{base_value:.1f} ({status})")
+            print(f"  {name}: {key}: {fresh_value:.1f} "
+                  f"(baseline {base_value:.1f}) {status}")
+        for key in sorted(set(fresh) - set(baseline)):
+            print(f"  {name}: {key}: {fresh[key]:.1f} (new metric, "
+                  f"not gated yet)")
+
+    print(f"\ncompared {compared} metric(s) at threshold "
+          f"{args.threshold:.0%}")
+    if failures:
+        print(f"{len(failures)} failure(s):")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,44 @@ AntColonyAgent::observe(const Action &action, const Metrics &metrics,
         updatePheromones();
 }
 
+std::vector<Action>
+AntColonyAgent::selectActionBatch(std::size_t maxActions)
+{
+    assert(!hasInFlight_ && inFlightBatch_.empty());
+    std::vector<Action> batch;
+    if (maxActions == 0)
+        return batch;
+    // Cap the batch at the rest of the current cohort so the pheromone
+    // update never falls in the middle of a batch; every ant is then
+    // constructed against the same trails as in the per-step path.
+    const std::size_t remaining = numAnts_ - cohort_.size();
+    const std::size_t n = std::min(maxActions, remaining);
+    batch.reserve(n);
+    inFlightBatch_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        inFlightBatch_.push_back(constructSolution());
+        batch.push_back(space_.fromLevels(inFlightBatch_.back()));
+    }
+    return batch;
+}
+
+void
+AntColonyAgent::observeBatch(const std::vector<Action> &actions,
+                             const std::vector<StepResult> &results)
+{
+    (void)actions;
+    assert(results.size() == inFlightBatch_.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        Ant ant;
+        ant.levels = std::move(inFlightBatch_[i]);
+        ant.reward = results[i].reward;
+        cohort_.push_back(std::move(ant));
+        if (cohort_.size() >= numAnts_)
+            updatePheromones();
+    }
+    inFlightBatch_.clear();
+}
+
 void
 AntColonyAgent::reset()
 {
@@ -128,6 +166,7 @@ AntColonyAgent::reset()
     initPheromones();
     cohort_.clear();
     hasInFlight_ = false;
+    inFlightBatch_.clear();
     hasGlobalBest_ = false;
     globalBestReward_ = 0.0;
     globalBestLevels_.clear();

@@ -42,6 +42,14 @@ class AntColonyAgent : public Agent
     Action selectAction() override;
     void observe(const Action &action, const Metrics &metrics,
                  double reward) override;
+    /** Batched Q1: construct up to maxActions ants of the current
+     *  cohort (never crossing a pheromone update), drawing from the RNG
+     *  in the same order as repeated selectAction() calls — pheromones
+     *  only change at cohort boundaries, so batched trajectories are
+     *  bit-identical to per-step ones. */
+    std::vector<Action> selectActionBatch(std::size_t maxActions) override;
+    void observeBatch(const std::vector<Action> &actions,
+                      const std::vector<StepResult> &results) override;
     void reset() override;
 
     /** Pheromone level for tests/diagnostics. */
@@ -79,6 +87,8 @@ class AntColonyAgent : public Agent
     std::vector<Ant> cohort_;
     bool hasInFlight_ = false;
     std::vector<std::size_t> inFlight_;
+    /** Level vectors of the last batched ask, in proposal order. */
+    std::vector<std::vector<std::size_t>> inFlightBatch_;
 
     bool hasGlobalBest_ = false;
     double globalBestReward_ = 0.0;

@@ -220,6 +220,46 @@ GeneticAlgorithmAgent::observe(const Action &action, const Metrics &metrics,
     hasInFlight_ = false;
 }
 
+std::vector<Action>
+GeneticAlgorithmAgent::selectActionBatch(std::size_t maxActions)
+{
+    assert(!hasInFlight_ && inFlightBatch_.empty());
+    std::vector<Action> batch;
+    if (maxActions == 0)
+        return batch;
+    if (population_.empty())
+        seedPopulation();
+    if (pendingEval_.empty())
+        breedNextGeneration();
+    // Drain pending individuals in queue order — exactly the genomes the
+    // per-step path would serve, so fitness assignment (and hence the
+    // RNG stream of the next breeding) is independent of batching.
+    const std::size_t n = std::min(maxActions, pendingEval_.size());
+    batch.reserve(n);
+    inFlightBatch_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t idx = pendingEval_.front();
+        pendingEval_.pop_front();
+        inFlightBatch_.push_back(idx);
+        batch.push_back(space_.fromLevels(population_[idx].genome));
+    }
+    return batch;
+}
+
+void
+GeneticAlgorithmAgent::observeBatch(const std::vector<Action> &actions,
+                                    const std::vector<StepResult> &results)
+{
+    (void)actions;
+    assert(results.size() == inFlightBatch_.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        Individual &ind = population_[inFlightBatch_[i]];
+        ind.fitness = results[i].reward;
+        ind.evaluated = true;
+    }
+    inFlightBatch_.clear();
+}
+
 void
 GeneticAlgorithmAgent::reset()
 {
@@ -227,6 +267,7 @@ GeneticAlgorithmAgent::reset()
     population_.clear();
     pendingEval_.clear();
     hasInFlight_ = false;
+    inFlightBatch_.clear();
     generation_ = 0;
 }
 

@@ -55,6 +55,13 @@ class GeneticAlgorithmAgent : public Agent
     Action selectAction() override;
     void observe(const Action &action, const Metrics &metrics,
                  double reward) override;
+    /** Batched Q1: drain up to maxActions unevaluated individuals of
+     *  the current generation (breeding first if none are pending) —
+     *  the same individuals, in the same order, as repeated
+     *  selectAction() calls, so batched searches are bit-identical. */
+    std::vector<Action> selectActionBatch(std::size_t maxActions) override;
+    void observeBatch(const std::vector<Action> &actions,
+                      const std::vector<StepResult> &results) override;
     void reset() override;
 
     /** Completed generations (diagnostics). */
@@ -100,6 +107,7 @@ class GeneticAlgorithmAgent : public Agent
     std::deque<std::size_t> pendingEval_;  ///< indices awaiting fitness
     std::size_t inFlight_ = 0;             ///< index of last asked genome
     bool hasInFlight_ = false;
+    std::vector<std::size_t> inFlightBatch_;  ///< batched ask, in order
     std::size_t generation_ = 0;
 };
 

@@ -55,6 +55,41 @@ class Agent
     virtual void observe(const Action &action, const Metrics &metrics,
                          double reward) = 0;
 
+    /**
+     * Q1 batched: propose a cohort of at most maxActions design points
+     * whose evaluations are mutually independent, to be evaluated
+     * together through Environment::stepBatch.
+     *
+     * The proposals must be exactly the actions the per-step path would
+     * produce, in the same order, so a batched search trajectory is
+     * bit-identical to the sequential one. Population-based agents
+     * override this to drain every unevaluated member of the current
+     * generation (GA) or cohort (ACO); the default returns a single
+     * selectAction() proposal. Returns an empty batch only when
+     * maxActions is 0. Every proposal must be answered by one
+     * observeBatch() call before the next selectActionBatch().
+     */
+    virtual std::vector<Action> selectActionBatch(std::size_t maxActions)
+    {
+        std::vector<Action> batch;
+        if (maxActions > 0)
+            batch.push_back(selectAction());
+        return batch;
+    }
+
+    /**
+     * Q2 batched: feedback for every proposal of the preceding
+     * selectActionBatch(), in the same order. The default forwards to
+     * observe() element by element.
+     */
+    virtual void observeBatch(const std::vector<Action> &actions,
+                              const std::vector<StepResult> &results)
+    {
+        for (std::size_t i = 0; i < actions.size(); ++i)
+            observe(actions[i], results[i].observation,
+                    results[i].reward);
+    }
+
     /** Reinitialize all policy state (fresh search, same hyperparams). */
     virtual void reset() = 0;
 

@@ -30,28 +30,53 @@ runSearch(Environment &env, Agent &agent, const RunConfig &config)
     if (config.recordRewardHistory)
         result.rewardHistory.reserve(config.maxSamples);
 
-    env.reset();
-    const auto start = std::chrono::steady_clock::now();
-    for (std::size_t i = 0; i < config.maxSamples; ++i) {
-        Action action = agent.selectAction();
-        StepResult sr = env.step(action);
-        agent.observe(action, sr.observation, sr.reward);
-
+    // Shared per-sample bookkeeping so the per-step and batched loops
+    // record trajectories identically. Returns true when the search
+    // should stop (objective satisfied).
+    const auto record = [&](Action action, const StepResult &sr,
+                            std::size_t index) {
         if (config.recordRewardHistory)
             result.rewardHistory.push_back(sr.reward);
         if (sr.reward > result.bestReward) {
             result.bestReward = sr.reward;
             result.bestAction = action;
             result.bestMetrics = sr.observation;
-            result.bestSampleIndex = i;
+            result.bestSampleIndex = index;
         }
         if (config.logTrajectory) {
             result.trajectory.append(
                 Transition{std::move(action), sr.observation, sr.reward});
         }
         ++result.samplesUsed;
-        if (config.stopWhenSatisfied && sr.done)
-            break;
+        return config.stopWhenSatisfied && sr.done;
+    };
+
+    env.reset();
+    const auto start = std::chrono::steady_clock::now();
+    if (config.batchEval) {
+        std::size_t i = 0;
+        while (i < config.maxSamples) {
+            const std::vector<Action> actions =
+                agent.selectActionBatch(config.maxSamples - i);
+            if (actions.empty())
+                break;  // defensive: a batch agent with nothing to ask
+            const std::vector<StepResult> results =
+                env.stepBatch(actions);
+            agent.observeBatch(actions, results);
+            bool stop = false;
+            for (std::size_t j = 0; j < results.size() && !stop; ++j)
+                stop = record(actions[j], results[j], i++);
+            if (stop)
+                break;
+        }
+    } else {
+        for (std::size_t i = 0; i < config.maxSamples; ++i) {
+            Action action = agent.selectAction();
+            const StepResult sr = env.step(action);
+            agent.observe(action, sr.observation, sr.reward);
+            if (record(std::move(action), sr, i))
+                break;
+        }
     }
     const auto end = std::chrono::steady_clock::now();
     result.wallSeconds =

@@ -37,6 +37,26 @@ struct RunConfig
      * one of thousands of configurations.
      */
     bool recordRewardHistory = true;
+    /**
+     * Evaluate through the batched ask-tell interface: the agent
+     * proposes a cohort (a whole GA generation / ACO cohort) via
+     * selectActionBatch, the environment evaluates it in one
+     * Environment::stepBatch call (parallel on the four gym families),
+     * and feedback arrives via observeBatch. The recorded trajectory
+     * (reward history, best action/reward, transitions) is bit-identical
+     * to the per-step path at any Environment::setBatchWorkers setting.
+     *
+     * With stopWhenSatisfied, the run still stops at the first
+     * satisfying sample of the batch and later results are discarded
+     * from the recorded trajectory, which therefore matches the
+     * per-step path. The environment and the agent, however, both see
+     * up to one batch beyond the stopping point: sampleCount() may
+     * exceed samplesUsed, and observeBatch has already fed the whole
+     * batch's feedback to the agent (the ask-tell contract answers
+     * every proposal), so post-run agent diagnostics can differ from a
+     * per-step run that stopped mid-generation.
+     */
+    bool batchEval = false;
 };
 
 /** Outcome of one search run. */
@@ -79,6 +99,11 @@ using AgentBuilder =
 /**
  * Evaluate every hyperparameter configuration with a fresh agent and a
  * deterministic per-configuration seed.
+ *
+ * With run_config.batchEval, each run evaluates generation-at-a-time
+ * through Environment::stepBatch — the batched sweep path: a single
+ * search run then saturates the worker pool even when the sweep itself
+ * is serial. Results are bit-identical either way.
  */
 SweepResult runSweep(Environment &env, const std::string &agent_name,
                      const AgentBuilder &builder,
@@ -107,6 +132,11 @@ using EnvFactory = std::function<std::unique_ptr<Environment>()>;
  * spawning/joining a fresh set each call. If the environment factory,
  * the agent builder, or a step throws, the first exception is rethrown
  * here on the calling thread (the sweep result is then abandoned).
+ *
+ * run_config.batchEval is safe here: stepBatch detects that it is
+ * already running on a pool worker and evaluates serially instead of
+ * deadlocking on nested parallelFor, so configuration-level parallelism
+ * wins (results stay bit-identical).
  *
  * @param num_threads  logical workers (environment instances);
  *                     0 = hardware concurrency. Values above the shared

@@ -1,0 +1,36 @@
+#include "environment.h"
+
+#include <algorithm>
+
+#include "core/worker_pool.h"
+
+namespace archgym {
+
+std::vector<StepResult>
+Environment::stepBatch(const std::vector<Action> &actions)
+{
+    std::vector<StepResult> results;
+    results.reserve(actions.size());
+    for (const Action &action : actions)
+        results.push_back(step(action));
+    return results;
+}
+
+bool
+Environment::parallelEvalBatch(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)> &body,
+    const std::function<void(std::size_t)> &prepare) const
+{
+    WorkerPool &pool = WorkerPool::shared();
+    std::size_t slots = batchWorkers_ == 0 ? pool.size() : batchWorkers_;
+    slots = std::min(slots, count);
+    if (count <= 1 || slots <= 1 || WorkerPool::onWorkerThread())
+        return false;
+    if (prepare)
+        prepare(slots);
+    pool.parallelFor(count, body, slots, /*chunk=*/1);
+    return true;
+}
+
+} // namespace archgym

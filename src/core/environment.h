@@ -16,7 +16,9 @@
 #ifndef ARCHGYM_CORE_ENVIRONMENT_H
 #define ARCHGYM_CORE_ENVIRONMENT_H
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,55 @@ class Environment
     /** Evaluate one design point. */
     virtual StepResult step(const Action &action) = 0;
 
+    /**
+     * Evaluate a batch of design points — the vectorized entry point for
+     * population-based agents (GA / ACO evaluate whole generations at
+     * once) and batched sweeps.
+     *
+     * Contract (binding for every override):
+     *
+     *  - Ordering: the result at index i is the evaluation of
+     *    actions[i]. The returned vector always has actions.size()
+     *    entries; an empty batch returns an empty vector and performs no
+     *    evaluation.
+     *  - Determinism: results are bit-identical to calling step() on
+     *    each action sequentially, for every batchWorkers() setting and
+     *    regardless of how the worker pool schedules slots onto
+     *    threads. Each action must therefore be evaluated independently
+     *    of its batch neighbours and of scheduling order.
+     *  - Sample accounting: sampleCount() advances by exactly
+     *    actions.size(), the same as the sequential path.
+     *  - Thread-safety (for implementers): a parallel override may share
+     *    only immutable state across worker slots (the decoded-once
+     *    workload views, the parameter space, the objective); all
+     *    mutable evaluation state (simulator instances, scratch
+     *    buffers) must be per-slot, indexed by the slot id the pool
+     *    hands the body. recordSamples() must be called once, on the
+     *    calling thread, after the loop completes.
+     *  - Reentrancy: when invoked from inside a WorkerPool task (e.g. a
+     *    batched search running under runSweepParallel), overrides must
+     *    not submit nested parallelFor work; parallelEvalBatch()
+     *    detects this and reports that the caller should evaluate
+     *    serially instead.
+     *
+     * The default implementation is the serial fallback: step() per
+     * action, in order. DramGymEnv, FarsiGymEnv, TimeloopGymEnv and
+     * MaestroGymEnv override it with parallel fan-out over
+     * WorkerPool::shared().
+     */
+    virtual std::vector<StepResult>
+    stepBatch(const std::vector<Action> &actions);
+
+    /**
+     * Cap the number of logical worker slots a parallel stepBatch may
+     * use. 0 (default) = one slot per shared-pool thread. Values above
+     * the pool size are honoured with that many slots multiplexed onto
+     * the pool's threads (useful for determinism tests at fixed slot
+     * counts on any machine); 1 forces serial evaluation.
+     */
+    void setBatchWorkers(std::size_t workers) { batchWorkers_ = workers; }
+    std::size_t batchWorkers() const { return batchWorkers_; }
+
     /** Number of cost-model evaluations performed so far. */
     std::uint64_t sampleCount() const { return sampleCount_; }
 
@@ -70,8 +121,32 @@ class Environment
     /** Concrete environments call this once per cost-model evaluation. */
     void recordSample() { ++sampleCount_; }
 
+    /** Batched overrides call this once per completed batch. */
+    void recordSamples(std::size_t n) { sampleCount_ += n; }
+
+    /**
+     * Fan body(slot, index) for index in [0, count) out over
+     * WorkerPool::shared(), honouring batchWorkers(). Before any work
+     * runs, prepare(slots) is invoked once on the calling thread with
+     * the slot count so the environment can size per-slot evaluation
+     * state (prepare may be null when no mutable state is needed).
+     *
+     * Returns false — without running anything — when parallel
+     * evaluation is unprofitable or unsafe (batch of zero/one, a single
+     * worker slot, or the calling thread is itself a pool worker); the
+     * caller must then fall back to the serial default
+     * Environment::stepBatch.
+     */
+    bool parallelEvalBatch(
+        std::size_t count,
+        const std::function<void(std::size_t slot, std::size_t index)>
+            &body,
+        const std::function<void(std::size_t slots)> &prepare =
+            nullptr) const;
+
   private:
     std::uint64_t sampleCount_ = 0;
+    std::size_t batchWorkers_ = 0;  ///< 0 = shared pool size
 };
 
 } // namespace archgym

@@ -13,6 +13,8 @@ namespace archgym {
 
 namespace {
 
+thread_local bool t_onWorkerThread = false;
+
 /** Shared state of one parallelFor invocation. */
 struct LoopState
 {
@@ -104,6 +106,7 @@ WorkerPool::workerMain(std::size_t worker_index)
 #else
     (void)worker_index;
 #endif
+    t_onWorkerThread = true;
     for (;;) {
         std::function<void()> task;
         {
@@ -159,6 +162,12 @@ WorkerPool::shared()
 {
     static WorkerPool pool;
     return pool;
+}
+
+bool
+WorkerPool::onWorkerThread()
+{
+    return t_onWorkerThread;
 }
 
 } // namespace archgym

@@ -76,6 +76,16 @@ class WorkerPool
      */
     static WorkerPool &shared();
 
+    /**
+     * True when the calling thread is owned by any WorkerPool (set for
+     * the lifetime of the worker thread). parallelFor must not be
+     * called from a pool thread — the caller would wait on workers that
+     * can never be scheduled — so nested parallel constructs (e.g. a
+     * parallel Environment::stepBatch inside runSweepParallel) consult
+     * this and degrade to their serial path instead of deadlocking.
+     */
+    static bool onWorkerThread();
+
   private:
     void workerMain(std::size_t worker_index);
 

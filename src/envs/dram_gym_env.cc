@@ -88,16 +88,48 @@ DramGymEnv::simulate(const Action &action)
 }
 
 StepResult
-DramGymEnv::step(const Action &action)
+DramGymEnv::evaluate(dram::DramController &controller,
+                     const Action &action) const
 {
-    recordSample();
-    const dram::SimResult sim = simulate(action);
+    controller.setConfig(decodeAction(action));
+    const dram::SimResult sim = controller.run(decoded_);
     StepResult sr;
     sr.observation = {sim.avgLatencyNs, sim.power.avgPowerW,
                       sim.totalEnergyPj() / 1e6};
     sr.reward = objective_->reward(sr.observation);
     sr.done = objective_->satisfied(sr.observation);
     return sr;
+}
+
+StepResult
+DramGymEnv::step(const Action &action)
+{
+    recordSample();
+    return evaluate(controller_, action);
+}
+
+std::vector<StepResult>
+DramGymEnv::stepBatch(const std::vector<Action> &actions)
+{
+    std::vector<StepResult> results(actions.size());
+    const bool parallel = parallelEvalBatch(
+        actions.size(),
+        [&](std::size_t slot, std::size_t i) {
+            auto &controller = slotControllers_[slot];
+            if (!controller) {
+                controller = std::make_unique<dram::DramController>(
+                    options_.spec, dram::ControllerConfig{});
+            }
+            results[i] = evaluate(*controller, actions[i]);
+        },
+        [&](std::size_t slots) {
+            if (slotControllers_.size() < slots)
+                slotControllers_.resize(slots);
+        });
+    if (!parallel)
+        return Environment::stepBatch(actions);
+    recordSamples(actions.size());
+    return results;
 }
 
 } // namespace archgym

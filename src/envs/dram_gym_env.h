@@ -13,6 +13,11 @@
  * persistent DramController (setConfig) and runs it against the shared
  * immutable DecodedTrace — no trace copies, no controller
  * reconstruction, and (after the first step) no queue allocations.
+ *
+ * stepBatch() fans the same evaluation out over the shared worker
+ * pool: the decoded trace, parameter space, and objective are shared
+ * read-only, and each worker slot owns one lazily-built persistent
+ * DramController that stays warm across batches.
  */
 
 #ifndef ARCHGYM_ENVS_DRAM_GYM_ENV_H
@@ -58,6 +63,8 @@ class DramGymEnv : public Environment
         return metricNames_;
     }
     StepResult step(const Action &action) override;
+    std::vector<StepResult>
+    stepBatch(const std::vector<Action> &actions) override;
 
     /** Translate an action into a simulator configuration (for tests and
      *  for rendering Table 4 rows). */
@@ -77,6 +84,11 @@ class DramGymEnv : public Environment
   private:
     void buildSpace();
     void buildObjective();
+    /** The single per-action evaluation shared by step() and the
+     *  stepBatch worker body: reconfigure `controller`, run it against
+     *  the shared decoded trace, score the observation. */
+    StepResult evaluate(dram::DramController &controller,
+                        const Action &action) const;
 
     std::string name_ = "DRAMGym";
     std::vector<std::string> metricNames_{"latency_ns", "power_w",
@@ -87,6 +99,11 @@ class DramGymEnv : public Environment
     std::vector<dram::MemoryRequest> trace_;
     dram::DecodedTrace decoded_;      ///< decoded once, shared by steps
     dram::DramController controller_; ///< reused across steps
+    /** Per-slot persistent controllers for stepBatch, built lazily on a
+     *  slot's first batch item and reused across batches. They share
+     *  the immutable decoded_ trace; all mutable run state is private
+     *  to the slot. */
+    std::vector<std::unique_ptr<dram::DramController>> slotControllers_;
 };
 
 } // namespace archgym

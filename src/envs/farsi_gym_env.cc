@@ -39,16 +39,44 @@ FarsiGymEnv::decodeAction(const Action &action) const
 }
 
 StepResult
-FarsiGymEnv::step(const Action &action)
+FarsiGymEnv::evaluate(const Action &action,
+                      farsi::SocEvalScratch &scratch,
+                      farsi::SocResult &sim) const
 {
-    recordSample();
-    farsi::evaluateSoc(decodeAction(action), view_, scratch_, sim_);
+    farsi::evaluateSoc(decodeAction(action), view_, scratch, sim);
     StepResult sr;
-    sr.observation = {sim_.powerW, sim_.latencyMs, sim_.areaMm2};
+    sr.observation = {sim.powerW, sim.latencyMs, sim.areaMm2};
     sr.reward = std::max(objective_->reward(sr.observation),
                          -options_.rewardFloor);
     sr.done = objective_->satisfied(sr.observation);
     return sr;
+}
+
+StepResult
+FarsiGymEnv::step(const Action &action)
+{
+    recordSample();
+    return evaluate(action, scratch_, sim_);
+}
+
+std::vector<StepResult>
+FarsiGymEnv::stepBatch(const std::vector<Action> &actions)
+{
+    std::vector<StepResult> results(actions.size());
+    const bool parallel = parallelEvalBatch(
+        actions.size(),
+        [&](std::size_t slot, std::size_t i) {
+            SlotState &state = slotStates_[slot];
+            results[i] = evaluate(actions[i], state.scratch, state.sim);
+        },
+        [&](std::size_t slots) {
+            if (slotStates_.size() < slots)
+                slotStates_.resize(slots);
+        });
+    if (!parallel)
+        return Environment::stepBatch(actions);
+    recordSamples(actions.size());
+    return results;
 }
 
 } // namespace archgym

@@ -47,11 +47,20 @@ class FarsiGymEnv : public Environment
         return metricNames_;
     }
     StepResult step(const Action &action) override;
+    std::vector<StepResult>
+    stepBatch(const std::vector<Action> &actions) override;
 
     farsi::SocConfig decodeAction(const Action &action) const;
     const BudgetDistanceObjective &objective() const { return *objective_; }
 
   private:
+    /** The single per-action evaluation shared by step() and the
+     *  stepBatch worker body: schedule onto the shared view with the
+     *  given scratch/result buffers, score the observation. */
+    StepResult evaluate(const Action &action,
+                        farsi::SocEvalScratch &scratch,
+                        farsi::SocResult &sim) const;
+
     std::string name_ = "FARSIGym";
     std::vector<std::string> metricNames_{"power_w", "latency_ms",
                                           "area_mm2"};
@@ -63,6 +72,15 @@ class FarsiGymEnv : public Environment
     farsi::TaskGraphView view_;
     farsi::SocEvalScratch scratch_;
     farsi::SocResult sim_;
+    /** Per-slot evaluation buffers for stepBatch: every slot schedules
+     *  against the shared immutable view_ with its own scratch/result,
+     *  reset by reuse across batches. */
+    struct SlotState
+    {
+        farsi::SocEvalScratch scratch;
+        farsi::SocResult sim;
+    };
+    std::vector<SlotState> slotStates_;
 };
 
 } // namespace archgym

@@ -42,9 +42,8 @@ MaestroGymEnv::decodeAction(const Action &action) const
 }
 
 StepResult
-MaestroGymEnv::step(const Action &action)
+MaestroGymEnv::evaluate(const Action &action) const
 {
-    recordSample();
     const maestro::MappingCost cost = maestro::evaluateMappingOnNetwork(
         decodeAction(action), view_, options_.hardware);
     StepResult sr;
@@ -56,6 +55,27 @@ MaestroGymEnv::step(const Action &action)
     sr.reward = objective_->reward(sr.observation);
     sr.done = false;
     return sr;
+}
+
+StepResult
+MaestroGymEnv::step(const Action &action)
+{
+    recordSample();
+    return evaluate(action);
+}
+
+std::vector<StepResult>
+MaestroGymEnv::stepBatch(const std::vector<Action> &actions)
+{
+    std::vector<StepResult> results(actions.size());
+    const bool parallel = parallelEvalBatch(
+        actions.size(), [&](std::size_t, std::size_t i) {
+            results[i] = evaluate(actions[i]);
+        });
+    if (!parallel)
+        return Environment::stepBatch(actions);
+    recordSamples(actions.size());
+    return results;
 }
 
 } // namespace archgym

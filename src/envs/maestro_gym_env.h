@@ -43,10 +43,19 @@ class MaestroGymEnv : public Environment
         return metricNames_;
     }
     StepResult step(const Action &action) override;
+    /** Parallel fan-out over the shared worker pool; the data-centric
+     *  cost model derives only mapping-local state per action against
+     *  the immutable view_, so no per-slot mutable state is needed. */
+    std::vector<StepResult>
+    stepBatch(const std::vector<Action> &actions) override;
 
     maestro::Mapping decodeAction(const Action &action) const;
 
   private:
+    /** The single per-action evaluation shared by step() and the
+     *  stepBatch worker body (stateless given the shared view). */
+    StepResult evaluate(const Action &action) const;
+
     std::string name_ = "MaestroGym";
     std::vector<std::string> metricNames_{"runtime_cycles",
                                           "throughput_macs_per_cycle",

@@ -42,9 +42,8 @@ TimeloopGymEnv::decodeAction(const Action &action) const
 }
 
 StepResult
-TimeloopGymEnv::step(const Action &action)
+TimeloopGymEnv::evaluate(const Action &action) const
 {
-    recordSample();
     const timeloop::LayerCost cost =
         timeloop::evaluateNetwork(decodeAction(action), view_);
     StepResult sr;
@@ -52,6 +51,27 @@ TimeloopGymEnv::step(const Action &action)
     sr.reward = objective_->reward(sr.observation);
     sr.done = objective_->satisfied(sr.observation);
     return sr;
+}
+
+StepResult
+TimeloopGymEnv::step(const Action &action)
+{
+    recordSample();
+    return evaluate(action);
+}
+
+std::vector<StepResult>
+TimeloopGymEnv::stepBatch(const std::vector<Action> &actions)
+{
+    std::vector<StepResult> results(actions.size());
+    const bool parallel = parallelEvalBatch(
+        actions.size(), [&](std::size_t, std::size_t i) {
+            results[i] = evaluate(actions[i]);
+        });
+    if (!parallel)
+        return Environment::stepBatch(actions);
+    recordSamples(actions.size());
+    return results;
 }
 
 } // namespace archgym

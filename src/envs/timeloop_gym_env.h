@@ -42,11 +42,20 @@ class TimeloopGymEnv : public Environment
         return metricNames_;
     }
     StepResult step(const Action &action) override;
+    /** Parallel fan-out over the shared worker pool; the mapper runs
+     *  per action against the immutable view_, so no per-slot mutable
+     *  state is needed. */
+    std::vector<StepResult>
+    stepBatch(const std::vector<Action> &actions) override;
 
     timeloop::AcceleratorConfig decodeAction(const Action &action) const;
     const Objective &objective() const { return *objective_; }
 
   private:
+    /** The single per-action evaluation shared by step() and the
+     *  stepBatch worker body (stateless given the shared view). */
+    StepResult evaluate(const Action &action) const;
+
     std::string name_ = "TimeloopGym";
     std::vector<std::string> metricNames_{"latency_ms", "energy_uj",
                                           "area_mm2"};

@@ -86,9 +86,9 @@ evaluateMapping(const AcceleratorConfig &cfg, const ConvLayer &l,
     // --- Global-buffer traffic ------------------------------------------
     // All DRAM traffic passes through the GB, plus array-side reuse
     // traffic: every input element is multicast to the PEs needing it
-    // once per (K tile, P tile) pass.
-    const double gb = dram + l.inputCount() * passesK * passesP /
-                                 std::max(1.0, passesP) +
+    // once per (K tile, P tile) pass, so GB input traffic scales with
+    // both the K and the P trip counts.
+    const double gb = dram + l.inputCount() * passesK * passesP +
                       l.outputCount() * passesC;
 
     // --- Scratchpad traffic (dominant: 3 words per MAC) ----------------
@@ -274,9 +274,7 @@ evaluateLayer(const AcceleratorConfig &config, const LayerView &view,
 
                 const double passesP =
                     std::ceil(static_cast<double>(l.outH) / tp);
-                const double gb = dram + inputDram * passesP /
-                                             std::max(1.0, passesP) +
-                                  outCTerm;
+                const double gb = dram + inputDram * passesP + outCTerm;
                 const double gbWords = gb * batch;
                 const double spatial = std::min(pes, tkD * tp);
                 const double compute =

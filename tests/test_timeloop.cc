@@ -199,6 +199,55 @@ TEST(CostModel, DepthwiseLayersHaveLowArithmeticIntensity)
     EXPECT_LT(dwIntensity, pwIntensity);
 }
 
+TEST(CostModel, GlobalBufferTrafficVariesWithPTile)
+{
+    // Regression for the self-cancelling multicast term
+    // inputCount * passesK * passesP / max(1, passesP): input multicast
+    // happens once per (K, P) pass, so GB traffic must scale with the P
+    // trip count. The layer/config pair below admits exactly one
+    // feasible mapping so the totals can be checked by hand.
+    ConvLayer l;
+    l.name = "gb-regression";
+    l.inChannels = 4;
+    l.outChannels = 4;
+    l.kernelH = 3;
+    l.kernelW = 3;
+    l.outH = 8;
+    l.outW = 16;
+
+    AcceleratorConfig constrained;
+    constrained.numPEs = 16;
+    constrained.weightSpadEntries = 1;  // only tk = tc = 1 fits
+    constrained.accumSpadEntries = 1;   // psum/PE = tp, so only tp = 1
+    constrained.globalBufferKb = 1;
+
+    // Unique mapping (tk, tc, tp) = (1, 1, 1):
+    //   passesK = passesC = 4, passesP = 8
+    //   dram = 144 + 720*4 + 512*(2*4 - 1)       = 6608
+    //   gb   = dram + 720*4*8 + 512*4            = 31696
+    // (the cancelled term used to yield 6608 + 720*4 + 512*4 = 11536,
+    // independent of passesP).
+    const LayerCost tight = evaluateLayer(constrained, l);
+    EXPECT_DOUBLE_EQ(tight.dramAccesses, 6608.0);
+    EXPECT_DOUBLE_EQ(tight.bufferAccesses, 31696.0);
+
+    // With room for the full P tile the mapper picks tp = 8 (passesP =
+    // 1), whose multicast term collapses to one pass: GB traffic now
+    // genuinely varies with the P tile (pre-fix both configs reported
+    // 11536 words).
+    AcceleratorConfig roomy = constrained;
+    roomy.accumSpadEntries = 8;
+    const LayerCost loose = evaluateLayer(roomy, l);
+    EXPECT_DOUBLE_EQ(loose.bufferAccesses, 11536.0);
+    EXPECT_GT(tight.bufferAccesses, loose.bufferAccesses);
+
+    // The hoisted view path carries the same corrected term.
+    const LayerView view(l);
+    EXPECT_DOUBLE_EQ(evaluateLayer(constrained, view).bufferAccesses,
+                     31696.0);
+    EXPECT_DOUBLE_EQ(evaluateLayer(roomy, view).bufferAccesses, 11536.0);
+}
+
 // Parameterized monotonicity sweep: clock scaling must not change cycle
 // counts, and energy must scale with the technology constants.
 class ClockSweep : public ::testing::TestWithParam<double>
