@@ -79,6 +79,7 @@ GaussianProcess::refitFromMembers()
         k(i, i) += noiseVar_;
     }
     chol_ = std::make_unique<Cholesky>(k);
+    ++facEpoch_;
     if (!chol_->ok())
         return;
     if (reserveHint_ > n)
@@ -121,7 +122,8 @@ GaussianProcess::recomputeAlpha()
 }
 
 void
-GaussianProcess::appendFit(const std::vector<double> &x, double y)
+GaussianProcess::appendFit(const std::vector<double> &x, double y,
+                           bool refresh_alpha)
 {
     xs_.push_back(x);
     ysRaw_.push_back(y);
@@ -140,8 +142,31 @@ GaussianProcess::appendFit(const std::vector<double> &x, double y)
         refitFromMembers();
         return;
     }
-    recomputeAlpha();
+    ++facEpoch_;
+    if (refresh_alpha)
+        recomputeAlpha();
     fitted_ = true;
+}
+
+void
+GaussianProcess::dropFit(std::size_t index, bool refresh_alpha)
+{
+    assert(index < xs_.size());
+    // The downdate applies only when the factor is in sync with the
+    // training set and large enough to shrink; otherwise (or when the
+    // rotations lose positive definiteness) refactorize from scratch.
+    const bool downdated = fitted_ && chol_ && chol_->ok() &&
+                           chol_->size() == xs_.size() &&
+                           chol_->size() >= 2 && chol_->removeRow(index);
+    xs_.erase(xs_.begin() + static_cast<std::ptrdiff_t>(index));
+    ysRaw_.erase(ysRaw_.begin() + static_cast<std::ptrdiff_t>(index));
+    if (!downdated) {
+        refitFromMembers();
+        return;
+    }
+    ++facEpoch_;
+    if (refresh_alpha)
+        recomputeAlpha();
 }
 
 void
@@ -149,8 +174,10 @@ GaussianProcess::predict(const std::vector<double> &x, double &mean,
                          double &variance) const
 {
     if (!fitted_) {
+        // Pre-fit contract: the standardization-scaled prior, in the
+        // same (original-y) units the fitted path reports.
         mean = yMean_;
-        variance = signalVar_;
+        variance = yStd_ * yStd_ * signalVar_;
         return;
     }
     const std::size_t n = xs_.size();
@@ -166,6 +193,68 @@ GaussianProcess::predict(const std::vector<double> &x, double &mean,
     const double rawVar = std::max(kernel(x, x) - reduction, 1e-12);
     mean = yMean_ + yStd_ * mu;
     variance = yStd_ * yStd_ * rawVar;
+}
+
+void
+GaussianProcess::predictBatch(const std::vector<std::vector<double>> &xs,
+                              std::vector<double> &means,
+                              std::vector<double> &variances) const
+{
+    const std::size_t m = xs.size();
+    means.resize(m);
+    variances.resize(m);
+    if (m == 0)
+        return;
+    if (!fitted_) {
+        std::fill(means.begin(), means.end(), yMean_);
+        std::fill(variances.begin(), variances.end(),
+                  yStd_ * yStd_ * signalVar_);
+        return;
+    }
+    const std::size_t n = xs_.size();
+    // Stage the packed factor and the cross-kernel block adjacently in
+    // the arena; the factor copy refreshes only when the factor
+    // changed (once per refit/append/evict — O(n^2) bytes next to the
+    // O(n^2 m) solve).
+    const std::size_t facLen = n * (n + 1) / 2;
+    if (predictArena_.size() < facLen + n * m) {
+        predictArena_.resize(facLen + n * m);
+        arenaEpoch_ = ~0ull;  // resize may have moved the storage
+    }
+    double *fac = predictArena_.data();
+    double *cross = predictArena_.data() + facLen;
+    if (arenaEpoch_ != facEpoch_) {
+        std::copy(chol_->packedData(), chol_->packedData() + facLen,
+                  fac);
+        arenaEpoch_ = facEpoch_;
+    }
+    // Column j of the cross block is k* for query j. The posterior
+    // means fall out while the block is built (same accumulation
+    // order as dot(kStar, alpha_) in the scalar path).
+    std::fill(means.begin(), means.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double *row = cross + i * m;
+        const double ai = alpha_[i];
+        for (std::size_t j = 0; j < m; ++j) {
+            const double v = kernel(xs[j], xs_[i]);
+            row[j] = v;
+            means[j] += v * ai;
+        }
+    }
+    // One blocked pass over the factor solves L V = K* for every
+    // column; per column the arithmetic matches solveLower exactly.
+    solveLowerPackedBatch(fac, n, cross, m);
+    for (std::size_t j = 0; j < m; ++j) {
+        double reduction = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double vi = cross[i * m + j];
+            reduction += vi * vi;
+        }
+        const double rawVar =
+            std::max(kernel(xs[j], xs[j]) - reduction, 1e-12);
+        means[j] = yMean_ + yStd_ * means[j];
+        variances[j] = yStd_ * yStd_ * rawVar;
+    }
 }
 
 BayesianOptAgent::BayesianOptAgent(const ParamSpace &space, HyperParams hp,
@@ -184,6 +273,7 @@ BayesianOptAgent::BayesianOptAgent(const ParamSpace &space, HyperParams hp,
         std::max<std::int64_t>(8, hp_.getInt("num_candidates", 256)));
     maxHistory_ = static_cast<std::size_t>(
         std::max<std::int64_t>(16, hp_.getInt("max_history", 150)));
+    referenceImpl_ = hp_.getInt("reference_impl", 0) == 1;
     // Window appends then never reallocate the Cholesky factor.
     gp_.reserveCapacity(maxHistory_ + 1);
 }
@@ -211,18 +301,92 @@ BayesianOptAgent::acquisitionValue(double mean, double variance) const
 void
 BayesianOptAgent::refit()
 {
-    // Window-append fast path: when exactly one observation arrived and
-    // the trim window did not reshuffle history, the GP's training set
-    // is a strict prefix of ours and a rank-1 Cholesky bordering update
-    // replaces the O(n^3) refactorization.
-    if (!trimmedSinceFit_ && gp_.fitted() &&
-        gp_.sampleCount() + 1 == xs_.size()) {
-        gp_.appendFit(xs_.back(), ys_.back());
-    } else {
+    // Steady-state fast path: replay the history edits recorded since
+    // the last fit — bordering updates for appended observations,
+    // rank-1 downdates for window evictions — so absorbing a sample at
+    // the window limit costs O(n^2) where the seed path refactorized
+    // in O(n^3). The GP's own fallbacks (appendFit/dropFit refit from
+    // members when an update does not apply) keep this path safe.
+    if (referenceImpl_ || needFullFit_ || !gp_.fitted()) {
         gp_.fit(xs_, ys_);
+    } else {
+        // Alpha is deferred to one refresh after the whole replay —
+        // only the final posterior weights are ever read.
+        for (const GpOp &op : pendingOps_) {
+            if (op.kind == GpOp::Kind::Append)
+                gp_.appendFit(op.x, op.y, /*refresh_alpha=*/false);
+            else
+                gp_.dropFit(op.dropIndex, /*refresh_alpha=*/false);
+        }
+        if (gp_.sampleCount() != xs_.size())  // defensive: desynced plan
+            gp_.fit(xs_, ys_);
+        else
+            gp_.refreshAlpha();
     }
-    trimmedSinceFit_ = false;
+    pendingOps_.clear();
+    needFullFit_ = !gp_.fitted();
     dirty_ = false;
+}
+
+void
+BayesianOptAgent::fillCandidate(std::vector<double> &cand, std::size_t c,
+                                std::size_t local_cands)
+{
+    cand.resize(space_.size());
+    if (c < local_cands) {
+        for (std::size_t d = 0; d < cand.size(); ++d) {
+            cand[d] = std::clamp(bestX_[d] + rng_.gaussian(0.0, 0.08),
+                                 0.0, 1.0);
+        }
+    } else {
+        for (auto &u : cand)
+            u = rng_.uniform();
+    }
+}
+
+Action
+BayesianOptAgent::selectByAcquisition()
+{
+    // Candidate set: random points plus local moves around the incumbent.
+    const std::size_t localCands = hasBest_ ? numCandidates_ / 4 : 0;
+
+    if (referenceImpl_) {
+        // Seed path: per-candidate scalar predicts, interleaved with
+        // candidate generation (the RNG order batching must reproduce).
+        double bestAcq = -std::numeric_limits<double>::infinity();
+        std::vector<double> bestCand;
+        for (std::size_t c = 0; c < numCandidates_; ++c) {
+            std::vector<double> cand;
+            fillCandidate(cand, c, localCands);
+            double mean, variance;
+            gp_.predict(cand, mean, variance);
+            const double a = acquisitionValue(mean, variance);
+            if (a > bestAcq) {
+                bestAcq = a;
+                bestCand = std::move(cand);
+            }
+        }
+        return space_.fromUnit(bestCand);
+    }
+
+    // Batched path: generate every candidate first (the same RNG draws
+    // in the same order — prediction consumes no randomness), score the
+    // whole set through one blocked GP solve, then argmax with the same
+    // strict-improvement/first-wins tie-breaking as the scalar loop.
+    candScratch_.resize(numCandidates_);
+    for (std::size_t c = 0; c < numCandidates_; ++c)
+        fillCandidate(candScratch_[c], c, localCands);
+    gp_.predictBatch(candScratch_, candMeans_, candVars_);
+    double bestAcq = -std::numeric_limits<double>::infinity();
+    std::size_t bestIdx = 0;
+    for (std::size_t c = 0; c < numCandidates_; ++c) {
+        const double a = acquisitionValue(candMeans_[c], candVars_[c]);
+        if (a > bestAcq) {
+            bestAcq = a;
+            bestIdx = c;
+        }
+    }
+    return space_.fromUnit(candScratch_[bestIdx]);
 }
 
 Action
@@ -234,30 +398,40 @@ BayesianOptAgent::selectAction()
     if (dirty_)
         refit();
 
-    // Candidate set: random points plus local moves around the incumbent.
-    double bestAcq = -std::numeric_limits<double>::infinity();
-    std::vector<double> bestCand;
-    const std::size_t localCands = hasBest_ ? numCandidates_ / 4 : 0;
-    for (std::size_t c = 0; c < numCandidates_; ++c) {
-        std::vector<double> cand(space_.size());
-        if (c < localCands) {
-            for (std::size_t d = 0; d < cand.size(); ++d) {
-                cand[d] = std::clamp(
-                    bestX_[d] + rng_.gaussian(0.0, 0.08), 0.0, 1.0);
-            }
-        } else {
-            for (auto &u : cand)
-                u = rng_.uniform();
-        }
-        double mean, variance;
-        gp_.predict(cand, mean, variance);
-        const double a = acquisitionValue(mean, variance);
-        if (a > bestAcq) {
-            bestAcq = a;
-            bestCand = std::move(cand);
-        }
+    return selectByAcquisition();
+}
+
+std::vector<Action>
+BayesianOptAgent::selectActionBatch(std::size_t maxActions)
+{
+    std::vector<Action> batch;
+    if (maxActions == 0)
+        return batch;
+    if (xs_.size() < nInit_) {
+        // Warmup proposals are independent uniform draws, so the whole
+        // remaining warmup can go out as one batch — the same samples,
+        // in the same RNG order, as repeated selectAction() calls.
+        const std::size_t n = std::min(maxActions, nInit_ - xs_.size());
+        batch.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            batch.push_back(space_.sample(rng_));
+        return batch;
     }
-    return space_.fromUnit(bestCand);
+    // Model-driven proposals depend on the previous sample's feedback;
+    // a larger batch here would diverge from the per-step trajectory.
+    batch.push_back(selectAction());
+    return batch;
+}
+
+void
+BayesianOptAgent::observeBatch(const std::vector<Action> &actions,
+                               const std::vector<StepResult> &results)
+{
+    // Element-wise, in order: each observation advances the incumbent,
+    // the window trim, and the eviction plan exactly as sequential
+    // observe() calls would, keeping batched runs bit-identical.
+    for (std::size_t i = 0; i < actions.size(); ++i)
+        observe(actions[i], results[i].observation, results[i].reward);
 }
 
 void
@@ -266,7 +440,8 @@ BayesianOptAgent::trimHistory()
     if (xs_.size() <= maxHistory_)
         return;
     // Keep the top quarter by reward plus the most recent observations —
-    // bounding the cubic GP cost while retaining the incumbent region.
+    // bounding the quadratic GP cost while retaining the incumbent
+    // region.
     const std::size_t keepBest = maxHistory_ / 4;
     const std::size_t keepRecent = maxHistory_ - keepBest;
 
@@ -287,14 +462,31 @@ BayesianOptAgent::trimHistory()
             ++kept;
         }
     }
+    // keepRecent >= 1 guarantees the newest observation survives, so an
+    // eviction never cancels the append recorded just before it.
+    assert(keep.back());
+
+    // Compact survivors in order and record the eviction plan: dropped
+    // indices oldest-first, each already adjusted for the drops before
+    // it so it is valid at replay time against the live factor.
+    const bool track = !referenceImpl_ && !needFullFit_;
     std::vector<std::vector<double>> nx;
     std::vector<double> ny;
     nx.reserve(maxHistory_);
     ny.reserve(maxHistory_);
+    std::size_t dropped = 0;
     for (std::size_t i = 0; i < xs_.size(); ++i) {
         if (keep[i]) {
             nx.push_back(std::move(xs_[i]));
             ny.push_back(ys_[i]);
+        } else {
+            if (track) {
+                GpOp op;
+                op.kind = GpOp::Kind::Drop;
+                op.dropIndex = i - dropped;
+                pendingOps_.push_back(std::move(op));
+            }
+            ++dropped;
         }
     }
     xs_ = std::move(nx);
@@ -312,12 +504,22 @@ BayesianOptAgent::observe(const Action &action, const Metrics &metrics,
         bestY_ = reward;
         bestX_ = u;
     }
+    // Unbounded plans (many observes with no intervening refit) would
+    // replay slower than refactorizing; collapse to a full fit instead.
+    if (pendingOps_.size() > 4 * maxHistory_) {
+        pendingOps_.clear();
+        needFullFit_ = true;
+    }
+    if (!referenceImpl_ && !needFullFit_ && gp_.fitted()) {
+        GpOp op;
+        op.kind = GpOp::Kind::Append;
+        op.x = u;
+        op.y = reward;
+        pendingOps_.push_back(std::move(op));
+    }
     xs_.push_back(std::move(u));
     ys_.push_back(reward);
-    const std::size_t before = xs_.size();
     trimHistory();
-    if (xs_.size() != before)
-        trimmedSinceFit_ = true;
     dirty_ = true;
 }
 
@@ -328,9 +530,13 @@ BayesianOptAgent::reset()
     xs_.clear();
     ys_.clear();
     hasBest_ = false;
-    bestY_ = 0.0;
+    // -inf, not 0: with hasBest_ false a 0.0 incumbent would poison
+    // PI/EI acquisition on all-negative reward landscapes if it were
+    // ever read before the first observation re-arms it.
+    bestY_ = -std::numeric_limits<double>::infinity();
     bestX_.clear();
-    trimmedSinceFit_ = true;  // force a full fit after reset
+    pendingOps_.clear();
+    needFullFit_ = true;  // force a full fit after reset
     dirty_ = true;
 }
 

@@ -14,11 +14,23 @@
  * window of the most recent observations plus the best ones seen
  * ("max_history"). The window size is itself a hyperparameter and has a
  * dedicated ablation bench (see DESIGN.md §5).
+ *
+ * Steady-state cost is O(n^2) per sample: window appends extend the
+ * Cholesky factor by a rank-1 bordering update, window evictions shrink
+ * it by a rank-1 downdate (so a trim is k downdates, not a refit), and
+ * candidate scoring runs through GaussianProcess::predictBatch — one
+ * blocked multi-RHS solve for the whole candidate set. The pre-overhaul
+ * behaviour (full O(n^3) refit on every trim plus per-candidate scalar
+ * predicts) is preserved behind the `reference_impl` hyperparameter as
+ * the in-tree oracle for equivalence tests and the perf_bo_hotloop
+ * bench.
  */
 
 #ifndef ARCHGYM_AGENTS_BAYESIAN_OPT_H
 #define ARCHGYM_AGENTS_BAYESIAN_OPT_H
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -63,8 +75,37 @@ class GaussianProcess
      * extended set. Falls back to a full refit when the update does not
      * apply (nothing fitted yet, or the bordered matrix is not
      * positive definite).
+     *
+     * With refresh_alpha false the O(n^2) posterior-weight solve is
+     * skipped; the GP must not be queried until refreshAlpha() runs —
+     * for callers replaying a sequence of edits (the BO window trim)
+     * that only need alpha once, at the end.
      */
-    void appendFit(const std::vector<double> &x, double y);
+    void appendFit(const std::vector<double> &x, double y,
+                   bool refresh_alpha = true);
+
+    /**
+     * Evict the observation at `index` from the current training set
+     * via a rank-1 Cholesky downdate: O((n-k)^2) instead of the O(n^3)
+     * full refit, numerically equivalent to calling fit() on the
+     * punctured set. Falls back to a full refit when the downdate does
+     * not apply (nothing fitted, factor out of sync with the training
+     * set, or the rotations lose positive definiteness).
+     *
+     * refresh_alpha as for appendFit.
+     *
+     * @pre index < sampleCount()
+     */
+    void dropFit(std::size_t index, bool refresh_alpha = true);
+
+    /** Recompute the posterior weights against the current factor —
+     *  the deferred half of appendFit/dropFit(..., false). No-op
+     *  unless fitted. */
+    void refreshAlpha()
+    {
+        if (fitted_)
+            recomputeAlpha();
+    }
 
     bool fitted() const { return fitted_; }
     std::size_t sampleCount() const { return xs_.size(); }
@@ -79,9 +120,37 @@ class GaussianProcess
         reserveHint_ = max_samples;
     }
 
-    /** Posterior mean and variance at x (in the original y units). */
+    /**
+     * Posterior mean and variance at x (in the original y units).
+     *
+     * Pre-fit contract: before any successful fit (no data yet, or the
+     * kernel matrix could not be factored), the posterior is the
+     * standardization-scaled prior — mean yMean() of the targets seen
+     * so far (0 when none) and variance yStd()^2 * signal_var (just
+     * signal_var when none), the same units the fitted path reports.
+     */
     void predict(const std::vector<double> &x, double &mean,
                  double &variance) const;
+
+    /**
+     * Posterior mean and variance at every query point, bitwise
+     * identical to calling predict() on each — but the n x m
+     * cross-kernel matrix is built once and all m triangular solves
+     * share a single blocked pass over the Cholesky factor
+     * (Cholesky::solveLowerBatch), with scratch buffers persisting
+     * across calls. This is what BO candidate scoring rides on.
+     *
+     * means/variances are resized to xs.size(). Not thread-safe across
+     * concurrent calls on the same GP (shared scratch).
+     */
+    void predictBatch(const std::vector<std::vector<double>> &xs,
+                      std::vector<double> &means,
+                      std::vector<double> &variances) const;
+
+    /** Mean of the raw targets (0 before any data). */
+    double yMean() const { return yMean_; }
+    /** Stddev of the raw targets (1 before any data). */
+    double yStd() const { return yStd_; }
 
     double kernel(const std::vector<double> &a,
                   const std::vector<double> &b) const;
@@ -109,6 +178,19 @@ class GaussianProcess
     std::unique_ptr<Cholesky> chol_;
     bool fitted_ = false;
     std::size_t reserveHint_ = 0;  ///< expected max training-set size
+
+    /**
+     * predictBatch arena, reused across calls: a copy of the packed
+     * factor followed immediately by the n x m cross-kernel block, in
+     * one aligned allocation. Co-locating the two streams the blocked
+     * solve interleaves is worth ~3x over separately allocated
+     * buffers (whose relative placement is at the allocator's mercy);
+     * the factor copy is O(n^2) bytes once per refit — noise next to
+     * the O(n^2 m) solve it accelerates.
+     */
+    mutable AlignedVector predictArena_;
+    mutable std::uint64_t arenaEpoch_ = ~0ull;  ///< factor copy is of
+    std::uint64_t facEpoch_ = 0;  ///< bumped on every factor change
 };
 
 class BayesianOptAgent : public Agent
@@ -128,6 +210,10 @@ class BayesianOptAgent : public Agent
      *  - xi             (EI/PI improvement margin, default 0.01)
      *  - num_candidates (acquisition search points, default 256)
      *  - max_history    (GP window size, default 150)
+     *  - reference_impl (1 = pre-overhaul oracle path: full GP refit on
+     *                    every history change and per-candidate scalar
+     *                    predicts; default 0. For equivalence tests and
+     *                    the perf_bo_hotloop seed-vs-now comparison.)
      */
     BayesianOptAgent(const ParamSpace &space, HyperParams hp,
                      std::uint64_t seed);
@@ -135,14 +221,38 @@ class BayesianOptAgent : public Agent
     Action selectAction() override;
     void observe(const Action &action, const Metrics &metrics,
                  double reward) override;
+    /** Batched Q1: during random warmup, drain up to maxActions of the
+     *  remaining n_init proposals (mutually independent, drawn in the
+     *  same RNG order as repeated selectAction calls); once the
+     *  surrogate drives the search every proposal depends on the
+     *  previous feedback, so batches degrade to size 1. Either way the
+     *  trajectory is bit-identical to the per-step path. */
+    std::vector<Action> selectActionBatch(std::size_t maxActions) override;
+    void observeBatch(const std::vector<Action> &actions,
+                      const std::vector<StepResult> &results) override;
     void reset() override;
 
     std::size_t historySize() const { return xs_.size(); }
 
   private:
+    /** One deferred surrogate edit recorded by observe(): absorb an
+     *  appended observation (bordering update) or evict a training row
+     *  (rank-1 downdate). Replayed in order by refit(). */
+    struct GpOp
+    {
+        enum class Kind { Append, Drop };
+        Kind kind;
+        std::size_t dropIndex = 0;     ///< valid at replay time
+        std::vector<double> x;         ///< Append only
+        double y = 0.0;                ///< Append only
+    };
+
     void refit();
     double acquisitionValue(double mean, double variance) const;
     void trimHistory();
+    void fillCandidate(std::vector<double> &cand, std::size_t c,
+                       std::size_t local_cands);
+    Action selectByAcquisition();
 
     Rng rng_;
     std::uint64_t seed_;
@@ -153,15 +263,22 @@ class BayesianOptAgent : public Agent
     double xi_;
     std::size_t numCandidates_;
     std::size_t maxHistory_;
+    bool referenceImpl_;
 
     GaussianProcess gp_;
     std::vector<std::vector<double>> xs_;  ///< unit-space observations
     std::vector<double> ys_;
-    double bestY_ = 0.0;
+    double bestY_ = -std::numeric_limits<double>::infinity();
     std::vector<double> bestX_;
     bool hasBest_ = false;
     bool dirty_ = true;  ///< GP needs refit before next prediction
-    bool trimmedSinceFit_ = false;  ///< history reshuffled; full refit
+    bool needFullFit_ = true;  ///< pending ops invalid; refactorize
+    std::vector<GpOp> pendingOps_;  ///< history edits since last refit
+
+    // Candidate-scoring scratch, reused across selectAction calls.
+    std::vector<std::vector<double>> candScratch_;
+    std::vector<double> candMeans_;
+    std::vector<double> candVars_;
 };
 
 } // namespace archgym

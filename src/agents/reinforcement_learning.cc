@@ -61,7 +61,7 @@ ReinforcementLearningAgent::actionDistributions()
 Action
 ReinforcementLearningAgent::selectAction()
 {
-    assert(!hasInFlight_);
+    assert(inFlight_.empty());
     const std::vector<double> logits = policyLogits();
     std::vector<std::size_t> levels(space_.size());
     for (std::size_t d = 0; d < space_.size(); ++d) {
@@ -73,9 +73,39 @@ ReinforcementLearningAgent::selectAction()
         const std::vector<double> probs = softmax(block);
         levels[d] = rng_.weightedIndex(probs);
     }
-    inFlight_ = levels;
-    hasInFlight_ = true;
+    inFlight_.push_back(levels);
     return space_.fromLevels(levels);
+}
+
+std::vector<Action>
+ReinforcementLearningAgent::selectActionBatch(std::size_t maxActions)
+{
+    assert(inFlight_.empty());
+    std::vector<Action> out;
+    if (maxActions == 0)
+        return out;
+    // The policy is frozen until `batch_size` episodes have accumulated,
+    // so the remainder of the current accumulation batch can be drawn up
+    // front: the forward pass is deterministic and per-proposal sampling
+    // consumes the RNG exactly as repeated selectAction() calls would.
+    // Capping at the remainder keeps the policy update on the same
+    // sample boundary as the per-step path.
+    assert(batch_.size() < batchSize_);
+    const std::size_t n =
+        std::min(maxActions, batchSize_ - batch_.size());
+    // The per-dimension distributions are fixed for the whole batch
+    // (softmax of frozen logits, no RNG), so compute them once and
+    // only repeat the sampling — identical draws in identical order.
+    const std::vector<std::vector<double>> dists = actionDistributions();
+    out.reserve(n);
+    for (std::size_t a = 0; a < n; ++a) {
+        std::vector<std::size_t> levels(space_.size());
+        for (std::size_t d = 0; d < space_.size(); ++d)
+            levels[d] = rng_.weightedIndex(dists[d]);
+        inFlight_.push_back(levels);
+        out.push_back(space_.fromLevels(levels));
+    }
+    return out;
 }
 
 void
@@ -84,11 +114,23 @@ ReinforcementLearningAgent::observe(const Action &action,
 {
     (void)action;
     (void)metrics;
-    assert(hasInFlight_);
-    batch_.push_back(Episode{std::move(inFlight_), reward});
-    hasInFlight_ = false;
+    assert(!inFlight_.empty());
+    batch_.push_back(Episode{std::move(inFlight_.front()), reward});
+    inFlight_.pop_front();
     if (batch_.size() >= batchSize_)
         update();
+}
+
+void
+ReinforcementLearningAgent::observeBatch(
+    const std::vector<Action> &actions,
+    const std::vector<StepResult> &results)
+{
+    // Element-wise, in order: feedback lands on the matching queued
+    // proposal and the policy update fires on the same sample boundary
+    // as the per-step path.
+    for (std::size_t i = 0; i < actions.size(); ++i)
+        observe(actions[i], results[i].observation, results[i].reward);
 }
 
 void
@@ -156,7 +198,7 @@ ReinforcementLearningAgent::reset()
     rng_ = Rng(seed_);
     buildPolicy();
     batch_.clear();
-    hasInFlight_ = false;
+    inFlight_.clear();
     baseline_ = 0.0;
     baselineInit_ = false;
     updates_ = 0;

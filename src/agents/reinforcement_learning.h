@@ -19,6 +19,7 @@
 #ifndef ARCHGYM_AGENTS_REINFORCEMENT_LEARNING_H
 #define ARCHGYM_AGENTS_REINFORCEMENT_LEARNING_H
 
+#include <deque>
 #include <vector>
 
 #include "core/agent.h"
@@ -44,6 +45,15 @@ class ReinforcementLearningAgent : public Agent
     Action selectAction() override;
     void observe(const Action &action, const Metrics &metrics,
                  double reward) override;
+    /** Batched Q1: propose up to min(maxActions, batch_size - pending
+     *  episodes) design points. The policy only changes at batch
+     *  boundaries, and until then every proposal is an independent draw
+     *  from the same distribution — so draining the remainder of the
+     *  accumulation batch in one ask consumes the RNG in exactly the
+     *  per-step order, and batched trajectories are bit-identical. */
+    std::vector<Action> selectActionBatch(std::size_t maxActions) override;
+    void observeBatch(const std::vector<Action> &actions,
+                      const std::vector<StepResult> &results) override;
     void reset() override;
 
     /** Number of completed policy-gradient updates (diagnostics). */
@@ -77,8 +87,10 @@ class ReinforcementLearningAgent : public Agent
     std::unique_ptr<Mlp> policy_;
 
     std::vector<Episode> batch_;
-    std::vector<std::size_t> inFlight_;
-    bool hasInFlight_ = false;
+    /** Proposals awaiting feedback, oldest first: one entry per
+     *  outstanding selectAction (per-step path keeps at most one;
+     *  selectActionBatch enqueues a whole cohort). */
+    std::deque<std::vector<std::size_t>> inFlight_;
 
     double baseline_ = 0.0;
     bool baselineInit_ = false;

@@ -126,10 +126,15 @@ class Environment
 
     /**
      * Fan body(slot, index) for index in [0, count) out over
-     * WorkerPool::shared(), honouring batchWorkers(). Before any work
-     * runs, prepare(slots) is invoked once on the calling thread with
-     * the slot count so the environment can size per-slot evaluation
-     * state (prepare may be null when no mutable state is needed).
+     * WorkerPool::shared(), honouring batchWorkers(). Work is handed
+     * out as contiguous chunks of ceil(count/slots) indices — one pool
+     * handoff per slot, not per item — which matters on environments
+     * whose step is microseconds; determinism is unaffected because
+     * each index is evaluated independently of chunk geometry. Before
+     * any work runs, prepare(slots) is invoked once on the calling
+     * thread with the slot count so the environment can size per-slot
+     * evaluation state (prepare may be null when no mutable state is
+     * needed).
      *
      * Returns false — without running anything — when parallel
      * evaluation is unprofitable or unsafe (batch of zero/one, a single

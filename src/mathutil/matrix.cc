@@ -1,9 +1,131 @@
 #include "matrix.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 namespace archgym {
+
+namespace {
+
+#if defined(__GNUC__) || defined(__clang__)
+/** Four-lane double vector (one AVX register, or two SSE registers on
+ *  older ISAs — the compiler splits it transparently). The Unaligned
+ *  variant relaxes the natural 32-byte alignment so loads/stores
+ *  compile to single unaligned vector moves instead of bouncing
+ *  through the stack, and is may_alias so casting a double* to it is
+ *  well-defined. */
+typedef double V4d __attribute__((vector_size(32)));
+typedef double V4dUnaligned
+    __attribute__((vector_size(32), aligned(8), may_alias));
+
+inline V4d
+loadu4(const double *p)
+{
+    return *reinterpret_cast<const V4dUnaligned *>(p);
+}
+
+inline void
+storeu4(double *p, V4d v)
+{
+    *reinterpret_cast<V4dUnaligned *>(p) = v;
+}
+
+/**
+ * Forward substitution for one full-width (16-column) block of the
+ * multi-RHS solve, written with explicit vector types: four 4-lane
+ * accumulators stay in registers for the whole k-loop, each iteration
+ * is one broadcast plus four multiply-subtracts. Spelled as explicit
+ * vectors because the autovectorized version of this loop is
+ * codegen-roulette (GCC 12 variously spills an indexed accumulator
+ * array to the stack, assembles the vectors from scalar loads when
+ * the row stride is a runtime value, or identical-code-folds the
+ * kernel with the remainder loop — each worth 3-4x on the 600-point
+ * GP candidate sweep). Lanes are independent: per column j the
+ * operation order (k ascending, multiply then subtract, final divide)
+ * matches solveLower exactly, so results are bit-identical to the
+ * scalar path.
+ */
+__attribute__((noinline)) void
+solveLowerBlock16(const double *__restrict fac, std::size_t n,
+                  double *__restrict b, std::size_t m, std::size_t c0)
+{
+    const auto rowStart = [](std::size_t i) { return i * (i + 1) / 2; };
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *ri = fac + rowStart(i);
+        double *bi = b + i * m + c0;
+        V4d a0 = loadu4(bi);
+        V4d a1 = loadu4(bi + 4);
+        V4d a2 = loadu4(bi + 8);
+        V4d a3 = loadu4(bi + 12);
+        const double *bk = b + c0;
+        for (std::size_t k = 0; k < i; ++k, bk += m) {
+            const double lik = ri[k];
+            const V4d l = {lik, lik, lik, lik};
+            a0 -= l * loadu4(bk);
+            a1 -= l * loadu4(bk + 4);
+            a2 -= l * loadu4(bk + 8);
+            a3 -= l * loadu4(bk + 12);
+        }
+        const double di = ri[i];
+        const V4d d = {di, di, di, di};
+        storeu4(bi, a0 / d);
+        storeu4(bi + 4, a1 / d);
+        storeu4(bi + 8, a2 / d);
+        storeu4(bi + 12, a3 / d);
+    }
+}
+#else
+/** Portable fallback of the 16-column block kernel. */
+void
+solveLowerBlock16(const double *fac, std::size_t n, double *b,
+                  std::size_t m, std::size_t c0)
+{
+    const auto rowStart = [](std::size_t i) { return i * (i + 1) / 2; };
+    for (std::size_t i = 0; i < n; ++i) {
+        const double *ri = fac + rowStart(i);
+        double *bi = b + i * m + c0;
+        double acc[16];
+        for (std::size_t j = 0; j < 16; ++j)
+            acc[j] = bi[j];
+        for (std::size_t k = 0; k < i; ++k) {
+            const double lik = ri[k];
+            const double *bk = b + k * m + c0;
+            for (std::size_t j = 0; j < 16; ++j)
+                acc[j] -= lik * bk[j];
+        }
+        const double di = ri[i];
+        for (std::size_t j = 0; j < 16; ++j)
+            bi[j] = acc[j] / di;
+    }
+}
+#endif
+
+} // namespace
+
+void
+solveLowerPackedBatch(const double *fac, std::size_t n, double *b,
+                      std::size_t m)
+{
+    constexpr std::size_t kBlock = 16;
+    const auto rowStart = [](std::size_t i) { return i * (i + 1) / 2; };
+    std::size_t c0 = 0;
+    for (; c0 + kBlock <= m; c0 += kBlock)
+        solveLowerBlock16(fac, n, b, m, c0);
+    // Remainder columns: plain scalar forward substitution per column
+    // (exactly the solveLower op order). Kept structurally distinct
+    // from the block kernel so identical-code folding cannot merge
+    // them — see solveLowerBlock16.
+    for (std::size_t j = c0; j < m; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+            const double *ri = fac + rowStart(i);
+            double s = b[i * m + j];
+            for (std::size_t k = 0; k < i; ++k)
+                s -= ri[k] * b[k * m + j];
+            b[i * m + j] = s / ri[i];
+        }
+    }
+}
 
 Matrix
 Matrix::identity(std::size_t n)
@@ -138,6 +260,103 @@ Cholesky::append(const std::vector<double> &col)
     row[n] = std::sqrt(s);
     ++n_;
     return true;
+}
+
+bool
+Cholesky::removeRow(std::size_t k)
+{
+    assert(ok_);
+    const std::size_t n = n_;
+    assert(k < n && n >= 2);
+
+    const std::size_t m = n - 1 - k;  // trailing-block dimension
+    // Save the deleted column's sub-diagonal entries u_i = L(i, k); the
+    // trailing block must absorb u u^T to stay a factor of the
+    // punctured matrix. Validate the whole update on a scratch copy of
+    // the trailing block first, so a failed downdate leaves the factor
+    // untouched.
+    std::vector<double> u(m);
+    for (std::size_t i = 0; i < m; ++i)
+        u[i] = at(k + 1 + i, k);
+
+    // Shifted rows of the punctured factor, packed row-major: scratch
+    // row i is old row k+1+i with column k deleted, so it has k+1+i
+    // entries (new columns 0..k+i). Validating the update here first
+    // means a failed downdate leaves the factor untouched.
+    const auto shiftedStart = [k](std::size_t i) {
+        return i * (k + 1) + i * (i - 1) / 2;
+    };
+    std::vector<double> block(shiftedStart(m));
+    {
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+            const double *src = fac_.data() + rowStart(k + 1 + i);
+            for (std::size_t j = 0; j < k; ++j)
+                block[w++] = src[j];
+            for (std::size_t j = k + 1; j <= k + 1 + i; ++j)
+                block[w++] = src[j];
+        }
+    }
+    const auto blockAt = [&](std::size_t i, std::size_t j) -> double & {
+        return block[shiftedStart(i) + j];
+    };
+
+    // Rank-1 update L' L'^T = L L^T + u u^T on the trailing block's
+    // lower-right (m x m) corner via Givens-style rotations, one
+    // column at a time. The update preserves positive definiteness in
+    // exact arithmetic; only overflow/underflow under extreme dynamic
+    // range can break it, which the finite/positive checks catch.
+    for (std::size_t j = 0; j < m; ++j) {
+        double &ljj = blockAt(j, k + j);
+        const double r = std::sqrt(ljj * ljj + u[j] * u[j]);
+        if (!(r > 0.0) || !std::isfinite(r))
+            return false;
+        const double c = r / ljj;
+        const double s = u[j] / ljj;
+        ljj = r;
+        for (std::size_t i = j + 1; i < m; ++i) {
+            double &lij = blockAt(i, k + j);
+            lij = (lij + s * u[i]) / c;
+            u[i] = c * u[i] - s * lij;
+            if (!std::isfinite(lij))
+                return false;
+        }
+    }
+
+    // Commit: rows 0..k-1 stay in place; the validated trailing block
+    // shifts into rows k..k+m-1. Writes land strictly below the packed
+    // offsets they replace, and the factor shrinks within its own
+    // storage (capacity is retained for future appends).
+    std::size_t r2 = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+        double *dst = fac_.data() + rowStart(k + i);
+        for (std::size_t j = 0; j <= k + i; ++j)
+            dst[j] = block[r2++];
+    }
+    --n_;
+    fac_.resize(rowStart(n_));
+    return true;
+}
+
+void
+Cholesky::solveLowerBatch(Matrix &b) const
+{
+    const std::size_t n = n_;
+    const std::size_t m = b.cols();
+    assert(b.rows() == n);
+    // Forward substitution over fixed-width column blocks. Within a
+    // block, row i's partial sums live in a register-resident
+    // accumulator for the whole k-loop, so each inner iteration
+    // touches one factor entry and one 128-byte slice of an earlier
+    // row — a working set that stays cache-resident where a
+    // full-width sweep would re-stream the entire RHS matrix from L2
+    // for every row. Per column the operation order (k ascending,
+    // multiply-subtract, final divide) matches solveLower exactly, so
+    // results are bit-identical to the scalar path at any block
+    // geometry.
+    if (m == 0 || n == 0)
+        return;
+    solveLowerPackedBatch(fac_.data(), n, &b(0, 0), m);
 }
 
 Matrix

@@ -12,7 +12,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <set>
 
@@ -233,6 +235,25 @@ TEST(AntColony, BatchedTrajectoryBitIdenticalToPerStep)
         for (const std::uint64_t seed : {2ull, 91ull, 1337ull}) {
             expectBatchedRunMatchesPerStep("ACO", hp, seed, 120);
             expectBatchedRunMatchesPerStep("ACO", hp, seed, 59);
+        }
+    }
+}
+
+TEST(ReinforcementLearning, BatchedTrajectoryBitIdenticalToPerStep)
+{
+    // The policy is frozen between updates, so draining the remainder
+    // of the accumulation batch in one ask must consume the RNG in the
+    // per-step order for every batch_size; 52 truncates the final
+    // accumulation batch, 31 is prime on purpose.
+    const std::vector<HyperParams> grids = {
+        {},
+        {{"batch_size", 8}, {"entropy_coeff", 0.05}},
+        {{"batch_size", 5}, {"hidden_size", 16}},
+    };
+    for (const auto &hp : grids) {
+        for (const std::uint64_t seed : {4ull, 58ull, 2718ull}) {
+            expectBatchedRunMatchesPerStep("RL", hp, seed, 52);
+            expectBatchedRunMatchesPerStep("RL", hp, seed, 31);
         }
     }
 }
@@ -529,6 +550,169 @@ TEST(GaussianProcessModel, UnfittedFallsBackToPrior)
     EXPECT_DOUBLE_EQ(var, 2.0);
 }
 
+TEST(GaussianProcessModel, PrefitVarianceIsConsistentlyScaled)
+{
+    // Pre-fit contract: whatever state the GP is in before a
+    // successful fit, predict reports the standardization-scaled prior
+    // — mean yMean(), variance yStd()^2 * signal_var — i.e. the same
+    // original-y units as the fitted path.
+    GaussianProcess gp(0.2, 2.0, 1e-4);
+    // Force an unfitted-with-data state: a non-finite input makes the
+    // kernel matrix unfactorable at any jitter, but target
+    // standardization still happens.
+    const double bad = std::numeric_limits<double>::quiet_NaN();
+    gp.fit({{0.1}, {bad}, {0.9}}, {4.0, 6.0, 8.0});
+    ASSERT_FALSE(gp.fitted());
+    EXPECT_DOUBLE_EQ(gp.yMean(), 6.0);
+    double mean, var;
+    gp.predict({0.5}, mean, var);
+    EXPECT_DOUBLE_EQ(mean, 6.0);
+    EXPECT_DOUBLE_EQ(var, gp.yStd() * gp.yStd() * 2.0);
+
+    // predictBatch honours the same fallback.
+    std::vector<double> means, vars;
+    gp.predictBatch({{0.5}, {0.2}}, means, vars);
+    ASSERT_EQ(means.size(), 2u);
+    EXPECT_DOUBLE_EQ(means[0], mean);
+    EXPECT_DOUBLE_EQ(vars[0], var);
+    EXPECT_DOUBLE_EQ(means[1], mean);
+    EXPECT_DOUBLE_EQ(vars[1], var);
+}
+
+TEST(GaussianProcessModel, DropFitMatchesFullFit)
+{
+    // Evicting a training row via the rank-1 downdate must agree with
+    // a from-scratch fit on the punctured set — first, middle, and
+    // last row, applied cumulatively.
+    Rng rng(6);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 40; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform(-2.0, 2.0));
+    }
+    GaussianProcess incremental(0.25, 1.0, 1e-4);
+    incremental.fit(xs, ys);
+    ASSERT_TRUE(incremental.fitted());
+
+    const auto relNear = [](double a, double b) {
+        return std::abs(a - b) <=
+               1e-8 * std::max({1.0, std::abs(a), std::abs(b)});
+    };
+    for (const std::size_t drop :
+         {std::size_t{0}, std::size_t{17}, xs.size() - 3}) {
+        incremental.dropFit(drop);
+        xs.erase(xs.begin() + static_cast<std::ptrdiff_t>(drop));
+        ys.erase(ys.begin() + static_cast<std::ptrdiff_t>(drop));
+        ASSERT_TRUE(incremental.fitted());
+        ASSERT_EQ(incremental.sampleCount(), xs.size());
+
+        GaussianProcess full(0.25, 1.0, 1e-4);
+        full.fit(xs, ys);
+        ASSERT_TRUE(full.fitted());
+        for (int q = 0; q < 30; ++q) {
+            const std::vector<double> query = {rng.uniform(),
+                                               rng.uniform()};
+            double m1, v1, m2, v2;
+            incremental.predict(query, m1, v1);
+            full.predict(query, m2, v2);
+            EXPECT_TRUE(relNear(m1, m2)) << drop << ": " << m1 << " vs "
+                                         << m2;
+            EXPECT_TRUE(relNear(v1, v2)) << drop << ": " << v1 << " vs "
+                                         << v2;
+        }
+    }
+}
+
+TEST(GaussianProcessModel, SlidingWindowDowndateMatchesRefit)
+{
+    // The BO steady state as a pure GP sequence: append one, evict the
+    // oldest — posteriors from the downdate path must track a
+    // full-refit reference to <= 1e-8 relative tolerance across the
+    // whole stream (this is the downdate-vs-refit oracle the agent
+    // fast path rests on).
+    const std::size_t window = 40;
+    Rng rng(99);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    GaussianProcess incremental(0.3, 1.0, 1e-4);
+    incremental.reserveCapacity(window + 1);
+
+    const auto relNear = [](double a, double b) {
+        return std::abs(a - b) <=
+               1e-8 * std::max({1.0, std::abs(a), std::abs(b)});
+    };
+    const std::vector<std::vector<double>> queries = {
+        {0.1, 0.9}, {0.5, 0.5}, {0.8, 0.2}};
+    for (int t = 0; t < 120; ++t) {
+        const std::vector<double> x = {rng.uniform(), rng.uniform()};
+        const double y = rng.uniform(-2.0, 2.0);
+        incremental.appendFit(x, y);
+        xs.push_back(x);
+        ys.push_back(y);
+        if (xs.size() > window) {
+            incremental.dropFit(0);
+            xs.erase(xs.begin());
+            ys.erase(ys.begin());
+        }
+        if (t % 10 == 9) {
+            GaussianProcess reference(0.3, 1.0, 1e-4);
+            reference.fit(xs, ys);
+            ASSERT_TRUE(reference.fitted());
+            for (const auto &q : queries) {
+                double m1, v1, m2, v2;
+                incremental.predict(q, m1, v1);
+                reference.predict(q, m2, v2);
+                EXPECT_TRUE(relNear(m1, m2))
+                    << t << ": " << m1 << " vs " << m2;
+                EXPECT_TRUE(relNear(v1, v2))
+                    << t << ": " << v1 << " vs " << v2;
+            }
+        }
+    }
+}
+
+TEST(GaussianProcessModel, PredictBatchBitIdenticalToScalarPredict)
+{
+    // predictBatch promises bitwise equality with per-point predict —
+    // batched candidate scoring must not perturb the search
+    // trajectory. Run twice to cover the persistent-scratch reuse.
+    Rng rng(8);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 25; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform(-3.0, 3.0));
+    }
+    for (const GpKernel kernel :
+         {GpKernel::SquaredExponential, GpKernel::Matern52}) {
+        GaussianProcess gp(0.3, 1.5, 1e-4, kernel);
+        gp.fit(xs, ys);
+        ASSERT_TRUE(gp.fitted());
+
+        std::vector<std::vector<double>> queries;
+        for (int q = 0; q < 33; ++q) {
+            queries.push_back(
+                {rng.uniform(), rng.uniform(), rng.uniform()});
+        }
+        std::vector<double> means, vars;
+        for (int pass = 0; pass < 2; ++pass) {
+            gp.predictBatch(queries, means, vars);
+            ASSERT_EQ(means.size(), queries.size());
+            for (std::size_t q = 0; q < queries.size(); ++q) {
+                double mean, var;
+                gp.predict(queries[q], mean, var);
+                EXPECT_DOUBLE_EQ(means[q], mean) << "query " << q;
+                EXPECT_DOUBLE_EQ(vars[q], var) << "query " << q;
+            }
+        }
+        std::vector<double> emptyMeans, emptyVars;
+        gp.predictBatch({}, emptyMeans, emptyVars);
+        EXPECT_TRUE(emptyMeans.empty());
+        EXPECT_TRUE(emptyVars.empty());
+    }
+}
+
 TEST(BayesianOpt, WarmupIsRandomThenModelBased)
 {
     QuadraticEnv env({10.0, 10.0});
@@ -566,6 +750,85 @@ TEST(BayesianOpt, HistoryWindowIsBounded)
     cfg.maxSamples = 120;
     runSearch(env, agent, cfg);
     EXPECT_LE(agent.historySize(), 32u);
+}
+
+TEST(BayesianOpt, SteadyStateDowndatePathTracksReferenceImpl)
+{
+    // Drive the optimized agent and the reference_impl oracle (full GP
+    // refit on every history change, scalar per-candidate predicts)
+    // through the same windowed search: same seed, same environment.
+    // The trajectories must agree sample for sample — the downdate /
+    // batched-predict machinery changes the arithmetic path, not the
+    // search (any drift here would be a numerics bug far above the
+    // 1e-8 GP-posterior tolerance).
+    QuadraticEnv optEnv({7.0, 21.0}), refEnv({7.0, 21.0});
+    HyperParams opt{{"max_history", 24},
+                    {"num_candidates", 32},
+                    {"n_init", 6}};
+    HyperParams ref = opt;
+    ref.set("reference_impl", 1);
+    BayesianOptAgent optAgent(optEnv.actionSpace(), opt, 42);
+    BayesianOptAgent refAgent(refEnv.actionSpace(), ref, 42);
+    RunConfig cfg;
+    cfg.maxSamples = 90;
+    const RunResult optRun = runSearch(optEnv, optAgent, cfg);
+    const RunResult refRun = runSearch(refEnv, refAgent, cfg);
+    ASSERT_EQ(optRun.rewardHistory.size(), refRun.rewardHistory.size());
+    for (std::size_t i = 0; i < optRun.rewardHistory.size(); ++i) {
+        EXPECT_NEAR(optRun.rewardHistory[i], refRun.rewardHistory[i],
+                    1e-7)
+            << "sample " << i;
+    }
+}
+
+TEST(BayesianOpt, NegativeRewardLandscapeAfterReset)
+{
+    // Regression for the reset() incumbent: on a strictly negative
+    // reward landscape a bestY_ left at 0.0 would poison PI/EI
+    // acquisition (every candidate would look like a 0-improvement
+    // against a phantom incumbent). With bestY_ re-armed at -inf the
+    // post-reset run must reproduce the first run exactly and still
+    // improve over its first sample.
+    for (const int acquisition : {0, 2}) {  // EI and PI read bestY_
+        RastriginEnv env(2);  // rewards <= 0, strictly < 0 off-optimum
+        BayesianOptAgent agent(env.actionSpace(),
+                               {{"acquisition", acquisition},
+                                {"num_candidates", 32},
+                                {"max_history", 32},
+                                {"n_init", 5}},
+                               23);
+        RunConfig cfg;
+        cfg.maxSamples = 80;
+        const RunResult first = runSearch(env, agent, cfg);
+        EXPECT_LT(first.rewardHistory.front(), 0.0);  // all-negative
+        EXPECT_LE(first.bestReward, 0.0);
+        EXPECT_GT(first.bestReward, first.rewardHistory.front());
+        agent.reset();
+        const RunResult second = runSearch(env, agent, cfg);
+        EXPECT_EQ(first.rewardHistory, second.rewardHistory)
+            << "acquisition " << acquisition;
+    }
+}
+
+TEST(BayesianOpt, BatchedTrajectoryBitIdenticalToPerStep)
+{
+    // Warmup proposals go out as one batch, model-driven proposals as
+    // batches of one; either way the trajectory must reproduce the
+    // per-step path exactly. 4-sample budgets truncate the warmup
+    // batch itself.
+    const std::vector<HyperParams> grids = {
+        {{"num_candidates", 32}, {"max_history", 32}, {"n_init", 6}},
+        {{"acquisition", 1}, {"num_candidates", 32}, {"max_history", 32},
+         {"n_init", 10}},
+        {{"acquisition", 2}, {"num_candidates", 16}, {"max_history", 24},
+         {"kernel", 1}},
+    };
+    for (const auto &hp : grids) {
+        for (const std::uint64_t seed : {3ull, 41ull, 909ull}) {
+            expectBatchedRunMatchesPerStep("BO", hp, seed, 60);
+            expectBatchedRunMatchesPerStep("BO", hp, seed, 4);
+        }
+    }
 }
 
 // --------------------------------------------------------------------

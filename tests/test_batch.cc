@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "agents/genetic_algorithm.h"
+#include "agents/registry.h"
 #include "core/driver.h"
 #include "core/toy_envs.h"
 #include "core/worker_pool.h"
@@ -284,6 +285,58 @@ TEST(BatchDriver, GaSearchOnDramGymBitIdenticalToPerStep)
             EXPECT_EQ(got.trajectory.transitions()[i].action,
                       expected.trajectory.transitions()[i].action)
                 << "workers=" << workers << " i=" << i;
+        }
+    }
+}
+
+TEST(BatchDriver, BoAndRlSearchOnFarsiGymBitIdenticalToPerStep)
+{
+    // BO (warmup batched, then model-driven batches of one) and RL
+    // (accumulation-batch draining) on the batchEval path: the
+    // recorded trajectory must reproduce the per-step run exactly at
+    // every worker count, budget chosen to truncate the final batch.
+    struct AgentUnderTest
+    {
+        std::string name;
+        HyperParams hp;
+        std::size_t maxSamples;
+    };
+    const std::vector<AgentUnderTest> cases = {
+        {"BO",
+         {{"num_candidates", 32}, {"max_history", 32}, {"n_init", 6}},
+         45},
+        {"RL", {{"batch_size", 8}}, 43},
+    };
+    for (const auto &c : cases) {
+        FarsiGymEnv perStepEnv;
+        auto perStepAgent =
+            makeAgent(c.name, perStepEnv.actionSpace(), c.hp, 37);
+        RunConfig perStepCfg;
+        perStepCfg.maxSamples = c.maxSamples;
+        perStepCfg.logTrajectory = true;
+        const RunResult expected =
+            runSearch(perStepEnv, *perStepAgent, perStepCfg);
+
+        RunConfig batchCfg = perStepCfg;
+        batchCfg.batchEval = true;
+        for (const std::size_t workers : {1u, 2u, 8u}) {
+            FarsiGymEnv env;
+            env.setBatchWorkers(workers);
+            auto agent = makeAgent(c.name, env.actionSpace(), c.hp, 37);
+            const RunResult got = runSearch(env, *agent, batchCfg);
+            const std::string what =
+                c.name + " workers=" + std::to_string(workers);
+            EXPECT_EQ(got.samplesUsed, expected.samplesUsed) << what;
+            EXPECT_EQ(got.rewardHistory, expected.rewardHistory) << what;
+            EXPECT_EQ(got.bestReward, expected.bestReward) << what;
+            EXPECT_EQ(got.bestAction, expected.bestAction) << what;
+            ASSERT_EQ(got.trajectory.size(), expected.trajectory.size())
+                << what;
+            for (std::size_t i = 0; i < got.trajectory.size(); ++i) {
+                EXPECT_EQ(got.trajectory.transitions()[i].action,
+                          expected.trajectory.transitions()[i].action)
+                    << what << " i=" << i;
+            }
         }
     }
 }

@@ -468,6 +468,220 @@ TEST(Cholesky, AppendRejectsIndefiniteBorder)
     EXPECT_EQ(chol.size(), 1u);  // factor unchanged
 }
 
+/** Random SPD matrix A = B B^T + boost I. */
+Matrix
+randomSpd(std::size_t n, Rng &rng, double boost)
+{
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transpose());
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += boost;
+    return a;
+}
+
+/** A with row/column k deleted. */
+Matrix
+punctured(const Matrix &a, std::size_t k)
+{
+    Matrix out(a.rows() - 1, a.cols() - 1);
+    for (std::size_t i = 0, oi = 0; i < a.rows(); ++i) {
+        if (i == k)
+            continue;
+        for (std::size_t j = 0, oj = 0; j < a.cols(); ++j) {
+            if (j == k)
+                continue;
+            out(oi, oj) = a(i, j);
+            ++oj;
+        }
+        ++oi;
+    }
+    return out;
+}
+
+TEST(Cholesky, RemoveRowMatchesFreshFactorization)
+{
+    // Rank-1 downdate: deleting the first, a middle, and the last
+    // row/column must reproduce a from-scratch factorization of the
+    // punctured matrix, entry for entry.
+    const std::size_t n = 16;
+    Rng rng(2025);
+    const Matrix a = randomSpd(n, rng, static_cast<double>(n));
+    for (const std::size_t k :
+         {std::size_t{0}, std::size_t{7}, n - 1}) {
+        Cholesky downdated(a);
+        ASSERT_TRUE(downdated.ok());
+        ASSERT_TRUE(downdated.removeRow(k)) << k;
+        EXPECT_EQ(downdated.size(), n - 1);
+
+        const Matrix sub = punctured(a, k);
+        const Cholesky fresh(sub);
+        ASSERT_TRUE(fresh.ok());
+        const Matrix ld = downdated.lower();
+        const Matrix lf = fresh.lower();
+        for (std::size_t i = 0; i + 1 < n; ++i)
+            for (std::size_t j = 0; j <= i; ++j)
+                EXPECT_NEAR(ld(i, j), lf(i, j), 1e-9)
+                    << "k=" << k << " " << i << "," << j;
+
+        // The downdated factor solves the punctured system.
+        std::vector<double> xTrue(n - 1);
+        for (auto &x : xTrue)
+            x = rng.uniform(-2.0, 2.0);
+        const auto x = downdated.solve(sub.multiply(xTrue));
+        for (std::size_t i = 0; i + 1 < n; ++i)
+            EXPECT_NEAR(x[i], xTrue[i], 1e-8) << "k=" << k;
+    }
+}
+
+TEST(Cholesky, RepeatedRemoveRowDownToSizeOne)
+{
+    // Randomized removal order all the way down to a 1x1 factor, each
+    // step checked against a fresh factorization of the surviving
+    // submatrix.
+    const std::size_t n = 12;
+    Rng rng(4096);
+    const Matrix a = randomSpd(n, rng, static_cast<double>(n));
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+
+    std::vector<std::size_t> live(n);
+    std::iota(live.begin(), live.end(), 0);
+    while (live.size() > 1) {
+        const std::size_t k =
+            static_cast<std::size_t>(rng.below(live.size()));
+        ASSERT_TRUE(chol.removeRow(k)) << live.size();
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+
+        Matrix sub(live.size(), live.size());
+        for (std::size_t i = 0; i < live.size(); ++i)
+            for (std::size_t j = 0; j < live.size(); ++j)
+                sub(i, j) = a(live[i], live[j]);
+        const Cholesky fresh(sub);
+        ASSERT_TRUE(fresh.ok());
+        for (std::size_t i = 0; i < live.size(); ++i)
+            for (std::size_t j = 0; j <= i; ++j)
+                EXPECT_NEAR(chol.lower()(i, j), fresh.lower()(i, j),
+                            1e-8)
+                    << live.size() << " " << i << "," << j;
+    }
+    EXPECT_EQ(chol.size(), 1u);
+}
+
+TEST(Cholesky, RemoveRowIllConditionedNearSingular)
+{
+    // Near-singular SPD (rank-2 structure plus a tiny diagonal, the
+    // shape duplicated GP inputs produce): the downdate must stay
+    // finite and keep solving the punctured (jitter-stabilized)
+    // system; if it ever reports failure the factor must be unchanged
+    // so callers can refactorize.
+    const std::size_t n = 10;
+    Rng rng(777);
+    Matrix b(n, 2);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < 2; ++j)
+            b(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transpose());
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += 1e-8;
+
+    Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const double jitter = chol.jitterUsed();
+    const std::size_t sizeBefore = chol.size();
+    const bool removed = chol.removeRow(4);
+    if (!removed) {
+        EXPECT_EQ(chol.size(), sizeBefore);  // factor untouched
+        return;
+    }
+    ASSERT_EQ(chol.size(), n - 1);
+    // Oracle: the punctured matrix with the surviving jitter baked in.
+    Matrix sub = punctured(a, 4);
+    for (std::size_t i = 0; i + 1 < n; ++i)
+        sub(i, i) += jitter;
+    std::vector<double> xTrue(n - 1);
+    for (auto &x : xTrue)
+        x = rng.uniform(-1.0, 1.0);
+    const auto rhs = sub.multiply(xTrue);
+    const auto x = chol.solve(rhs);
+    const auto back = sub.multiply(x);
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        ASSERT_TRUE(std::isfinite(x[i]));
+        EXPECT_NEAR(back[i], rhs[i], 1e-6) << i;
+    }
+}
+
+TEST(Cholesky, SlidingWindowRemoveThenAppendMatchesFresh)
+{
+    // The BO steady state: evict the oldest row, append a new one —
+    // after a full revolution the factor must match a from-scratch
+    // factorization of the final window.
+    const std::size_t window = 10;
+    const std::size_t total = 24;
+    Rng rng(31337);
+    const Matrix a = randomSpd(total, rng, static_cast<double>(total));
+
+    Matrix seed(window, window);
+    for (std::size_t i = 0; i < window; ++i)
+        for (std::size_t j = 0; j < window; ++j)
+            seed(i, j) = a(i, j);
+    Cholesky chol(seed);
+    ASSERT_TRUE(chol.ok());
+    chol.reserve(window + 1);
+
+    for (std::size_t next = window; next < total; ++next) {
+        const std::size_t lo = next - window + 1;  // window after evict
+        ASSERT_TRUE(chol.removeRow(0)) << next;
+        std::vector<double> col(window);
+        for (std::size_t i = 0; i + 1 < window; ++i)
+            col[i] = a(lo + i, next);
+        col[window - 1] = a(next, next);
+        ASSERT_TRUE(chol.append(col)) << next;
+    }
+
+    Matrix tail(window, window);
+    for (std::size_t i = 0; i < window; ++i)
+        for (std::size_t j = 0; j < window; ++j)
+            tail(i, j) = a(total - window + i, total - window + j);
+    const Cholesky fresh(tail);
+    ASSERT_TRUE(fresh.ok());
+    for (std::size_t i = 0; i < window; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            EXPECT_NEAR(chol.lower()(i, j), fresh.lower()(i, j), 1e-8)
+                << i << "," << j;
+}
+
+TEST(Cholesky, SolveLowerBatchBitIdenticalToScalar)
+{
+    // The multi-RHS forward substitution promises bitwise equality
+    // with per-column solveLower — the batched GP predict path relies
+    // on it.
+    const std::size_t n = 20;
+    const std::size_t m = 7;
+    Rng rng(555);
+    const Matrix a = randomSpd(n, rng, static_cast<double>(n));
+    const Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+
+    Matrix rhs(n, m);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            rhs(i, j) = rng.uniform(-3.0, 3.0);
+
+    Matrix batch = rhs;
+    chol.solveLowerBatch(batch);
+    for (std::size_t j = 0; j < m; ++j) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = rhs(i, j);
+        const auto y = chol.solveLower(col);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_DOUBLE_EQ(batch(i, j), y[i]) << i << "," << j;
+    }
+}
+
 TEST(Cholesky, LogDetMatchesProduct)
 {
     Matrix a(2, 2);
