@@ -9,6 +9,7 @@
 #define ARCHGYM_BENCH_BENCH_UTIL_H
 
 #include <cstdio>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <string>
@@ -21,6 +22,16 @@
 
 namespace archgym::bench {
 
+/** Draw `num_configs` lottery configurations from an agent family's
+ *  default grid (BO bounded) — see sampleLotteryConfigs in the agent
+ *  registry, which all sweep front ends share. */
+inline std::vector<HyperParams>
+lotteryConfigs(const std::string &agent_name, std::size_t num_configs,
+               std::uint64_t seed)
+{
+    return sampleLotteryConfigs(agent_name, num_configs, seed);
+}
+
 /**
  * Run a hyperparameter-lottery sweep for one agent family: draw
  * `num_configs` configurations from the agent's default grid and run each
@@ -32,14 +43,7 @@ lotterySweep(Environment &env, const std::string &agent_name,
              std::size_t num_configs, std::size_t samples,
              std::uint64_t seed)
 {
-    Rng rng(seed);
-    HyperGrid grid = defaultHyperGrid(agent_name);
-    // Keep BO's cubic GP cost bounded in sweep settings.
-    if (agent_name == "BO") {
-        grid.add("num_candidates", {64});
-        grid.add("max_history", {64});
-    }
-    const auto configs = grid.randomSample(num_configs, rng);
+    const auto configs = lotteryConfigs(agent_name, num_configs, seed);
 
     const AgentBuilder builder = [&agent_name](const ParamSpace &space,
                                                const HyperParams &hp,
@@ -66,13 +70,7 @@ lotterySweepParallel(const EnvFactory &env_factory,
                      std::size_t num_configs, std::size_t samples,
                      std::uint64_t seed)
 {
-    Rng rng(seed);
-    HyperGrid grid = defaultHyperGrid(agent_name);
-    if (agent_name == "BO") {
-        grid.add("num_candidates", {64});
-        grid.add("max_history", {64});
-    }
-    const auto configs = grid.randomSample(num_configs, rng);
+    const auto configs = lotteryConfigs(agent_name, num_configs, seed);
     const AgentBuilder builder = [&agent_name](const ParamSpace &space,
                                                const HyperParams &hp,
                                                std::uint64_t s) {
@@ -83,6 +81,41 @@ lotterySweepParallel(const EnvFactory &env_factory,
     runCfg.recordRewardHistory = false;
     const SweepResult sweep = runSweepParallel(
         env_factory, agent_name, builder, configs, runCfg, seed);
+    return sweep.bestRewards;
+}
+
+/**
+ * Sharded, resumable variant of lotterySweep (identical best rewards:
+ * the per-config seeds share the index-only formula): runs through
+ * runSweepSharded, persisting shard manifests/results under `directory`
+ * and streaming trajectories when `export_dataset` is set. The
+ * directory is wiped first so the figure benches always measure a
+ * fresh sweep, not a resume.
+ */
+inline std::vector<double>
+lotterySweepSharded(const EnvFactory &env_factory,
+                    const std::string &agent_name,
+                    std::size_t num_configs, std::size_t samples,
+                    std::uint64_t seed, const std::string &directory,
+                    std::size_t shard_size = 4,
+                    bool export_dataset = false)
+{
+    const auto configs = lotteryConfigs(agent_name, num_configs, seed);
+    const AgentBuilder builder = [&agent_name](const ParamSpace &space,
+                                               const HyperParams &hp,
+                                               std::uint64_t s) {
+        return makeAgent(agent_name, space, hp, s);
+    };
+    RunConfig runCfg;
+    runCfg.maxSamples = samples;
+    runCfg.recordRewardHistory = false;
+    ShardedSweepOptions opts;
+    opts.directory = directory;
+    opts.shardSize = shard_size;
+    opts.exportDataset = export_dataset;
+    std::filesystem::remove_all(directory);
+    const ShardedSweepResult sweep = runSweepSharded(
+        env_factory, agent_name, builder, configs, runCfg, opts, seed);
     return sweep.bestRewards;
 }
 

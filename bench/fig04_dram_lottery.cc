@@ -11,6 +11,8 @@
  * family dominates.
  */
 
+#include <filesystem>
+
 #include "bench_util.h"
 #include "envs/dram_gym_env.h"
 
@@ -22,6 +24,14 @@ main()
 {
     printHeader("Figure 4: hyperparameter lottery, DRAMGym "
                 "(best reward per hyperparameter config)");
+
+    // Every sweep runs through the sharded engine; shard results land
+    // under a scratch directory (one subdirectory per lottery cell)
+    // that lotterySweepSharded wipes per sweep, so the figure always
+    // measures fresh runs — the directories are scratch, not a resume
+    // point.
+    const std::filesystem::path shardBase =
+        std::filesystem::temp_directory_path() / "archgym_fig04_shards";
 
     constexpr std::size_t kConfigs = 10;
     constexpr std::size_t kSamples = 80;
@@ -49,14 +59,21 @@ main()
                 pattern == dram::TracePattern::Random ? 20.0 : 100.0;
             o.powerTargetW =
                 pattern == dram::TracePattern::Random ? 0.75 : 0.9;
-            DramGymEnv env(o);
+            const EnvFactory factory = [o] {
+                return std::unique_ptr<Environment>(
+                    std::make_unique<DramGymEnv>(o));
+            };
 
             std::printf("\n[%s | %s]\n", toString(pattern),
                         toString(objective));
             std::vector<double> maxima;
             for (const auto &agent : agentNames()) {
-                const auto best = lotterySweep(env, agent, kConfigs,
-                                               kSamples, 101);
+                const auto cellDir =
+                    shardBase / (std::string(toString(pattern)) + "_" +
+                                 toString(objective) + "_" + agent);
+                const auto best =
+                    lotterySweepSharded(factory, agent, kConfigs,
+                                        kSamples, 101, cellDir.string());
                 printBoxRow(agent, best);
                 worstSpread = std::max(worstSpread,
                                        spreadPercent(best));

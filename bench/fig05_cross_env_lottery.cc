@@ -11,6 +11,7 @@
  * report rewards (higher is better) with the conversion noted per row.
  */
 
+#include <filesystem>
 #include <memory>
 
 #include "bench_util.h"
@@ -33,7 +34,8 @@ main()
     struct Cell
     {
         std::string title;
-        std::unique_ptr<Environment> env;
+        std::string slug;
+        EnvFactory factory;
     };
     std::vector<Cell> cells;
 
@@ -45,7 +47,10 @@ main()
         o.traceLength = 192;
         cells.push_back({"(a) DRAMGym, streaming trace "
                          "(reward: higher better)",
-                         std::make_unique<DramGymEnv>(o)});
+                         "dram", [o] {
+                             return std::unique_ptr<Environment>(
+                                 std::make_unique<DramGymEnv>(o));
+                         }});
     }
     {
         TimeloopGymEnv::Options o;
@@ -53,29 +58,44 @@ main()
         o.latencyTargetMs = 5.0;
         cells.push_back({"(b) TimeloopGym, ResNet-50 "
                          "(reward ~ 1/|latency-target|)",
-                         std::make_unique<TimeloopGymEnv>(o)});
+                         "timeloop", [o] {
+                             return std::unique_ptr<Environment>(
+                                 std::make_unique<TimeloopGymEnv>(o));
+                         }});
     }
     {
         FarsiGymEnv::Options o;
         o.graph = farsi::edgeDetection();
         cells.push_back({"(c) FARSIGym, edge detection "
                          "(reward = -distance-to-budget, 0 is optimal)",
-                         std::make_unique<FarsiGymEnv>(o)});
+                         "farsi", [o] {
+                             return std::unique_ptr<Environment>(
+                                 std::make_unique<FarsiGymEnv>(o));
+                         }});
     }
     {
         MaestroGymEnv::Options o;
         o.network = timeloop::resNet18();
         cells.push_back({"(d) MaestroGym, ResNet-18 mapping "
                          "(reward = 1/runtime-cycles)",
-                         std::make_unique<MaestroGymEnv>(o)});
+                         "maestro", [o] {
+                             return std::unique_ptr<Environment>(
+                                 std::make_unique<MaestroGymEnv>(o));
+                         }});
     }
+
+    // Sharded sweeps: per-cell shard directories under a scratch root.
+    const std::filesystem::path shardBase =
+        std::filesystem::temp_directory_path() / "archgym_fig05_shards";
 
     for (auto &cell : cells) {
         std::printf("\n%s\n", cell.title.c_str());
         std::vector<double> maxima;
         for (const auto &agent : agentNames()) {
+            const auto cellDir = shardBase / (cell.slug + "_" + agent);
             const auto best =
-                lotterySweep(*cell.env, agent, kConfigs, kSamples, 202);
+                lotterySweepSharded(cell.factory, agent, kConfigs,
+                                    kSamples, 202, cellDir.string());
             printBoxRow(agent, best);
             maxima.push_back(summarize(best).max);
         }

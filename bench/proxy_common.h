@@ -9,6 +9,7 @@
 #ifndef ARCHGYM_BENCH_PROXY_COMMON_H
 #define ARCHGYM_BENCH_PROXY_COMMON_H
 
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,15 +30,21 @@ proxyAgents()
     return agents;
 }
 
-inline DramGymEnv
-makeProxyEnv()
+inline DramGymEnv::Options
+proxyEnvOptions()
 {
     DramGymEnv::Options o;
     o.pattern = dram::TracePattern::Cloud1;
     o.objective = DramObjective::LatencyAndPower;
     o.latencyTargetNs = 150.0;
     o.traceLength = 160;
-    return DramGymEnv(o);
+    return o;
+}
+
+inline DramGymEnv
+makeProxyEnv()
+{
+    return DramGymEnv(proxyEnvOptions());
 }
 
 /**
@@ -68,6 +75,52 @@ collectProxyDataset(DramGymEnv &env, std::size_t runs_per_agent,
         }
     }
     return dataset;
+}
+
+/**
+ * Streamed variant of collectProxyDataset: every agent's exploration
+ * runs go through the sharded sweep engine with trajectory export, so
+ * transitions land in per-shard multi-block CSVs under
+ * `directory/<agent>/` as runs complete instead of accumulating in
+ * memory; the dataset is then re-ingested with Dataset::loadDirectory
+ * (which recurses over the per-agent shard directories in sorted
+ * order). Same pool shape as collectProxyDataset — same agents, same
+ * hyperparameter draws — but per-run seeds come from the sweep
+ * engine's index-only formula.
+ */
+inline Dataset
+collectProxyDatasetStreamed(const std::string &directory,
+                            std::size_t runs_per_agent,
+                            std::size_t samples_per_run)
+{
+    std::filesystem::remove_all(directory);
+    const EnvFactory factory = [] {
+        return std::unique_ptr<Environment>(
+            std::make_unique<DramGymEnv>(proxyEnvOptions()));
+    };
+    Rng rng(701);
+    for (const auto &agentName : proxyAgents()) {
+        HyperGrid grid = defaultHyperGrid(agentName);
+        if (agentName == "BO") {
+            grid.add("num_candidates", {48}).add("max_history", {64});
+        }
+        const auto configs = grid.randomSample(runs_per_agent, rng);
+        const AgentBuilder builder =
+            [&agentName](const ParamSpace &space, const HyperParams &hp,
+                         std::uint64_t s) {
+                return makeAgent(agentName, space, hp, s);
+            };
+        RunConfig cfg;
+        cfg.maxSamples = samples_per_run;
+        ShardedSweepOptions opts;
+        opts.directory =
+            (std::filesystem::path(directory) / agentName).string();
+        opts.shardSize = 2;
+        opts.exportDataset = true;
+        runSweepSharded(factory, agentName, builder, configs, cfg, opts,
+                        7000);
+    }
+    return Dataset::loadDirectory(directory);
 }
 
 /** Fresh uniformly random designs evaluated on the simulator. */

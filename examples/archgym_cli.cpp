@@ -8,17 +8,33 @@
  * Usage:
  *   archgym_cli [--env NAME] [--agent NAME] [--samples N] [--seed N]
  *               [--hyper k=v[,k=v...]] [--log FILE]
+ *               [--sweep N] [--sweep-dir DIR] [--shard-size S]
+ *               [--threads T] [--pareto]
  *
  *   --env     dram-streaming | dram-random | dram-cloud1 | dram-cloud2 |
  *             timeloop-resnet50 | timeloop-resnet18 | timeloop-alexnet |
  *             timeloop-mobilenet | farsi-edge | farsi-audio | farsi-ar |
  *             maestro-resnet18 | maestro-vgg16      (default dram-cloud1)
  *   --agent   ACO | BO | GA | RL | RW | SA          (default GA)
- *   --samples simulator budget                      (default 500)
- *   --seed    agent seed                            (default 1)
+ *   --samples simulator budget (per config in sweep mode, default 500)
+ *   --seed    agent seed / sweep base seed          (default 1)
  *   --hyper   comma-separated hyperparameter overrides, e.g.
  *             population_size=32,mutation_prob=0.05
  *   --log     write the trajectory CSV to this path
+ *
+ * Sweep mode (--sweep N): run a sharded, resumable hyperparameter
+ * lottery of N configurations drawn from the agent's default grid.
+ * Shard manifests, per-config results (JSON lines), and streamed
+ * per-shard trajectory CSVs land under --sweep-dir; re-running the
+ * same command after an interruption resumes by skipping completed
+ * shards (bit-identically — see core/trajectory.h for the contract).
+ *
+ *   --sweep N        number of lottery configurations
+ *   --sweep-dir DIR  shard/manifest directory   (default archgym_sweep)
+ *   --shard-size S   configurations per shard   (default 16)
+ *   --threads T      worker threads             (default hardware)
+ *   --pareto         report the <m0, m1, m2> Pareto frontier (all
+ *                    minimized) of the logged/streamed transitions
  */
 
 #include <cstdio>
@@ -30,10 +46,12 @@
 
 #include "agents/registry.h"
 #include "core/driver.h"
+#include "core/pareto.h"
 #include "envs/dram_gym_env.h"
 #include "envs/farsi_gym_env.h"
 #include "envs/maestro_gym_env.h"
 #include "envs/timeloop_gym_env.h"
+#include "mathutil/stats.h"
 
 namespace {
 
@@ -118,6 +136,37 @@ parseHyper(const std::string &spec)
     return hp;
 }
 
+/**
+ * Print the Pareto frontier of the first three metrics (the paper's
+ * native <latency, power, area>-shaped tuples), all minimized.
+ */
+void
+printParetoFront(const std::vector<Transition> &transitions,
+                 const std::vector<std::string> &metric_names)
+{
+    if (metric_names.size() < 3) {
+        std::printf("pareto: environment reports %zu metrics, need 3\n",
+                    metric_names.size());
+        return;
+    }
+    const std::vector<std::size_t> metrics = {0, 1, 2};
+    const std::vector<Sense> senses(3, Sense::Minimize);
+    const auto front = paretoFront(transitions, metrics, senses);
+    std::printf("pareto frontier <%s, %s, %s> (all minimized): "
+                "%zu of %zu transitions\n",
+                metric_names[0].c_str(), metric_names[1].c_str(),
+                metric_names[2].c_str(), front.size(),
+                transitions.size());
+    const std::size_t show = front.size() < 10 ? front.size() : 10;
+    for (std::size_t k = 0; k < show; ++k) {
+        const Metrics &obs = transitions[front[k]].observation;
+        std::printf("  #%-6zu %12.6g %12.6g %12.6g\n", front[k], obs[0],
+                    obs[1], obs[2]);
+    }
+    if (show < front.size())
+        std::printf("  ... %zu more\n", front.size() - show);
+}
+
 } // namespace
 
 int
@@ -129,6 +178,11 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     std::string hyperSpec;
     std::string logPath;
+    std::size_t sweepConfigs = 0;
+    std::string sweepDir = "archgym_sweep";
+    std::size_t shardSize = 16;
+    std::size_t threads = 0;
+    bool pareto = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -151,6 +205,16 @@ main(int argc, char **argv)
             hyperSpec = next();
         else if (arg == "--log")
             logPath = next();
+        else if (arg == "--sweep")
+            sweepConfigs = std::stoul(next());
+        else if (arg == "--sweep-dir")
+            sweepDir = next();
+        else if (arg == "--shard-size")
+            shardSize = std::stoul(next());
+        else if (arg == "--threads")
+            threads = std::stoul(next());
+        else if (arg == "--pareto")
+            pareto = true;
         else {
             std::fprintf(stderr,
                          "unknown option %s (see file header for usage)\n",
@@ -164,6 +228,53 @@ main(int argc, char **argv)
         std::fprintf(stderr, "unknown environment '%s'\n",
                      envName.c_str());
         return 2;
+    }
+
+    if (sweepConfigs > 0) {
+        // Sharded lottery mode: N configs from the agent's default
+        // grid, persisted (and resumable) under --sweep-dir.
+        const auto configs =
+            sampleLotteryConfigs(agentName, sweepConfigs, seed);
+        const AgentBuilder builder =
+            [&agentName](const ParamSpace &space, const HyperParams &h,
+                         std::uint64_t s) {
+                return makeAgent(agentName, space, h, s);
+            };
+        const EnvFactory factory = [&envName] { return makeEnv(envName); };
+
+        RunConfig cfg;
+        cfg.maxSamples = samples;
+        ShardedSweepOptions opts;
+        opts.directory = sweepDir;
+        opts.shardSize = shardSize;
+        opts.numThreads = threads;
+        opts.exportDataset = true;
+
+        std::printf("sharded lottery: env=%s agent=%s configs=%zu "
+                    "samples=%zu shard-size=%zu dir=%s\n",
+                    envName.c_str(), agentName.c_str(), sweepConfigs,
+                    samples, shardSize, sweepDir.c_str());
+        ShardedSweepResult sweep;
+        try {
+            sweep = runSweepSharded(factory, agentName, builder, configs,
+                                    cfg, opts, seed);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        std::printf("shards: %zu total, %zu resumed from disk, %zu run\n",
+                    sweep.shardCount, sweep.shardsSkipped,
+                    sweep.shardsRun);
+        std::printf("best reward per config: %s\n",
+                    summarize(sweep.bestRewards).str().c_str());
+
+        const Dataset dataset = Dataset::loadDirectory(sweepDir);
+        std::printf("streamed dataset: %zu trajectories, %zu "
+                    "transitions\n",
+                    dataset.logCount(), dataset.transitionCount());
+        if (pareto)
+            printParetoFront(dataset.flatten(), env->metricNames());
+        return 0;
     }
 
     HyperParams hp;
@@ -191,7 +302,7 @@ main(int argc, char **argv)
 
     RunConfig cfg;
     cfg.maxSamples = samples;
-    cfg.logTrajectory = !logPath.empty();
+    cfg.logTrajectory = !logPath.empty() || pareto;
     const RunResult r = runSearch(*env, *agent, cfg);
 
     std::printf("best reward %.6g at sample %zu (%.3f s wall)\n",
@@ -214,5 +325,7 @@ main(int argc, char **argv)
         std::printf("trajectory (%zu transitions) -> %s\n",
                     r.trajectory.size(), logPath.c_str());
     }
+    if (pareto)
+        printParetoFront(r.trajectory.transitions(), env->metricNames());
     return 0;
 }

@@ -2,7 +2,8 @@
 """Perf-regression gate for the BENCH_*.json trackers.
 
 Compares freshly produced bench JSON (perf_dram_hotloop ->
-BENCH_dram.json, perf_env_hotloop -> BENCH_envs.json) against the
+BENCH_dram.json, perf_env_hotloop -> BENCH_envs.json, perf_bo_hotloop ->
+BENCH_bo.json, perf_sweep_hotloop -> BENCH_sweep.json) against the
 committed baselines in bench/baselines/ and fails when any throughput
 metric drops by more than the threshold (default 25%).
 
@@ -25,8 +26,10 @@ Exit status: 0 = no regression, 1 = regression or missing metric,
 
 Refresh the baselines (after an intentional perf change, on the
 reference machine):
-    ./build/perf_dram_hotloop && ./build/perf_env_hotloop
-    cp BENCH_dram.json BENCH_envs.json bench/baselines/
+    ./build/perf_dram_hotloop && ./build/perf_env_hotloop && \
+        ./build/perf_bo_hotloop && ./build/perf_sweep_hotloop
+    cp BENCH_dram.json BENCH_envs.json BENCH_bo.json BENCH_sweep.json \
+        bench/baselines/
 """
 
 import argparse

@@ -8,6 +8,7 @@
 #include "agents/random_walker.h"
 #include "agents/reinforcement_learning.h"
 #include "agents/simulated_annealing.h"
+#include "mathutil/rng.h"
 
 namespace archgym {
 
@@ -80,6 +81,20 @@ defaultHyperGrid(const std::string &name)
         throw std::invalid_argument("unknown agent: " + name);
     }
     return grid;
+}
+
+std::vector<HyperParams>
+sampleLotteryConfigs(const std::string &name, std::size_t num_configs,
+                     std::uint64_t seed)
+{
+    Rng rng(seed);
+    HyperGrid grid = defaultHyperGrid(name);
+    // Keep BO's cubic GP cost bounded in sweep settings.
+    if (name == "BO") {
+        grid.add("num_candidates", {64});
+        grid.add("max_history", {64});
+    }
+    return grid.randomSample(num_configs, rng);
 }
 
 } // namespace archgym

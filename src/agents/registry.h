@@ -37,6 +37,16 @@ std::unique_ptr<Agent> makeAgent(const std::string &name,
  */
 HyperGrid defaultHyperGrid(const std::string &name);
 
+/**
+ * Draw `num_configs` lottery configurations from the agent's default
+ * grid — the shared recipe of every sweep front end (benches, CLI).
+ * BO's grid is capped (num_candidates/max_history = 64) so its cubic
+ * GP cost stays bounded in sweep settings.
+ */
+std::vector<HyperParams> sampleLotteryConfigs(const std::string &name,
+                                              std::size_t num_configs,
+                                              std::uint64_t seed);
+
 } // namespace archgym
 
 #endif // ARCHGYM_AGENTS_REGISTRY_H

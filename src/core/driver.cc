@@ -1,7 +1,13 @@
 #include "driver.h"
 
 #include <algorithm>
+#include <charconv>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "core/worker_pool.h"
@@ -154,6 +160,445 @@ runSweepParallel(const EnvFactory &env_factory,
         },
         num_threads, chunk);
     return sweep;
+}
+
+// ---------------------------------------------------------------------
+// Sharded, resumable sweep engine
+// ---------------------------------------------------------------------
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Per-configuration seed; shared with runSweep/runSweepParallel. */
+std::uint64_t
+configSeed(std::uint64_t base_seed, std::size_t index)
+{
+    return base_seed * 0x9e3779b97f4a7c15ULL +
+           static_cast<std::uint64_t>(index);
+}
+
+/** Shortest round-trip rendering (exact from_chars read-back). */
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+/** Minimal JSON string escaping for names/hyperparam strings. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Locate `"key":` in one of our own JSON lines and return the start of
+ * its value. These parsers only accept what the engine itself writes —
+ * anything else throws with the surrounding context.
+ */
+std::size_t
+jsonValuePos(const std::string &text, const std::string &key,
+             const std::string &context)
+{
+    const std::string needle = "\"" + key + "\":";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos)
+        throw std::runtime_error(context + ": missing key '" + key + "'");
+    return pos + needle.size();
+}
+
+double
+jsonDoubleField(const std::string &text, const std::string &key,
+                const std::string &context)
+{
+    const std::size_t pos = jsonValuePos(text, key, context);
+    double value = 0.0;
+    const char *begin = text.data() + pos;
+    const auto res = std::from_chars(begin, text.data() + text.size(),
+                                     value);
+    if (res.ec != std::errc{})
+        throw std::runtime_error(context + ": bad number for '" + key +
+                                 "'");
+    return value;
+}
+
+std::uint64_t
+jsonUintField(const std::string &text, const std::string &key,
+              const std::string &context)
+{
+    const std::size_t pos = jsonValuePos(text, key, context);
+    std::uint64_t value = 0;
+    const char *begin = text.data() + pos;
+    const auto res = std::from_chars(begin, text.data() + text.size(),
+                                     value);
+    if (res.ec != std::errc{})
+        throw std::runtime_error(context + ": bad integer for '" + key +
+                                 "'");
+    return value;
+}
+
+std::string
+jsonStringField(const std::string &text, const std::string &key,
+                const std::string &context)
+{
+    std::size_t pos = jsonValuePos(text, key, context);
+    if (pos >= text.size() || text[pos] != '"')
+        throw std::runtime_error(context + ": bad string for '" + key +
+                                 "'");
+    ++pos;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+        if (text[pos] == '\\' && pos + 1 < text.size())
+            ++pos;
+        out.push_back(text[pos++]);
+    }
+    return out;
+}
+
+std::vector<double>
+jsonDoubleArrayField(const std::string &text, const std::string &key,
+                     const std::string &context)
+{
+    std::size_t pos = jsonValuePos(text, key, context);
+    if (pos >= text.size() || text[pos] != '[')
+        throw std::runtime_error(context + ": bad array for '" + key +
+                                 "'");
+    ++pos;
+    std::vector<double> out;
+    while (pos < text.size() && text[pos] != ']') {
+        double value = 0.0;
+        const auto res = std::from_chars(text.data() + pos,
+                                         text.data() + text.size(), value);
+        if (res.ec != std::errc{})
+            throw std::runtime_error(context + ": bad array entry for '" +
+                                     key + "'");
+        out.push_back(value);
+        pos = static_cast<std::size_t>(res.ptr - text.data());
+        if (pos < text.size() && text[pos] == ',')
+            ++pos;
+    }
+    return out;
+}
+
+/** FNV-1a over every configuration's rendering: the manifest's cheap
+ *  guard against resuming with a different configuration list. */
+std::uint64_t
+configsHash(const std::vector<HyperParams> &configs)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](const std::string &s) {
+        for (unsigned char c : s) {
+            h ^= c;
+            h *= 0x100000001b3ULL;
+        }
+        h ^= static_cast<unsigned char>(';');
+        h *= 0x100000001b3ULL;
+    };
+    for (const auto &hp : configs)
+        mix(hp.str());
+    return h;
+}
+
+struct ManifestFields
+{
+    std::string env;
+    std::string agent;
+    std::uint64_t configCount = 0;
+    std::uint64_t shardSize = 0;
+    std::uint64_t baseSeed = 0;
+    std::uint64_t maxSamples = 0;
+    std::uint64_t stopWhenSatisfied = 0;
+    std::uint64_t batchEval = 0;
+    std::uint64_t exportDataset = 0;
+    std::uint64_t hash = 0;
+};
+
+std::string
+renderManifest(const ManifestFields &m)
+{
+    std::ostringstream os;
+    os << "{\"format\":1,\"env\":\"" << jsonEscape(m.env)
+       << "\",\"agent\":\"" << jsonEscape(m.agent)
+       << "\",\"configCount\":" << m.configCount
+       << ",\"shardSize\":" << m.shardSize << ",\"baseSeed\":"
+       << m.baseSeed << ",\"maxSamples\":" << m.maxSamples
+       << ",\"stopWhenSatisfied\":" << m.stopWhenSatisfied
+       << ",\"batchEval\":" << m.batchEval
+       << ",\"exportDataset\":" << m.exportDataset << ",\"configsHash\":"
+       << m.hash << "}\n";
+    return os.str();
+}
+
+/** Shard file basename, zero-padded for sorted-order loading. */
+std::string
+shardStem(std::size_t shard)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "shard_%04zu", shard);
+    return buf;
+}
+
+/** One per-configuration result line of a shard .jsonl file. */
+std::string
+renderResultLine(std::size_t config_index, std::uint64_t seed,
+                 const HyperParams &hp, const RunResult &run)
+{
+    std::string line = "{\"config\":";
+    line += std::to_string(config_index);
+    line += ",\"seed\":";
+    line += std::to_string(seed);
+    line += ",\"bestReward\":";
+    appendDouble(line, run.bestReward);
+    line += ",\"bestSampleIndex\":";
+    line += std::to_string(run.bestSampleIndex);
+    line += ",\"samplesUsed\":";
+    line += std::to_string(run.samplesUsed);
+    line += ",\"bestAction\":[";
+    for (std::size_t i = 0; i < run.bestAction.size(); ++i) {
+        if (i)
+            line.push_back(',');
+        appendDouble(line, run.bestAction[i]);
+    }
+    line += "],\"hyper\":\"";
+    line += jsonEscape(hp.str());
+    line += "\"}\n";
+    return line;
+}
+
+} // namespace
+
+ShardedSweepResult
+runSweepSharded(const EnvFactory &env_factory,
+                const std::string &agent_name, const AgentBuilder &builder,
+                const std::vector<HyperParams> &configs,
+                const RunConfig &run_config,
+                const ShardedSweepOptions &options, std::uint64_t base_seed)
+{
+    if (options.directory.empty())
+        throw std::invalid_argument(
+            "runSweepSharded: options.directory is empty");
+    if (options.shardSize == 0)
+        throw std::invalid_argument(
+            "runSweepSharded: options.shardSize is zero");
+
+    const fs::path dir(options.directory);
+    fs::create_directories(dir);
+
+    // One metadata environment per invocation: its name() anchors the
+    // manifest to the environment family (resuming a directory that
+    // belongs to another environment must fail, not re-ingest foreign
+    // results), and it supplies the action space / metric names for
+    // the streaming trajectory writers.
+    const std::unique_ptr<Environment> metaEnv = env_factory();
+
+    ManifestFields manifest;
+    manifest.env = metaEnv->name();
+    manifest.agent = agent_name;
+    manifest.configCount = configs.size();
+    manifest.shardSize = options.shardSize;
+    manifest.baseSeed = base_seed;
+    manifest.maxSamples = run_config.maxSamples;
+    manifest.stopWhenSatisfied = run_config.stopWhenSatisfied ? 1 : 0;
+    manifest.batchEval = run_config.batchEval ? 1 : 0;
+    manifest.exportDataset = options.exportDataset ? 1 : 0;
+    manifest.hash = configsHash(configs);
+
+    // Validate-or-write the manifest: resuming a directory that belongs
+    // to a *different* sweep must fail loudly, never mix results.
+    const fs::path manifestPath = dir / "manifest.json";
+    if (fs::exists(manifestPath)) {
+        std::ifstream in(manifestPath);
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        const std::string ctx = "manifest " + manifestPath.string();
+        const auto check = [&](const std::string &key,
+                               std::uint64_t expected) {
+            const std::uint64_t got = jsonUintField(text, key, ctx);
+            if (got != expected)
+                throw std::runtime_error(
+                    ctx + ": '" + key + "' is " + std::to_string(got) +
+                    ", requested sweep has " + std::to_string(expected) +
+                    " — not the same sweep");
+        };
+        if (jsonStringField(text, "env", ctx) != manifest.env)
+            throw std::runtime_error(ctx +
+                                     ": environment mismatch — not the "
+                                     "same sweep");
+        if (jsonStringField(text, "agent", ctx) != agent_name)
+            throw std::runtime_error(ctx +
+                                     ": agent mismatch — not the same "
+                                     "sweep");
+        check("configCount", manifest.configCount);
+        check("shardSize", manifest.shardSize);
+        check("baseSeed", manifest.baseSeed);
+        check("maxSamples", manifest.maxSamples);
+        check("stopWhenSatisfied", manifest.stopWhenSatisfied);
+        check("batchEval", manifest.batchEval);
+        check("exportDataset", manifest.exportDataset);
+        check("configsHash", manifest.hash);
+    } else {
+        std::ofstream out(manifestPath);
+        out << renderManifest(manifest);
+        if (!out.flush())
+            throw std::runtime_error("cannot write " +
+                                     manifestPath.string());
+    }
+
+    // Discard half-written in-flight shard files from an interrupted
+    // run; the owning shard simply re-runs (bit-identically).
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == ".tmp")
+            fs::remove(entry.path());
+
+    const std::size_t shardCount =
+        (configs.size() + options.shardSize - 1) / options.shardSize;
+
+    ShardedSweepResult result;
+    result.agentName = agent_name;
+    result.configs = configs;
+    result.bestRewards.assign(configs.size(),
+                              -std::numeric_limits<double>::infinity());
+    result.bestActions.resize(configs.size());
+    result.samplesUsed.assign(configs.size(), 0);
+    result.seeds.resize(configs.size());
+    result.shardCount = shardCount;
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        result.seeds[i] = configSeed(base_seed, i);
+
+    std::size_t numThreads = options.numThreads;
+    if (numThreads == 0)
+        numThreads = std::max(1u, std::thread::hardware_concurrency());
+    numThreads = std::min(
+        numThreads, std::max<std::size_t>(1, options.shardSize));
+
+    // One private environment per logical worker slot, reused across
+    // every shard this invocation runs (same discipline and same
+    // determinism argument as runSweepParallel).
+    std::vector<std::unique_ptr<Environment>> envs(numThreads);
+
+    for (std::size_t shard = 0; shard < shardCount; ++shard) {
+        if (options.maxShards != 0 &&
+            result.shardsRun >= options.maxShards)
+            return result;  // interrupted by request; complete == false
+
+        const std::size_t lo = shard * options.shardSize;
+        const std::size_t hi =
+            std::min(configs.size(), lo + options.shardSize);
+        const std::string stem = shardStem(shard);
+        const fs::path jsonlPath = dir / (stem + ".jsonl");
+        const fs::path csvPath = dir / (stem + ".csv");
+
+        if (fs::exists(jsonlPath) &&
+            (!options.exportDataset || fs::exists(csvPath))) {
+            // Completed shard: re-ingest its results instead of
+            // re-running (the resume path).
+            std::ifstream in(jsonlPath);
+            const std::string ctx = "shard results " + jsonlPath.string();
+            std::string line;
+            std::size_t next = lo;
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                const std::uint64_t idx =
+                    jsonUintField(line, "config", ctx);
+                if (next >= hi || idx != next)
+                    throw std::runtime_error(
+                        ctx + ": unexpected config index " +
+                        std::to_string(idx) +
+                        " — delete the shard files to re-run it");
+                result.bestRewards[idx] =
+                    jsonDoubleField(line, "bestReward", ctx);
+                result.samplesUsed[idx] = static_cast<std::size_t>(
+                    jsonUintField(line, "samplesUsed", ctx));
+                result.bestActions[idx] =
+                    jsonDoubleArrayField(line, "bestAction", ctx);
+                const std::uint64_t seed =
+                    jsonUintField(line, "seed", ctx);
+                if (seed != result.seeds[idx])
+                    throw std::runtime_error(
+                        ctx + ": seed mismatch at config " +
+                        std::to_string(idx) +
+                        " — delete the shard files to re-run it");
+                ++next;
+            }
+            if (next != hi)
+                throw std::runtime_error(
+                    ctx + ": holds " + std::to_string(next - lo) +
+                    " of " + std::to_string(hi - lo) +
+                    " configs — delete the shard files to re-run it");
+            ++result.shardsSkipped;
+            continue;
+        }
+        // exportDataset with a .jsonl but no .csv (manual deletion):
+        // drop the orphan marker and re-run the shard whole.
+        if (fs::exists(jsonlPath))
+            fs::remove(jsonlPath);
+
+        std::unique_ptr<StreamingDatasetWriter> writer;
+        const fs::path csvTmp = dir / (stem + ".csv.tmp");
+        if (options.exportDataset)
+            writer = std::make_unique<StreamingDatasetWriter>(
+                csvTmp.string(), metaEnv->actionSpace(),
+                metaEnv->metricNames(), lo, hi - lo);
+
+        RunConfig shardRun = run_config;
+        // The engine persists scalars + streamed trajectories only;
+        // retaining per-run curves/logs in memory would defeat the
+        // bounded-memory contract.
+        shardRun.recordRewardHistory = false;
+        shardRun.logTrajectory = options.exportDataset;
+
+        std::vector<std::string> lines(hi - lo);
+        WorkerPool::shared().parallelFor(
+            hi - lo,
+            [&](std::size_t slot, std::size_t offset) {
+                auto &env = envs[slot];
+                if (!env)
+                    env = env_factory();
+                const std::size_t i = lo + offset;
+                const std::uint64_t seed = result.seeds[i];
+                auto agent = builder(env->actionSpace(), configs[i], seed);
+                RunResult run = runSearch(*env, *agent, shardRun);
+                result.bestRewards[i] = run.bestReward;
+                result.bestActions[i] = run.bestAction;
+                result.samplesUsed[i] = run.samplesUsed;
+                lines[offset] =
+                    renderResultLine(i, seed, configs[i], run);
+                if (writer)
+                    writer->append(i, run.trajectory);
+            },
+            numThreads, /*chunk=*/1);
+
+        // Atomic completion: write both files as .tmp, rename the CSV
+        // first, the .jsonl last — its presence marks the shard done.
+        const fs::path jsonlTmp = dir / (stem + ".jsonl.tmp");
+        {
+            std::ofstream out(jsonlTmp);
+            for (const auto &line : lines)
+                out << line;
+            if (!out.flush())
+                throw std::runtime_error("cannot write " +
+                                         jsonlTmp.string());
+        }
+        if (writer) {
+            writer->close();
+            fs::rename(csvTmp, csvPath);
+        }
+        fs::rename(jsonlTmp, jsonlPath);
+        ++result.shardsRun;
+    }
+    result.complete = true;
+    return result;
 }
 
 } // namespace archgym

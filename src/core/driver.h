@@ -152,6 +152,88 @@ SweepResult runSweepParallel(const EnvFactory &env_factory,
                              std::uint64_t base_seed = 1,
                              std::size_t num_threads = 0);
 
+/** Options of the sharded, resumable sweep engine. */
+struct ShardedSweepOptions
+{
+    /**
+     * Directory holding manifest.json + shard_NNNN.{jsonl,csv}. See
+     * core/trajectory.h for the layout and the resume contract.
+     */
+    std::string directory;
+
+    /** Configurations per shard (the resume granularity). */
+    std::size_t shardSize = 64;
+
+    /** Worker threads within a shard; 0 = hardware concurrency. The
+     *  setting never affects results, only wall clock. */
+    std::size_t numThreads = 0;
+
+    /**
+     * Stream each run's trajectory into the shard's multi-block CSV as
+     * runs complete (StreamingDatasetWriter). Peak sweep memory then
+     * holds at most the few trajectories completed out of order, never
+     * the whole sweep's.
+     */
+    bool exportDataset = false;
+
+    /**
+     * Stop after completing this many shards in this invocation
+     * (0 = run to completion). Lets tests — and callers with external
+     * time budgets — exercise the interruption/resume path
+     * deterministically; the returned result has complete == false.
+     */
+    std::size_t maxShards = 0;
+};
+
+/**
+ * Outcome of a sharded sweep: per-configuration scalars only — full
+ * RunResults (reward curves, trajectories) are intentionally NOT
+ * retained, so peak memory no longer scales with retained trajectories;
+ * trajectories stream to disk when exportDataset is set.
+ *
+ * Entries of configurations whose shard has not run yet (interrupted
+ * sweep) hold bestReward == -inf and samplesUsed == 0.
+ */
+struct ShardedSweepResult
+{
+    std::string agentName;
+    std::vector<HyperParams> configs;
+    std::vector<double> bestRewards;        ///< one per configuration
+    std::vector<Action> bestActions;        ///< one per configuration
+    std::vector<std::size_t> samplesUsed;   ///< one per configuration
+    std::vector<std::uint64_t> seeds;       ///< per-config agent seeds
+    std::size_t shardCount = 0;
+    std::size_t shardsSkipped = 0;  ///< resumed from completed files
+    std::size_t shardsRun = 0;      ///< executed in this invocation
+    bool complete = false;          ///< every shard done
+};
+
+/**
+ * Sharded, resumable variant of runSweepParallel for lottery-scale
+ * sweeps. Configurations are partitioned into deterministic
+ * config-range shards; each shard runs on the shared WorkerPool, then
+ * persists its per-configuration results (JSON lines) and — with
+ * exportDataset — its trajectories (multi-block CSV) atomically under
+ * options.directory. Per-configuration seeds use the same
+ * index-only formula as runSweep/runSweepParallel, so results are
+ * bit-identical to those engines and independent of thread count.
+ *
+ * Invoked again on the same directory, the engine validates the
+ * manifest against the requested sweep (agent, configs, shard size,
+ * base seed, budget — mismatch throws std::runtime_error), re-ingests
+ * completed shards from disk instead of re-running them, discards any
+ * half-written in-flight shard, and runs only what is missing: an
+ * interrupted lottery resumes to a ShardedSweepResult and exported
+ * dataset bit-identical to an uninterrupted run's.
+ */
+ShardedSweepResult runSweepSharded(const EnvFactory &env_factory,
+                                   const std::string &agent_name,
+                                   const AgentBuilder &builder,
+                                   const std::vector<HyperParams> &configs,
+                                   const RunConfig &run_config,
+                                   const ShardedSweepOptions &options,
+                                   std::uint64_t base_seed = 1);
+
 } // namespace archgym
 
 #endif // ARCHGYM_CORE_DRIVER_H

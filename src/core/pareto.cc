@@ -82,6 +82,129 @@ paretoFront2d(const std::vector<Transition> &transitions,
     return front;
 }
 
+/**
+ * Fenwick (binary indexed) tree over prefix minima: update(r, v) lowers
+ * the value at rank r, prefixMin(r) returns the minimum over ranks
+ * [0, r]. Values only ever decrease, which is the one monotone regime a
+ * Fenwick tree supports for min queries.
+ */
+class PrefixMinTree
+{
+  public:
+    explicit PrefixMinTree(std::size_t n)
+        : tree_(n + 1, std::numeric_limits<double>::infinity())
+    {}
+
+    void update(std::size_t r, double v)
+    {
+        for (std::size_t i = r + 1; i < tree_.size(); i += i & (~i + 1))
+            tree_[i] = std::min(tree_[i], v);
+    }
+
+    double prefixMin(std::size_t r) const
+    {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = r + 1; i > 0; i -= i & (~i + 1))
+            best = std::min(best, tree_[i]);
+        return best;
+    }
+
+  private:
+    std::vector<double> tree_;
+};
+
+/**
+ * Three-metric skyline, O(N log N): sort points lexicographically by
+ * the sign-normalized metrics (index breaking full ties, so the first
+ * occurrence of a duplicated vector sorts first), then sweep in that
+ * order keeping a prefix-min tree of the third metric indexed by the
+ * rank of the second. Every potential dominator of a point precedes it
+ * in the sort (a dominator is <= on all metrics and < on one, hence
+ * lexicographically smaller), so a point is dominated-or-duplicate iff
+ * some already-processed point q has q.y <= p.y and q.z <= p.z — i.e.
+ * iff the prefix minimum of z over ranks with y' <= p.y is <= p.z.
+ * Querying only *kept* points suffices: if a dropped q would cover p,
+ * the kept point that covered q covers p too (its y and z are <= q's).
+ *
+ * Matches the all-pairs scan's output contract exactly: first
+ * occurrence of duplicates, and front order lexicographic in the
+ * normalized metrics (the sweep emits in sort order, which is the same
+ * ordering paretoFrontNaive sorts by).
+ */
+std::vector<std::size_t>
+paretoFront3d(const std::vector<Transition> &transitions,
+              const std::vector<std::size_t> &metric_indices,
+              const std::vector<Sense> &senses)
+{
+    const std::size_t n = transitions.size();
+    double sign[3];
+    for (std::size_t k = 0; k < 3; ++k)
+        sign[k] = senses[k] == Sense::Minimize ? 1.0 : -1.0;
+
+    struct Pt
+    {
+        double x, y, z;
+        std::size_t idx;
+    };
+    std::vector<Pt> pts(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Metrics &obs = transitions[i].observation;
+        pts[i] = Pt{sign[0] * obs[metric_indices[0]],
+                    sign[1] * obs[metric_indices[1]],
+                    sign[2] * obs[metric_indices[2]], i};
+    }
+    std::sort(pts.begin(), pts.end(), [](const Pt &a, const Pt &b) {
+        if (a.x != b.x)
+            return a.x < b.x;
+        if (a.y != b.y)
+            return a.y < b.y;
+        if (a.z != b.z)
+            return a.z < b.z;
+        return a.idx < b.idx;  // first occurrence wins among duplicates
+    });
+
+    // Coordinate-compress the second metric to Fenwick ranks, and the
+    // third to finite rank values: a raw z of +inf would be
+    // indistinguishable from the tree's empty-prefix sentinel (+inf),
+    // silently "dominating" other +inf points; ranks keep every real
+    // value below the sentinel while preserving order.
+    std::vector<double> ys(n), zs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ys[i] = pts[i].y;
+        zs[i] = pts[i].z;
+    }
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+    std::sort(zs.begin(), zs.end());
+    zs.erase(std::unique(zs.begin(), zs.end()), zs.end());
+
+    PrefixMinTree tree(ys.size());
+    std::vector<std::size_t> front;
+    for (const Pt &p : pts) {
+        const std::size_t r = static_cast<std::size_t>(
+            std::lower_bound(ys.begin(), ys.end(), p.y) - ys.begin());
+        const double zRank = static_cast<double>(
+            std::lower_bound(zs.begin(), zs.end(), p.z) - zs.begin());
+        if (tree.prefixMin(r) <= zRank)
+            continue;  // dominated, or a duplicate of a kept point
+        front.push_back(p.idx);
+        tree.update(r, zRank);
+    }
+    return front;
+}
+
+/** True if any selected metric of any transition is NaN. */
+bool
+anySelectedNan(const std::vector<Transition> &transitions,
+               const std::vector<std::size_t> &metric_indices)
+{
+    for (const Transition &t : transitions)
+        for (std::size_t m : metric_indices)
+            if (std::isnan(t.observation[m]))
+                return true;
+    return false;
+}
+
 } // namespace
 
 std::vector<std::size_t>
@@ -90,21 +213,15 @@ paretoFront(const std::vector<Transition> &transitions,
             const std::vector<Sense> &senses)
 {
     assert(metric_indices.size() == senses.size());
-    if (metric_indices.size() == 2) {
-        // NaN metrics break the skyline sort comparator's strict weak
-        // ordering; route them to the all-pairs scan, whose NaN-aware
-        // output ordering keeps the result defined.
-        bool hasNan = false;
-        for (const Transition &t : transitions) {
-            if (std::isnan(t.observation[metric_indices[0]]) ||
-                std::isnan(t.observation[metric_indices[1]])) {
-                hasNan = true;
-                break;
-            }
-        }
-        if (!hasNan)
-            return paretoFront2d(transitions, metric_indices, senses);
-    }
+    // NaN metrics break the skyline sort comparators' strict weak
+    // ordering; route them to the all-pairs scan, whose NaN-aware
+    // output ordering keeps the result defined.
+    if (metric_indices.size() == 2 &&
+        !anySelectedNan(transitions, metric_indices))
+        return paretoFront2d(transitions, metric_indices, senses);
+    if (metric_indices.size() == 3 &&
+        !anySelectedNan(transitions, metric_indices))
+        return paretoFront3d(transitions, metric_indices, senses);
     return paretoFrontNaive(transitions, metric_indices, senses);
 }
 
@@ -145,21 +262,32 @@ paretoFrontNaive(const std::vector<Transition> &transitions,
             front.push_back(i);
     }
 
-    // Order along the first selected metric, best first; NaN keys sort
-    // last (they compare false both ways, which would otherwise break
-    // the comparator's strict weak ordering).
+    // Order lexicographically along the selected metrics, best first,
+    // with the index breaking full ties — the same ordering the 2- and
+    // 3-metric skylines emit, so oracle comparisons are exact. NaN keys
+    // sort last within their metric (they compare false both ways,
+    // which would otherwise break the comparator's strict weak
+    // ordering); two NaNs tie and defer to the next key.
     if (!metric_indices.empty()) {
-        const std::size_t m0 = metric_indices.front();
-        const bool minimize = senses.front() == Sense::Minimize;
         std::sort(front.begin(), front.end(),
                   [&](std::size_t a, std::size_t b) {
-                      const double av = transitions[a].observation[m0];
-                      const double bv = transitions[b].observation[m0];
-                      const bool aNan = std::isnan(av);
-                      const bool bNan = std::isnan(bv);
-                      if (aNan || bNan)
-                          return !aNan && bNan;
-                      return minimize ? av < bv : av > bv;
+                      for (std::size_t k = 0; k < metric_indices.size();
+                           ++k) {
+                          const std::size_t m = metric_indices[k];
+                          const double sg =
+                              senses[k] == Sense::Minimize ? 1.0 : -1.0;
+                          const double av =
+                              sg * transitions[a].observation[m];
+                          const double bv =
+                              sg * transitions[b].observation[m];
+                          const bool aNan = std::isnan(av);
+                          const bool bNan = std::isnan(bv);
+                          if (aNan != bNan)
+                              return !aNan;  // NaN sorts last
+                          if (!aNan && av != bv)
+                              return av < bv;
+                      }
+                      return a < b;
                   });
     }
     return front;

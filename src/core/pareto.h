@@ -37,10 +37,15 @@ bool dominates(const Metrics &a, const Metrics &b,
 /**
  * Indices (into `transitions`) of the non-dominated set. Duplicated
  * metric vectors keep their first occurrence only. Order follows the
- * first selected metric, best first.
+ * selected metrics lexicographically (first metric best first, later
+ * metrics and the index breaking ties), which both fast paths and the
+ * naive oracle produce identically.
  *
- * For the common two-metric case this runs a sort-based skyline sweep
- * in O(N log N); other arities fall back to the all-pairs scan.
+ * The two-metric case runs a sort-based skyline sweep in O(N log N);
+ * the three-metric case — the paper's native <latency, power, area>
+ * tuples — runs the m0-sorted sweep with a prefix-min tree over the
+ * compressed second metric, also O(N log N). Other arities, and any
+ * input containing NaN metrics, fall back to the all-pairs scan.
  */
 std::vector<std::size_t>
 paretoFront(const std::vector<Transition> &transitions,

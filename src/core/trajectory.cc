@@ -1,6 +1,7 @@
 #include "trajectory.h"
 
 #include <algorithm>
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -9,8 +10,22 @@
 #include <ostream>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 namespace archgym {
+
+namespace {
+
+/** Shortest round-trip rendering of a double (to_chars). */
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+}
+
+} // namespace
 
 void
 TrajectoryLog::writeCsv(std::ostream &os, const ParamSpace &space,
@@ -24,17 +39,24 @@ TrajectoryLog::writeCsv(std::ostream &os, const ParamSpace &space,
     for (const auto &m : metric_names)
         os << "," << m;
     os << ",reward\n";
+    std::string line;
     for (const auto &t : transitions_) {
+        line.clear();
         bool first = true;
         for (double a : t.action) {
             if (!first)
-                os << ",";
-            os << a;
+                line.push_back(',');
+            appendDouble(line, a);
             first = false;
         }
-        for (double m : t.observation)
-            os << "," << m;
-        os << "," << t.reward << "\n";
+        for (double m : t.observation) {
+            line.push_back(',');
+            appendDouble(line, m);
+        }
+        line.push_back(',');
+        appendDouble(line, t.reward);
+        line.push_back('\n');
+        os << line;
     }
 }
 
@@ -50,71 +72,149 @@ commentValue(const std::string &line, const std::string &key)
     return "";
 }
 
+/** Parse one full CSV cell as a double; the whole cell must consume. */
+double
+parseCell(const std::string &cell, std::size_t line_number)
+{
+    double value = 0.0;
+    const char *begin = cell.data();
+    const char *end = begin + cell.size();
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc{} || res.ptr != end)
+        throw std::runtime_error("trajectory CSV line " +
+                                 std::to_string(line_number) +
+                                 ": non-numeric cell '" + cell + "'");
+    return value;
+}
+
+/** In-flight state of one CSV trajectory block. */
+struct BlockState
+{
+    std::string env, agent, hp;
+    std::size_t actionDims = 0;
+    std::size_t columns = 0;
+    bool headerSeen = false;
+    std::vector<std::vector<double>> rows;
+    bool any = false;  ///< block has produced at least one line
+
+    TrajectoryLog finalize(std::size_t line_number) const
+    {
+        TrajectoryLog log(env, agent, hp);
+        if (rows.empty())
+            return log;
+        // writeCsv stamps the action/observation split into the header;
+        // for foreign CSVs without the hint, fall back to assuming
+        // three trailing metric columns plus the reward.
+        const std::size_t total = rows.front().size();
+        std::size_t dims = actionDims;
+        if (actionDims >= total && actionDims != 0)
+            throw std::runtime_error(
+                "trajectory CSV line " + std::to_string(line_number) +
+                ": action_dims=" + std::to_string(actionDims) +
+                " not smaller than column count " + std::to_string(total));
+        if (dims == 0)
+            dims = total > 4 ? total - 4 : total - 1;
+        for (const auto &row : rows) {
+            Transition t;
+            t.action.assign(row.begin(),
+                            row.begin() +
+                                static_cast<std::ptrdiff_t>(dims));
+            t.observation.assign(
+                row.begin() + static_cast<std::ptrdiff_t>(dims),
+                row.end() - 1);
+            t.reward = row.back();
+            log.append(std::move(t));
+        }
+        return log;
+    }
+};
+
 } // namespace
+
+std::vector<TrajectoryLog>
+TrajectoryLog::readCsvAll(std::istream &is)
+{
+    std::vector<TrajectoryLog> logs;
+    BlockState block;
+    std::string line;
+    std::size_t lineNumber = 0;
+
+    while (std::getline(is, line)) {
+        ++lineNumber;
+        // Tolerate CRLF files: getline leaves the '\r', which would
+        // otherwise poison the last cell of every row.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            if (auto v = commentValue(line, "env"); !v.empty()) {
+                // A fresh `# env=` after this block's header row starts
+                // the next trajectory of a multi-block (shard) CSV.
+                if (block.headerSeen) {
+                    logs.push_back(block.finalize(lineNumber));
+                    block = BlockState{};
+                }
+                block.env = v;
+                block.any = true;
+            } else if (auto a = commentValue(line, "agent"); !a.empty()) {
+                block.agent = a;
+                block.any = true;
+            } else if (auto h = commentValue(line, "hyperparams");
+                       !h.empty()) {
+                block.hp = h;
+                block.any = true;
+            } else if (auto d = commentValue(line, "action_dims");
+                       !d.empty()) {
+                std::size_t dims = 0;
+                const auto res = std::from_chars(
+                    d.data(), d.data() + d.size(), dims);
+                if (res.ec != std::errc{} ||
+                    res.ptr != d.data() + d.size())
+                    throw std::runtime_error(
+                        "trajectory CSV line " +
+                        std::to_string(lineNumber) +
+                        ": bad action_dims '" + d + "'");
+                block.actionDims = dims;
+                block.any = true;
+            }
+            continue;
+        }
+        if (!block.headerSeen) {
+            // Header: param names, metric names, then "reward". Only the
+            // column count is needed here; action_dims splits the row.
+            block.headerSeen = true;
+            block.any = true;
+            block.columns = static_cast<std::size_t>(std::count(
+                                line.begin(), line.end(), ',')) +
+                            1;
+            continue;
+        }
+        std::vector<double> row;
+        row.reserve(block.columns);
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ','))
+            row.push_back(parseCell(cell, lineNumber));
+        if (row.size() != block.columns)
+            throw std::runtime_error(
+                "trajectory CSV line " + std::to_string(lineNumber) +
+                ": expected " + std::to_string(block.columns) +
+                " cells (from header), got " +
+                std::to_string(row.size()));
+        block.any = true;
+        block.rows.push_back(std::move(row));
+    }
+    if (block.any)
+        logs.push_back(block.finalize(lineNumber + 1));
+    return logs;
+}
 
 TrajectoryLog
 TrajectoryLog::readCsv(std::istream &is)
 {
-    std::string env, agent, hp;
-    std::string line;
-    std::size_t columns = 0;
-    std::size_t actionDims = 0;
-    std::vector<std::vector<double>> rows;
-    bool headerSeen = false;
-
-    while (std::getline(is, line)) {
-        if (line.empty())
-            continue;
-        if (line[0] == '#') {
-            if (auto v = commentValue(line, "env"); !v.empty())
-                env = v;
-            else if (auto a = commentValue(line, "agent"); !a.empty())
-                agent = a;
-            else if (auto h = commentValue(line, "hyperparams"); !h.empty())
-                hp = h;
-            else if (auto d = commentValue(line, "action_dims");
-                     !d.empty())
-                actionDims = std::stoul(d);
-            continue;
-        }
-        if (!headerSeen) {
-            // Header: param names, metric names, then "reward". We only
-            // need the column count and (heuristically) where metrics
-            // begin — readers that need exact splits keep the space.
-            headerSeen = true;
-            columns = static_cast<std::size_t>(
-                          std::count(line.begin(), line.end(), ',')) + 1;
-            continue;
-        }
-        std::vector<double> row;
-        row.reserve(columns);
-        std::stringstream ss(line);
-        std::string cell;
-        while (std::getline(ss, cell, ','))
-            row.push_back(std::stod(cell));
-        rows.push_back(std::move(row));
-    }
-
-    TrajectoryLog log(env, agent, hp);
-    if (rows.empty())
-        return log;
-    // writeCsv stamps the action/observation split into the header; for
-    // foreign CSVs without the hint, fall back to assuming three
-    // trailing metric columns plus the reward.
-    const std::size_t total = rows.front().size();
-    if (actionDims == 0 || actionDims >= total)
-        actionDims = total > 4 ? total - 4 : total - 1;
-    for (const auto &row : rows) {
-        Transition t;
-        t.action.assign(row.begin(),
-                        row.begin() + static_cast<std::ptrdiff_t>(actionDims));
-        t.observation.assign(
-            row.begin() + static_cast<std::ptrdiff_t>(actionDims),
-            row.end() - 1);
-        t.reward = row.back();
-        log.append(std::move(t));
-    }
-    return log;
+    const auto logs = readCsvAll(is);
+    return logs.empty() ? TrajectoryLog() : logs.front();
 }
 
 std::size_t
@@ -203,21 +303,41 @@ Dataset::saveDirectory(const std::string &directory,
     }
 }
 
-Dataset
-Dataset::loadDirectory(const std::string &directory)
+namespace {
+
+void
+loadDirectoryInto(Dataset &dataset, const std::filesystem::path &directory)
 {
     namespace fs = std::filesystem;
-    Dataset dataset;
-    std::vector<fs::path> files;
+    // Sort entries by path before loading: raw directory-iteration
+    // order is filesystem- and creation-order-dependent, which would
+    // make the same seeded sample() draw different transitions on
+    // different machines.
+    std::vector<fs::path> files, subdirs;
     for (const auto &entry : fs::directory_iterator(directory)) {
-        if (entry.path().extension() == ".csv")
+        if (entry.is_directory())
+            subdirs.push_back(entry.path());
+        else if (entry.path().extension() == ".csv")
             files.push_back(entry.path());
     }
     std::sort(files.begin(), files.end());
+    std::sort(subdirs.begin(), subdirs.end());
     for (const auto &file : files) {
         std::ifstream in(file);
-        dataset.add(TrajectoryLog::readCsv(in));
+        for (auto &log : TrajectoryLog::readCsvAll(in))
+            dataset.add(std::move(log));
     }
+    for (const auto &sub : subdirs)
+        loadDirectoryInto(dataset, sub);
+}
+
+} // namespace
+
+Dataset
+Dataset::loadDirectory(const std::string &directory)
+{
+    Dataset dataset;
+    loadDirectoryInto(dataset, directory);
     return dataset;
 }
 
@@ -238,6 +358,79 @@ Dataset::sampleDiverse(std::size_t n, const std::vector<std::string> &agents,
         out.insert(out.end(), drawn.begin(), drawn.end());
     }
     return out;
+}
+
+// ---------------------------------------------------------------------
+// StreamingDatasetWriter
+// ---------------------------------------------------------------------
+
+StreamingDatasetWriter::StreamingDatasetWriter(
+    const std::string &path, const ParamSpace &space,
+    std::vector<std::string> metric_names, std::size_t first_index,
+    std::size_t count)
+    : space_(space), metricNames_(std::move(metric_names)),
+      out_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      next_(first_index), end_(first_index + count)
+{
+    if (!*out_)
+        throw std::runtime_error("StreamingDatasetWriter: cannot open " +
+                                 path);
+}
+
+StreamingDatasetWriter::~StreamingDatasetWriter() = default;
+
+void
+StreamingDatasetWriter::append(std::size_t index, const TrajectoryLog &log)
+{
+    // Serialize outside the lock; only the ordered file append is
+    // critical. Buffering the serialized bytes (not the log) keeps the
+    // out-of-order window cheap: at most ~worker-count blocks.
+    std::ostringstream block;
+    log.writeCsv(block, space_, metricNames_);
+    std::string bytes = block.str();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index < next_ || index >= end_ || pending_.count(index))
+        throw std::runtime_error(
+            "StreamingDatasetWriter: duplicate or out-of-range index " +
+            std::to_string(index));
+    if (index != next_) {
+        pending_.emplace(index, std::move(bytes));
+        return;
+    }
+    *out_ << bytes;
+    ++next_;
+    // Drain any successors that were only waiting for this index.
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+        *out_ << pending_.begin()->second;
+        pending_.erase(pending_.begin());
+        ++next_;
+    }
+}
+
+void
+StreamingDatasetWriter::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out_->is_open())
+        return;
+    if (next_ != end_)
+        throw std::runtime_error(
+            "StreamingDatasetWriter: closed with runs missing (next " +
+            std::to_string(next_) + ", expected " + std::to_string(end_) +
+            ")");
+    out_->flush();
+    if (!*out_)
+        throw std::runtime_error(
+            "StreamingDatasetWriter: flush failed on close");
+    out_->close();
+}
+
+std::size_t
+StreamingDatasetWriter::written() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_;
 }
 
 } // namespace archgym

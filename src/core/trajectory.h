@@ -7,12 +7,63 @@
  * uniformly. Accumulated trajectories form standardized datasets that are
  * merged (for size) or sampled by agent type (for diversity) to train
  * proxy cost models.
+ *
+ * ## Dataset CSV schema
+ *
+ * One trajectory serializes (writeCsv) as a *block*:
+ *
+ *     # env=<environment name>
+ *     # agent=<agent name>
+ *     # hyperparams=<HyperParams::str(), e.g. "lr=0.1,pop=32">
+ *     # action_dims=<number of action columns>
+ *     <param>,<param>,...,<metric>,<metric>,...,reward      <- header row
+ *     1,4,0.5,...                                           <- data rows
+ *
+ * The comment-header keys are `env`, `agent`, `hyperparams`, and
+ * `action_dims`; `action_dims` is the authoritative split between the
+ * action columns and the metric columns (readers fall back to assuming
+ * three metrics + reward only for foreign CSVs without the hint).
+ * Doubles are written in shortest round-trip form (std::to_chars), so a
+ * CSV round trip is value-exact. A file may hold many blocks back to
+ * back — each `# env=` line after a header row starts a new trajectory —
+ * which is how per-shard CSVs stream many runs into one file.
+ *
+ * ## Shard / manifest layout and the resume contract
+ *
+ * A sharded sweep directory (see runSweepSharded in core/driver.h) is:
+ *
+ *     <dir>/manifest.json       sweep identity: agent, configCount,
+ *                               shardSize, baseSeed, maxSamples,
+ *                               exportDataset, configsHash
+ *     <dir>/shard_0000.jsonl    one JSON line per configuration:
+ *                               config index, seed, bestReward,
+ *                               bestSampleIndex, samplesUsed,
+ *                               bestAction, hyper
+ *     <dir>/shard_0000.csv      that shard's trajectories (multi-block
+ *                               CSV, present when exportDataset)
+ *     ...                       shard_0001.*, shard_0002.*, ...
+ *
+ * Shards are deterministic config-range partitions ([0,S), [S,2S), ...)
+ * and per-config seeds depend only on the config index, so any shard
+ * re-runs bit-identically in isolation. Both shard files are written to
+ * `.tmp` names and renamed only once the whole shard is done — the
+ * rename of the .jsonl is the shard's atomic completion marker. Resume
+ * therefore: validates the manifest against the requested sweep
+ * (mismatch throws), deletes stray `.tmp` files (the interrupted
+ * in-flight shard), re-ingests completed shards from their .jsonl, and
+ * re-runs only the missing ones, yielding results and dataset files
+ * bit-identical to an uninterrupted run at any worker count.
+ * Dataset::loadDirectory ingests such directories transparently (it
+ * reads every *.csv, recursing into subdirectories, in sorted order).
  */
 
 #ifndef ARCHGYM_CORE_TRAJECTORY_H
 #define ARCHGYM_CORE_TRAJECTORY_H
 
 #include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,14 +113,25 @@ class TrajectoryLog
     }
 
     /**
-     * CSV serialization: header row (agent,env,hyperparams comment lines,
-     * then action dims + metric names + reward), one row per transition.
+     * CSV serialization: one block of the schema documented in the file
+     * header (comment metadata, header row, one row per transition).
+     * Doubles are shortest-round-trip, so read-back is value-exact.
      */
     void writeCsv(std::ostream &os, const ParamSpace &space,
                   const std::vector<std::string> &metric_names) const;
 
-    /** Parse a CSV previously produced by writeCsv(). */
+    /**
+     * Parse the first block of a CSV previously produced by writeCsv().
+     *
+     * Malformed input throws std::runtime_error with a 1-based line
+     * number: a data row whose cell count differs from the header row's,
+     * a non-numeric (or partially numeric) cell, or an `action_dims`
+     * hint that is not smaller than the column count.
+     */
     static TrajectoryLog readCsv(std::istream &is);
+
+    /** Parse every block of a (possibly multi-trajectory) CSV. */
+    static std::vector<TrajectoryLog> readCsvAll(std::istream &is);
 
   private:
     std::string envName_;
@@ -124,7 +186,14 @@ class Dataset
                        const ParamSpace &space,
                        const std::vector<std::string> &metric_names) const;
 
-    /** Load every *.csv under `directory` produced by saveDirectory. */
+    /**
+     * Load every *.csv under `directory` (including multi-block shard
+     * CSVs from a sharded sweep), recursing into subdirectories.
+     * Entries are visited in sorted path order, never in raw
+     * filesystem-iteration order, so the log order — and therefore
+     * every seeded sample()/sampleDiverse() draw — is identical across
+     * machines and filesystems for the same directory contents.
+     */
     static Dataset loadDirectory(const std::string &directory);
 
   private:
@@ -132,6 +201,59 @@ class Dataset
     drawFrom(const std::vector<Transition> &pool, std::size_t n, Rng &rng);
 
     std::vector<TrajectoryLog> logs_;
+};
+
+/**
+ * Streams finished trajectories into one multi-block CSV, in run-index
+ * order, as runs complete — the bounded-memory export path of the
+ * sharded sweep engine: a sweep no longer retains every trajectory
+ * until the end, it retains at most the few blocks that finished ahead
+ * of the next index to write.
+ *
+ * append() is thread-safe and may be called from worker threads in any
+ * completion order; blocks are buffered (serialized, not as live logs)
+ * until their index is next, so the file bytes depend only on the runs
+ * themselves, never on scheduling. close() flushes and closes the
+ * stream; it throws if indices in [first_index, first_index + count)
+ * are still missing, since a gap means the shard is incomplete.
+ */
+class StreamingDatasetWriter
+{
+  public:
+    /**
+     * @param path          output CSV (created/truncated)
+     * @param space         action space, for the CSV header
+     * @param metric_names  observation names, for the CSV header
+     * @param first_index   first run index of this file's range
+     * @param count         number of runs this file will hold
+     */
+    StreamingDatasetWriter(const std::string &path, const ParamSpace &space,
+                           std::vector<std::string> metric_names,
+                           std::size_t first_index, std::size_t count);
+    ~StreamingDatasetWriter();
+
+    StreamingDatasetWriter(const StreamingDatasetWriter &) = delete;
+    StreamingDatasetWriter &
+    operator=(const StreamingDatasetWriter &) = delete;
+
+    /** Queue run `index`'s trajectory; writes it (and any unblocked
+     *  successors) once every earlier index has been written. */
+    void append(std::size_t index, const TrajectoryLog &log);
+
+    /** Flush and close; throws std::runtime_error on a missing index. */
+    void close();
+
+    /** Runs written to the file so far (not merely queued). */
+    std::size_t written() const;
+
+  private:
+    const ParamSpace &space_;
+    const std::vector<std::string> metricNames_;
+    std::unique_ptr<std::ofstream> out_;
+    mutable std::mutex mutex_;
+    std::size_t next_;                          ///< next index to write
+    std::size_t end_;                           ///< one past last index
+    std::map<std::size_t, std::string> pending_; ///< serialized blocks
 };
 
 } // namespace archgym

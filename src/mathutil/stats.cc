@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace archgym {
@@ -11,7 +12,7 @@ Summary::relativeSpread() const
 {
     const double denom = std::abs(median);
     if (denom < 1e-300)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return iqr() / denom;
 }
 
@@ -21,7 +22,12 @@ Summary::str() const
     std::ostringstream os;
     os << "n=" << count << " min=" << min << " q1=" << q1
        << " med=" << median << " q3=" << q3 << " max=" << max
-       << " mean=" << mean << " iqr=" << iqr();
+       << " mean=" << mean << " iqr=" << iqr() << " spread=";
+    const double spread = relativeSpread();
+    if (std::isnan(spread))
+        os << "n/a";
+    else
+        os << spread;
     return os.str();
 }
 
@@ -57,19 +63,26 @@ stddev(const std::vector<double> &xs)
 double
 percentile(std::vector<double> xs, double p)
 {
-    if (xs.empty())
-        return 0.0;
     std::sort(xs.begin(), xs.end());
+    return percentileSorted(xs, p);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted_xs, double p)
+{
+    if (sorted_xs.empty())
+        return 0.0;
     if (p <= 0.0)
-        return xs.front();
+        return sorted_xs.front();
     if (p >= 100.0)
-        return xs.back();
-    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+        return sorted_xs.back();
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted_xs.size() - 1);
     const auto lo = static_cast<std::size_t>(rank);
     const double frac = rank - static_cast<double>(lo);
-    if (lo + 1 >= xs.size())
-        return xs.back();
-    return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+    if (lo + 1 >= sorted_xs.size())
+        return sorted_xs.back();
+    return sorted_xs[lo] * (1.0 - frac) + sorted_xs[lo + 1] * frac;
 }
 
 Summary
@@ -79,13 +92,15 @@ summarize(const std::vector<double> &xs)
     s.count = xs.size();
     if (xs.empty())
         return s;
+    // One sort serves min/max and all three quartiles; the old path
+    // copied and re-sorted the already-sorted vector once per quartile.
     std::vector<double> sorted(xs);
     std::sort(sorted.begin(), sorted.end());
     s.min = sorted.front();
     s.max = sorted.back();
-    s.q1 = percentile(sorted, 25.0);
-    s.median = percentile(sorted, 50.0);
-    s.q3 = percentile(sorted, 75.0);
+    s.q1 = percentileSorted(sorted, 25.0);
+    s.median = percentileSorted(sorted, 50.0);
+    s.q3 = percentileSorted(sorted, 75.0);
     s.mean = mean(xs);
     s.stddev = stddev(xs);
     return s;

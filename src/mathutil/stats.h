@@ -33,6 +33,12 @@ struct Summary
     /**
      * IQR normalized by the median magnitude, matching the paper's
      * "up to 90% statistical spread" phrasing.
+     *
+     * A near-zero median makes the ratio meaningless: rewards centered
+     * on zero would read as "perfectly stable" (or absurdly spread) no
+     * matter how wide the box plot is. That degenerate case returns
+     * NaN as an explicit sentinel — callers must not fold it into
+     * comparisons silently; str() renders it as "n/a".
      */
     double relativeSpread() const;
 
@@ -56,6 +62,13 @@ double stddev(const std::vector<double> &xs);
  * @param p   percentile in [0, 100]
  */
 double percentile(std::vector<double> xs, double p);
+
+/**
+ * Percentile of an already-sorted (ascending) sample vector — no copy,
+ * no re-sort. summarize() uses this so one sort serves all five
+ * order statistics instead of four.
+ */
+double percentileSorted(const std::vector<double> &sorted_xs, double p);
 
 /** Compute the full summary of a sample set. */
 Summary summarize(const std::vector<double> &xs);

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -410,6 +412,206 @@ TEST(Dataset, FourMetricCsvRoundTripsViaActionDimsHint)
     EXPECT_EQ(back[0].action, (Action{1.0, 2.0}));
     EXPECT_EQ(back[0].observation,
               (Metrics{10.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(TrajectoryLog, ReadCsvThrowsOnShortRowWithLineNumber)
+{
+    // Regression: a data row with fewer cells than the header used to
+    // run out-of-bounds iterator arithmetic (row.begin() + actionDims
+    // past row.end(), row.end() - 1 on an empty row) instead of
+    // failing cleanly.
+    std::stringstream ss("# env=E\n# agent=A\n# action_dims=2\n"
+                         "x,y,m,reward\n"
+                         "1,2,3,0.5\n"
+                         "1,2\n");
+    try {
+        TrajectoryLog::readCsv(ss);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 6"), std::string::npos) << what;
+        EXPECT_NE(what.find("expected 4"), std::string::npos) << what;
+    }
+}
+
+TEST(TrajectoryLog, ReadCsvThrowsOnWideRowWithLineNumber)
+{
+    std::stringstream ss("# env=E\n# action_dims=1\n"
+                         "x,m,reward\n"
+                         "1,2,3,4,5\n");
+    try {
+        TrajectoryLog::readCsv(ss);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 4"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TrajectoryLog, ReadCsvThrowsOnNonNumericCell)
+{
+    // Regression: std::stod on a non-numeric cell used to escape as an
+    // uncaught std::invalid_argument; partial parses ("1.5abc") were
+    // silently truncated.
+    std::stringstream junk("# env=E\n# action_dims=1\n"
+                           "x,m,reward\n"
+                           "1,bogus,0.5\n");
+    try {
+        TrajectoryLog::readCsv(junk);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("bogus"), std::string::npos) << what;
+    }
+
+    std::stringstream partial("# env=E\n# action_dims=1\n"
+                              "x,m,reward\n"
+                              "1,2.5abc,0.5\n");
+    EXPECT_THROW(TrajectoryLog::readCsv(partial), std::runtime_error);
+}
+
+TEST(TrajectoryLog, ReadCsvThrowsOnOversizedActionDimsHint)
+{
+    std::stringstream ss("# env=E\n# action_dims=7\n"
+                         "x,m,reward\n"
+                         "1,2,0.5\n");
+    EXPECT_THROW(TrajectoryLog::readCsv(ss), std::runtime_error);
+}
+
+TEST(TrajectoryLog, ReadCsvThrowsOnGarbageActionDimsHint)
+{
+    // `# action_dims=abc` must be a line-numbered runtime_error, not a
+    // std::invalid_argument escaping from std::stoul.
+    std::stringstream ss("# env=E\n# action_dims=abc\n"
+                         "x,m,reward\n"
+                         "1,2,0.5\n");
+    try {
+        TrajectoryLog::readCsv(ss);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TrajectoryLog, ReadCsvToleratesCrlfLineEndings)
+{
+    std::stringstream ss("# env=E\r\n# agent=A\r\n# action_dims=1\r\n"
+                         "x,m,reward\r\n"
+                         "1,2,0.5\r\n");
+    const TrajectoryLog log = TrajectoryLog::readCsv(ss);
+    EXPECT_EQ(log.envName(), "E");
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0].action, (Action{1.0}));
+    EXPECT_EQ(log[0].observation, (Metrics{2.0}));
+    EXPECT_DOUBLE_EQ(log[0].reward, 0.5);
+}
+
+TEST(TrajectoryLog, ReadCsvAllSplitsMultiBlockFiles)
+{
+    // Shard CSVs stream many trajectories into one file; each `# env=`
+    // after a header row starts the next block.
+    ParamSpace space;
+    space.add(ParamDesc::integer("x", 0, 9));
+    std::stringstream ss;
+    for (int b = 0; b < 3; ++b) {
+        TrajectoryLog log("Env" + std::to_string(b),
+                          "Agent" + std::to_string(b), "k=1");
+        for (int t = 0; t <= b; ++t)
+            log.append(Transition{{static_cast<double>(t)},
+                                  {static_cast<double>(10 * b + t)},
+                                  0.25 * t});
+        log.writeCsv(ss, space, {"m"});
+    }
+    const auto logs = TrajectoryLog::readCsvAll(ss);
+    ASSERT_EQ(logs.size(), 3u);
+    for (int b = 0; b < 3; ++b) {
+        EXPECT_EQ(logs[b].envName(), "Env" + std::to_string(b));
+        EXPECT_EQ(logs[b].agentName(), "Agent" + std::to_string(b));
+        ASSERT_EQ(logs[b].size(), static_cast<std::size_t>(b + 1));
+        EXPECT_EQ(logs[b][b].observation,
+                  (Metrics{static_cast<double>(10 * b + b)}));
+    }
+}
+
+TEST(Dataset, LoadDirectoryDeterministicAcrossCreationOrder)
+{
+    // Regression: loads must be ordered by sorted path, never by
+    // filesystem-iteration order, or the same seeded sample() draws
+    // different transitions on different machines. Create files in
+    // shuffled order (creation order drives iteration order on many
+    // filesystems), load twice, and require identical logs and draws.
+    namespace fs = std::filesystem;
+    ParamSpace space;
+    space.add(ParamDesc::integer("x", 0, 99));
+    const std::string dir = ::testing::TempDir() + "/archgym_ds_order";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::vector<std::string> names = {"003_b.csv", "000_a.csv",
+                                            "002_d.csv", "001_c.csv"};
+    for (std::size_t k = 0; k < names.size(); ++k) {
+        TrajectoryLog log("Env", "A" + std::to_string(k), "");
+        for (int t = 0; t < 5; ++t)
+            log.append(Transition{{static_cast<double>(k)},
+                                  {static_cast<double>(10 * k + t)},
+                                  0.1 * t});
+        std::ofstream out(fs::path(dir) / names[k]);
+        log.writeCsv(out, space, {"m"});
+    }
+
+    const Dataset first = Dataset::loadDirectory(dir);
+    const Dataset second = Dataset::loadDirectory(dir);
+    ASSERT_EQ(first.logCount(), 4u);
+    // Sorted by filename: 000_a (k=1), 001_c (k=3), 002_d (k=2),
+    // 003_b (k=0).
+    EXPECT_EQ(first.log(0).agentName(), "A1");
+    EXPECT_EQ(first.log(1).agentName(), "A3");
+    EXPECT_EQ(first.log(2).agentName(), "A2");
+    EXPECT_EQ(first.log(3).agentName(), "A0");
+    for (std::size_t i = 0; i < first.logCount(); ++i) {
+        EXPECT_EQ(second.log(i).agentName(), first.log(i).agentName());
+        ASSERT_EQ(second.log(i).size(), first.log(i).size());
+    }
+
+    Rng rngA(77), rngB(77);
+    const auto drawA = first.sample(12, rngA);
+    const auto drawB = second.sample(12, rngB);
+    ASSERT_EQ(drawA.size(), drawB.size());
+    for (std::size_t i = 0; i < drawA.size(); ++i) {
+        EXPECT_EQ(drawA[i].action, drawB[i].action);
+        EXPECT_EQ(drawA[i].observation, drawB[i].observation);
+        EXPECT_EQ(drawA[i].reward, drawB[i].reward);
+    }
+}
+
+TEST(Dataset, LoadDirectoryRecursesIntoSubdirectoriesSorted)
+{
+    namespace fs = std::filesystem;
+    ParamSpace space;
+    space.add(ParamDesc::integer("x", 0, 9));
+    const std::string dir = ::testing::TempDir() + "/archgym_ds_rec";
+    fs::remove_all(dir);
+    fs::create_directories(fs::path(dir) / "bb");
+    fs::create_directories(fs::path(dir) / "aa");
+    const auto write = [&](const fs::path &p, const std::string &agent) {
+        TrajectoryLog log("Env", agent, "");
+        log.append(Transition{{1.0}, {2.0}, 0.5});
+        std::ofstream out(p);
+        log.writeCsv(out, space, {"m"});
+    };
+    write(fs::path(dir) / "top.csv", "TOP");
+    write(fs::path(dir) / "bb" / "x.csv", "BB");
+    write(fs::path(dir) / "aa" / "x.csv", "AA");
+
+    const Dataset ds = Dataset::loadDirectory(dir);
+    ASSERT_EQ(ds.logCount(), 3u);
+    // Top-level files first, then subdirectories in sorted order.
+    EXPECT_EQ(ds.log(0).agentName(), "TOP");
+    EXPECT_EQ(ds.log(1).agentName(), "AA");
+    EXPECT_EQ(ds.log(2).agentName(), "BB");
 }
 
 // --------------------------------------------------------------------

@@ -201,6 +201,37 @@ TEST(Stats, SummaryEmpty)
     EXPECT_DOUBLE_EQ(s.iqr(), 0.0);
 }
 
+TEST(Stats, PercentileSortedMatchesPercentile)
+{
+    Rng rng(17);
+    std::vector<double> xs;
+    for (int i = 0; i < 257; ++i)
+        xs.push_back(rng.uniform(-50.0, 50.0));
+    std::vector<double> sorted(xs);
+    std::sort(sorted.begin(), sorted.end());
+    for (const double p : {0.0, 3.0, 25.0, 50.0, 77.7, 100.0})
+        EXPECT_DOUBLE_EQ(percentileSorted(sorted, p), percentile(xs, p))
+            << "p=" << p;
+    EXPECT_DOUBLE_EQ(percentileSorted({}, 50.0), 0.0);
+}
+
+TEST(Stats, RelativeSpreadNearZeroMedianIsNaN)
+{
+    // Regression: a wildly spread sample centered on zero used to
+    // report relativeSpread() == 0 — i.e. "perfectly stable" — in the
+    // lottery box plots. The degenerate case is now an explicit NaN
+    // sentinel rendered as "n/a".
+    const Summary s = summarize({-100.0, -50.0, 0.0, 50.0, 100.0});
+    EXPECT_GT(s.iqr(), 0.0);
+    EXPECT_TRUE(std::isnan(s.relativeSpread()));
+    EXPECT_NE(s.str().find("spread=n/a"), std::string::npos) << s.str();
+
+    // A healthy median still reports the ratio, and renders it.
+    const Summary ok = summarize({90.0, 95.0, 100.0, 105.0, 110.0});
+    EXPECT_FALSE(std::isnan(ok.relativeSpread()));
+    EXPECT_EQ(ok.str().find("spread=n/a"), std::string::npos);
+}
+
 TEST(Stats, RmseKnownValue)
 {
     EXPECT_DOUBLE_EQ(rmse({1.0, 2.0}, {1.0, 2.0}), 0.0);

@@ -224,6 +224,155 @@ TEST(ParetoFront, SkylineMatchesNaiveOnReversedMetricOrder)
 }
 
 // --------------------------------------------------------------------
+// Three-metric skyline
+// --------------------------------------------------------------------
+
+Transition
+point3(double x, double y, double z)
+{
+    Transition t;
+    t.observation = {x, y, z};
+    return t;
+}
+
+const std::vector<std::size_t> kThree = {0, 1, 2};
+const std::vector<Sense> kMinMinMin = {Sense::Minimize, Sense::Minimize,
+                                       Sense::Minimize};
+
+TEST(ParetoFront3d, KnownFront)
+{
+    const std::vector<Transition> pts = {
+        point3(1.0, 5.0, 5.0),  // front: best x
+        point3(2.0, 4.0, 6.0),  // dominated by index 3
+        point3(3.0, 5.0, 5.0),  // dominated by index 0
+        point3(2.0, 4.0, 4.0),  // front: trades x for y/z
+        point3(1.0, 5.0, 5.0),  // duplicate of index 0
+    };
+    const auto front = paretoFront(pts, kThree, kMinMinMin);
+    EXPECT_EQ(front, paretoFrontNaive(pts, kThree, kMinMinMin));
+    // 0 (best x), 3 (dominates 1), duplicates and dominated dropped.
+    EXPECT_EQ(front, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(ParetoFront3d, SkylineMatchesNaiveOracleOnRandomClouds)
+{
+    // The 3-metric fast path (m0-sorted sweep + prefix-min tree over
+    // the compressed second metric) against the all-pairs oracle:
+    // exact agreement, including index order, first-occurrence
+    // duplicate handling, and tie-heavy quantized coordinates, under
+    // every sense combination.
+    Rng rng(271);
+    const std::vector<std::vector<Sense>> senseCombos = {
+        {Sense::Minimize, Sense::Minimize, Sense::Minimize},
+        {Sense::Minimize, Sense::Maximize, Sense::Minimize},
+        {Sense::Maximize, Sense::Minimize, Sense::Maximize},
+        {Sense::Maximize, Sense::Maximize, Sense::Maximize},
+    };
+    for (int trial = 0; trial < 30; ++trial) {
+        // Coarse grids force duplicated vectors and per-metric ties;
+        // trial 0's grid of 1.0 over [0,4] is extremely tie-heavy.
+        const double grid = trial % 3 == 0 ? 1.0 : 0.25;
+        const double span = trial % 3 == 0 ? 4.0 : 8.0;
+        const std::size_t n = 1 + static_cast<std::size_t>(
+                                      rng.below(trial % 4 == 0 ? 10 : 300));
+        std::vector<Transition> pts;
+        pts.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            pts.push_back(point3(
+                std::round(rng.uniform(0.0, span) / grid) * grid,
+                std::round(rng.uniform(0.0, span) / grid) * grid,
+                std::round(rng.uniform(0.0, span) / grid) * grid));
+        }
+        for (const auto &senses : senseCombos) {
+            EXPECT_EQ(paretoFront(pts, kThree, senses),
+                      paretoFrontNaive(pts, kThree, senses))
+                << "trial " << trial << " n " << n;
+        }
+    }
+}
+
+TEST(ParetoFront3d, DuplicatesKeepFirstOccurrence)
+{
+    const std::vector<Transition> pts = {point3(1.0, 2.0, 3.0),
+                                         point3(1.0, 2.0, 3.0),
+                                         point3(1.0, 2.0, 3.0)};
+    EXPECT_EQ(paretoFront(pts, kThree, kMinMinMin),
+              (std::vector<std::size_t>{0}));
+}
+
+TEST(ParetoFront3d, InfiniteMetricsMatchNaiveOracle)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<Transition> pts = {
+        point3(1.0, inf, 2.0), point3(2.0, 3.0, inf),
+        point3(inf, 1.0, 1.0), point3(1.0, inf, 3.0),
+        point3(-inf, 5.0, 5.0)};
+    EXPECT_EQ(paretoFront(pts, kThree, kMinMinMin),
+              paretoFrontNaive(pts, kThree, kMinMinMin));
+}
+
+TEST(ParetoFront3d, NanMetricsFallBackToScanWithoutCrashing)
+{
+    const double nan = std::nan("");
+    const std::vector<Transition> pts = {
+        point3(1.0, 5.0, 2.0), point3(nan, 2.0, 1.0),
+        point3(2.0, 1.0, nan), point3(3.0, nan, 0.0),
+        point3(0.5, 0.5, 0.5)};
+    EXPECT_EQ(paretoFront(pts, kThree, kMinMinMin),
+              paretoFrontNaive(pts, kThree, kMinMinMin));
+}
+
+TEST(ParetoFront3d, ReversedAndRepeatedMetricSelection)
+{
+    // Selected metrics need not be {0,1,2} in order; a metric may even
+    // repeat (degenerate but legal), which the oracle defines.
+    Rng rng(99);
+    std::vector<Transition> pts;
+    for (int i = 0; i < 120; ++i)
+        pts.push_back(point3(std::round(rng.uniform(0.0, 5.0)),
+                             std::round(rng.uniform(0.0, 5.0)),
+                             std::round(rng.uniform(0.0, 5.0))));
+    const std::vector<std::size_t> reversed = {2, 0, 1};
+    EXPECT_EQ(paretoFront(pts, reversed, kMinMinMin),
+              paretoFrontNaive(pts, reversed, kMinMinMin));
+    const std::vector<std::size_t> repeated = {1, 1, 2};
+    EXPECT_EQ(paretoFront(pts, repeated, kMinMinMin),
+              paretoFrontNaive(pts, repeated, kMinMinMin));
+}
+
+TEST(ParetoFront3d, FrontIsMutuallyNonDominatedAndCovering)
+{
+    Rng rng(7);
+    std::vector<Transition> pts;
+    for (int i = 0; i < 400; ++i)
+        pts.push_back(point3(rng.uniform(0.0, 10.0),
+                             rng.uniform(0.0, 10.0),
+                             rng.uniform(0.0, 10.0)));
+    const auto front = paretoFront(pts, kThree, kMinMinMin);
+    ASSERT_FALSE(front.empty());
+    for (std::size_t a : front)
+        for (std::size_t b : front)
+            if (a != b)
+                EXPECT_FALSE(dominates(pts[a].observation,
+                                       pts[b].observation, kThree,
+                                       kMinMinMin));
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (std::find(front.begin(), front.end(), i) != front.end())
+            continue;
+        bool covered = false;
+        for (std::size_t f : front) {
+            if (dominates(pts[f].observation, pts[i].observation, kThree,
+                          kMinMinMin) ||
+                pts[f].observation == pts[i].observation) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered) << "point " << i;
+    }
+}
+
+// --------------------------------------------------------------------
 // Hypervolume
 // --------------------------------------------------------------------
 

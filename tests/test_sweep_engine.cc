@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Tests for the sharded, resumable sweep engine (runSweepSharded) and
+ * the streaming dataset export path: interruption/resume bit-identity
+ * at several worker counts, manifest validation, shard re-ingestion,
+ * and the ordered StreamingDatasetWriter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/agent.h"
+#include "core/driver.h"
+#include "core/toy_envs.h"
+#include "core/trajectory.h"
+#include "envs/farsi_gym_env.h"
+
+namespace archgym {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Minimal deterministic agent (same shape as test_core's). */
+class ScriptedAgent : public Agent
+{
+  public:
+    ScriptedAgent(const ParamSpace &space, std::uint64_t seed)
+        : Agent("Scripted", space, {}), rng_(seed)
+    {}
+
+    Action selectAction() override { return space_.sample(rng_); }
+    void observe(const Action &, const Metrics &, double) override {}
+    void reset() override {}
+
+  private:
+    Rng rng_;
+};
+
+AgentBuilder
+scriptedBuilder()
+{
+    return [](const ParamSpace &space, const HyperParams &,
+              std::uint64_t seed) {
+        return std::unique_ptr<Agent>(
+            std::make_unique<ScriptedAgent>(space, seed));
+    };
+}
+
+std::vector<HyperParams>
+dummyConfigs(std::size_t n)
+{
+    HyperGrid grid;
+    std::vector<double> values;
+    for (std::size_t i = 0; i < n; ++i)
+        values.push_back(static_cast<double>(i + 1));
+    grid.add("dummy", values);
+    return grid.enumerate();
+}
+
+EnvFactory
+quadraticFactory()
+{
+    return [] {
+        return std::unique_ptr<Environment>(std::make_unique<QuadraticEnv>(
+            std::vector<double>{3.0, 8.0}));
+    };
+}
+
+std::string
+tempDir(const std::string &name)
+{
+    const fs::path dir = fs::path(::testing::TempDir()) / name;
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+std::string
+fileBytes(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** All shard files (sorted by name) -> concatenated bytes. */
+std::string
+shardBytes(const std::string &dir, const std::string &extension)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir))
+        if (entry.path().extension() == extension &&
+            entry.path().filename().string().rfind("shard_", 0) == 0)
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    std::string bytes;
+    for (const auto &f : files) {
+        bytes += f.filename().string();
+        bytes += '\n';
+        bytes += fileBytes(f);
+    }
+    return bytes;
+}
+
+void
+expectSameResult(const ShardedSweepResult &a, const ShardedSweepResult &b)
+{
+    EXPECT_EQ(a.agentName, b.agentName);
+    EXPECT_EQ(a.bestRewards, b.bestRewards);
+    EXPECT_EQ(a.bestActions, b.bestActions);
+    EXPECT_EQ(a.samplesUsed, b.samplesUsed);
+    EXPECT_EQ(a.seeds, b.seeds);
+    EXPECT_EQ(a.shardCount, b.shardCount);
+}
+
+// --------------------------------------------------------------------
+// Equivalence with the unsharded engines
+// --------------------------------------------------------------------
+
+TEST(ShardedSweep, MatchesUnshardedSweepExactly)
+{
+    const auto configs = dummyConfigs(11);
+    RunConfig cfg;
+    cfg.maxSamples = 30;
+
+    QuadraticEnv serialEnv({3.0, 8.0});
+    const SweepResult serial = runSweep(serialEnv, "Scripted",
+                                        scriptedBuilder(), configs, cfg,
+                                        7);
+
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("sharded_vs_serial");
+    opts.shardSize = 4;  // 3 shards, last one ragged
+    opts.exportDataset = true;
+    const ShardedSweepResult sharded =
+        runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 7);
+
+    EXPECT_TRUE(sharded.complete);
+    EXPECT_EQ(sharded.shardCount, 3u);
+    EXPECT_EQ(sharded.shardsRun, 3u);
+    EXPECT_EQ(sharded.bestRewards, serial.bestRewards);
+    ASSERT_EQ(sharded.bestActions.size(), serial.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+        EXPECT_EQ(sharded.bestActions[i], serial.runs[i].bestAction);
+        EXPECT_EQ(sharded.samplesUsed[i], serial.runs[i].samplesUsed);
+    }
+}
+
+// --------------------------------------------------------------------
+// Interruption / resume
+// --------------------------------------------------------------------
+
+TEST(ShardedSweep, InterruptResumeBitIdenticalAtAnyWorkerCount)
+{
+    const auto configs = dummyConfigs(10);  // 4 shards of 3,3,3,1
+    RunConfig cfg;
+    cfg.maxSamples = 25;
+
+    // Reference: one uninterrupted run (single worker).
+    ShardedSweepOptions refOpts;
+    refOpts.directory = tempDir("resume_ref");
+    refOpts.shardSize = 3;
+    refOpts.numThreads = 1;
+    refOpts.exportDataset = true;
+    const ShardedSweepResult ref =
+        runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                        configs, cfg, refOpts, 11);
+    ASSERT_TRUE(ref.complete);
+    const std::string refCsv = shardBytes(refOpts.directory, ".csv");
+    const std::string refJsonl = shardBytes(refOpts.directory, ".jsonl");
+    ASSERT_FALSE(refCsv.empty());
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+        ShardedSweepOptions opts;
+        opts.directory = tempDir("resume_t" + std::to_string(threads));
+        opts.shardSize = 3;
+        opts.numThreads = threads;
+        opts.exportDataset = true;
+
+        // "Kill" the sweep after 2 of 4 shards...
+        auto interrupted = opts;
+        interrupted.maxShards = 2;
+        const ShardedSweepResult partial = runSweepSharded(
+            quadraticFactory(), "Scripted", scriptedBuilder(), configs,
+            cfg, interrupted, 11);
+        EXPECT_FALSE(partial.complete);
+        EXPECT_EQ(partial.shardsRun, 2u);
+
+        // ... leave half-written in-flight files behind, as a real
+        // interruption mid-shard would ...
+        {
+            std::ofstream garbage(fs::path(opts.directory) /
+                                  "shard_0002.jsonl.tmp");
+            garbage << "{\"config\":torn";
+            std::ofstream torn(fs::path(opts.directory) /
+                               "shard_0002.csv.tmp");
+            torn << "# env=Quadratic\n1,2,3";
+        }
+
+        // ... and resume: completed shards re-ingest, the rest re-run.
+        const ShardedSweepResult resumed = runSweepSharded(
+            quadraticFactory(), "Scripted", scriptedBuilder(), configs,
+            cfg, opts, 11);
+        EXPECT_TRUE(resumed.complete);
+        EXPECT_EQ(resumed.shardsSkipped, 2u) << threads << " threads";
+        EXPECT_EQ(resumed.shardsRun, 2u) << threads << " threads";
+        expectSameResult(resumed, ref);
+        // The exported dataset and the per-config result records are
+        // byte-identical to the uninterrupted run's.
+        EXPECT_EQ(shardBytes(opts.directory, ".csv"), refCsv)
+            << threads << " threads";
+        EXPECT_EQ(shardBytes(opts.directory, ".jsonl"), refJsonl)
+            << threads << " threads";
+        // No stray in-flight files survive a completed resume.
+        for (const auto &entry :
+             fs::directory_iterator(opts.directory))
+            EXPECT_NE(entry.path().extension(), ".tmp");
+    }
+}
+
+TEST(ShardedSweep, FullResumeRunsNothing)
+{
+    const auto configs = dummyConfigs(8);
+    RunConfig cfg;
+    cfg.maxSamples = 20;
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("full_resume");
+    opts.shardSize = 3;
+
+    std::size_t factoryCalls = 0;
+    const EnvFactory countingFactory = [&factoryCalls] {
+        ++factoryCalls;
+        return std::unique_ptr<Environment>(std::make_unique<QuadraticEnv>(
+            std::vector<double>{3.0, 8.0}));
+    };
+    const ShardedSweepResult first =
+        runSweepSharded(countingFactory, "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 3);
+    ASSERT_TRUE(first.complete);
+    const std::size_t callsAfterFirst = factoryCalls;
+
+    const ShardedSweepResult second =
+        runSweepSharded(countingFactory, "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 3);
+    EXPECT_TRUE(second.complete);
+    EXPECT_EQ(second.shardsSkipped, second.shardCount);
+    EXPECT_EQ(second.shardsRun, 0u);
+    // Pure re-ingest: only the metadata environment (manifest identity
+    // check) is built, no per-worker evaluation environments.
+    EXPECT_EQ(factoryCalls, callsAfterFirst + 1);
+    expectSameResult(second, first);
+}
+
+TEST(ShardedSweep, PartialResultMarksIncompleteConfigs)
+{
+    const auto configs = dummyConfigs(9);
+    RunConfig cfg;
+    cfg.maxSamples = 10;
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("partial");
+    opts.shardSize = 3;
+    opts.maxShards = 1;
+    const ShardedSweepResult partial =
+        runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 5);
+    EXPECT_FALSE(partial.complete);
+    EXPECT_EQ(partial.shardsRun, 1u);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_GT(partial.bestRewards[i], 0.0);
+        EXPECT_EQ(partial.samplesUsed[i], 10u);
+    }
+    for (std::size_t i = 3; i < 9; ++i) {
+        EXPECT_EQ(partial.bestRewards[i],
+                  -std::numeric_limits<double>::infinity());
+        EXPECT_EQ(partial.samplesUsed[i], 0u);
+    }
+}
+
+TEST(ShardedSweep, ManifestMismatchThrows)
+{
+    const auto configs = dummyConfigs(6);
+    RunConfig cfg;
+    cfg.maxSamples = 15;
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("mismatch");
+    opts.shardSize = 2;
+    runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                    configs, cfg, opts, 9);
+
+    // Different base seed: different sweep, must not silently mix.
+    EXPECT_THROW(runSweepSharded(quadraticFactory(), "Scripted",
+                                 scriptedBuilder(), configs, cfg, opts,
+                                 10),
+                 std::runtime_error);
+    // Different environment family: foreign results must not re-ingest.
+    const EnvFactory otherEnv = [] {
+        return std::unique_ptr<Environment>(
+            std::make_unique<OneMaxEnv>(4));
+    };
+    EXPECT_THROW(runSweepSharded(otherEnv, "Scripted", scriptedBuilder(),
+                                 configs, cfg, opts, 9),
+                 std::runtime_error);
+    // Different stopping rule.
+    RunConfig stopCfg = cfg;
+    stopCfg.stopWhenSatisfied = true;
+    EXPECT_THROW(runSweepSharded(quadraticFactory(), "Scripted",
+                                 scriptedBuilder(), configs, stopCfg,
+                                 opts, 9),
+                 std::runtime_error);
+    // Different agent name.
+    EXPECT_THROW(runSweepSharded(quadraticFactory(), "Other",
+                                 scriptedBuilder(), configs, cfg, opts,
+                                 9),
+                 std::runtime_error);
+    // Different shard partitioning.
+    auto badShard = opts;
+    badShard.shardSize = 3;
+    EXPECT_THROW(runSweepSharded(quadraticFactory(), "Scripted",
+                                 scriptedBuilder(), configs, cfg,
+                                 badShard, 9),
+                 std::runtime_error);
+    // Different configuration list (hash mismatch).
+    auto otherConfigs = configs;
+    otherConfigs.back().set("dummy", 99.0);
+    EXPECT_THROW(runSweepSharded(quadraticFactory(), "Scripted",
+                                 scriptedBuilder(), otherConfigs, cfg,
+                                 opts, 9),
+                 std::runtime_error);
+    // Different sample budget.
+    RunConfig otherCfg = cfg;
+    otherCfg.maxSamples = 16;
+    EXPECT_THROW(runSweepSharded(quadraticFactory(), "Scripted",
+                                 scriptedBuilder(), configs, otherCfg,
+                                 opts, 9),
+                 std::runtime_error);
+    // The matching sweep still resumes fine after all those rejections.
+    const ShardedSweepResult ok =
+        runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 9);
+    EXPECT_TRUE(ok.complete);
+    EXPECT_EQ(ok.shardsRun, 0u);
+}
+
+// --------------------------------------------------------------------
+// Streaming dataset export
+// --------------------------------------------------------------------
+
+TEST(ShardedSweep, ExportedDatasetMatchesDirectRuns)
+{
+    const auto configs = dummyConfigs(5);
+    RunConfig cfg;
+    cfg.maxSamples = 12;
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("exported");
+    opts.shardSize = 2;
+    opts.exportDataset = true;
+    const ShardedSweepResult sweep =
+        runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 13);
+    ASSERT_TRUE(sweep.complete);
+
+    const Dataset dataset = Dataset::loadDirectory(opts.directory);
+    EXPECT_EQ(dataset.logCount(), configs.size());
+    EXPECT_EQ(dataset.transitionCount(), configs.size() * 12);
+
+    // Every streamed trajectory is value-exact (shortest round-trip
+    // doubles) against a direct re-run of the same config and seed.
+    QuadraticEnv env({3.0, 8.0});
+    RunConfig direct = cfg;
+    direct.logTrajectory = true;
+    for (std::size_t k = 0; k < configs.size(); ++k) {
+        ScriptedAgent agent(env.actionSpace(), sweep.seeds[k]);
+        const RunResult run = runSearch(env, agent, direct);
+        const TrajectoryLog &streamed = dataset.log(k);
+        ASSERT_EQ(streamed.size(), run.trajectory.size());
+        for (std::size_t t = 0; t < run.trajectory.size(); ++t) {
+            EXPECT_EQ(streamed[t].action, run.trajectory[t].action);
+            EXPECT_EQ(streamed[t].observation,
+                      run.trajectory[t].observation);
+            EXPECT_EQ(streamed[t].reward, run.trajectory[t].reward);
+        }
+    }
+}
+
+TEST(ShardedSweep, WorksOnSimulatorBackedEnvironment)
+{
+    // FARSI: a real cost model through the full path — sharded engine,
+    // export, resume — matching runSweepParallel bit-exactly.
+    const auto configs = dummyConfigs(5);
+    RunConfig cfg;
+    cfg.maxSamples = 15;
+    const EnvFactory factory = [] {
+        return std::unique_ptr<Environment>(
+            std::make_unique<FarsiGymEnv>());
+    };
+    const SweepResult parallel =
+        runSweepParallel(factory, "Scripted", scriptedBuilder(), configs,
+                         cfg, 17, 2);
+
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("farsi_sharded");
+    opts.shardSize = 2;
+    opts.exportDataset = true;
+    opts.numThreads = 2;
+    const ShardedSweepResult sharded =
+        runSweepSharded(factory, "Scripted", scriptedBuilder(), configs,
+                        cfg, opts, 17);
+    EXPECT_EQ(sharded.bestRewards, parallel.bestRewards);
+    const Dataset ds = Dataset::loadDirectory(opts.directory);
+    EXPECT_EQ(ds.transitionCount(), configs.size() * 15);
+}
+
+// --------------------------------------------------------------------
+// StreamingDatasetWriter
+// --------------------------------------------------------------------
+
+ParamSpace
+writerSpace()
+{
+    ParamSpace space;
+    space.add(ParamDesc::integer("x", 0, 9));
+    return space;
+}
+
+TrajectoryLog
+logWithTag(double tag)
+{
+    TrajectoryLog log("Env" + std::to_string(static_cast<int>(tag)),
+                      "A", "");
+    log.append(Transition{{tag}, {tag * 2.0}, tag * 0.1});
+    return log;
+}
+
+TEST(StreamingDatasetWriter, OutOfOrderAppendsLandInIndexOrder)
+{
+    const auto space = writerSpace();
+    const std::string path =
+        (fs::path(::testing::TempDir()) / "stream_ooo.csv").string();
+    StreamingDatasetWriter writer(path, space, {"m"}, 0, 3);
+    writer.append(2, logWithTag(2));
+    EXPECT_EQ(writer.written(), 0u);  // waiting for index 0
+    writer.append(0, logWithTag(0));
+    EXPECT_EQ(writer.written(), 1u);  // 0 flushed, 1 still missing
+    writer.append(1, logWithTag(1));
+    EXPECT_EQ(writer.written(), 3u);  // 1 unblocked 2 as well
+    writer.close();
+
+    std::ifstream in(path);
+    const auto logs = TrajectoryLog::readCsvAll(in);
+    ASSERT_EQ(logs.size(), 3u);
+    EXPECT_EQ(logs[0].envName(), "Env0");
+    EXPECT_EQ(logs[1].envName(), "Env1");
+    EXPECT_EQ(logs[2].envName(), "Env2");
+    EXPECT_EQ(logs[2][0].action, (Action{2.0}));
+}
+
+TEST(StreamingDatasetWriter, CloseWithMissingIndexThrows)
+{
+    const auto space = writerSpace();
+    const std::string path =
+        (fs::path(::testing::TempDir()) / "stream_gap.csv").string();
+    StreamingDatasetWriter writer(path, space, {"m"}, 0, 2);
+    writer.append(1, logWithTag(1));
+    EXPECT_THROW(writer.close(), std::runtime_error);
+}
+
+TEST(StreamingDatasetWriter, RejectsDuplicateAndOutOfRangeIndices)
+{
+    const auto space = writerSpace();
+    const std::string path =
+        (fs::path(::testing::TempDir()) / "stream_dup.csv").string();
+    StreamingDatasetWriter writer(path, space, {"m"}, 4, 2);
+    writer.append(4, logWithTag(4));
+    EXPECT_THROW(writer.append(4, logWithTag(4)), std::runtime_error);
+    EXPECT_THROW(writer.append(6, logWithTag(6)), std::runtime_error);
+    EXPECT_THROW(writer.append(3, logWithTag(3)), std::runtime_error);
+    writer.append(5, logWithTag(5));
+    writer.close();
+}
+
+} // namespace
+} // namespace archgym
