@@ -16,6 +16,12 @@
  *    (pure manifest-validate + JSONL re-ingest), plus the measured
  *    overhead fraction of interrupt-at-half-then-resume vs one
  *    uninterrupted run.
+ *  - service: cooperative-sweep machinery costs — lease claim/release
+ *    cycles/sec (flock + exclusive create + heartbeat thread),
+ *    checksummed partial-file appends/sec and repair re-ingest
+ *    runs/sec, and the end-to-end overhead fraction of a worker kill
+ *    mid-shard followed by a stale-lease steal + run-granular repair,
+ *    vs one uninterrupted run.
  *  - pareto: fronts/sec of the O(N log N) 3-metric skyline vs the
  *    all-pairs paretoFrontNaive oracle on a 100k-transition cloud —
  *    the frontier-extraction cost at streamed-lottery scale.
@@ -34,7 +40,10 @@
 #include "agents/registry.h"
 #include "bench_util.h"
 #include "core/driver.h"
+#include "core/fault_hooks.h"
+#include "core/lease.h"
 #include "core/pareto.h"
+#include "core/trajectory.h"
 #include "envs/farsi_gym_env.h"
 
 using namespace archgym;
@@ -191,6 +200,95 @@ main()
                 kShardCount / 2, interrupted / 3.0, uninterrupted / 3.0,
                 resumeOverhead * 100.0);
 
+    // --- Cooperative service: lease claiming -------------------------
+    const fs::path leaseDir =
+        fs::temp_directory_path() / "archgym_perf_lease";
+    fs::remove_all(leaseDir);
+    fs::create_directories(leaseDir);
+    LeaseOptions leaseOpts;
+    leaseOpts.workerId = "bench";
+    const double leaseClaimsPerSec = callsPerSecond([&] {
+        auto lease =
+            ShardLease::tryAcquire(leaseDir.string(), 0, leaseOpts);
+        lease->release();
+    });
+    std::printf("\nlease claim+release: %.1f cycles/s\n",
+                leaseClaimsPerSec);
+
+    // --- Cooperative service: partial-file durability ----------------
+    const fs::path partialDir =
+        fs::temp_directory_path() / "archgym_perf_partial";
+    fs::remove_all(partialDir);
+    fs::create_directories(partialDir);
+    const std::string pj = (partialDir / "bench.partial.jsonl").string();
+    const std::string pc = (partialDir / "bench.partial.csvf").string();
+    const std::string benchLine =
+        "{\"config\":0,\"seed\":7,\"bestReward\":1.5,"
+        "\"bestSampleIndex\":3,\"samplesUsed\":100,"
+        "\"bestAction\":[0.25,0.5,0.75],\"hyper\":\"x=1\"}\n";
+    const std::string benchBlock =
+        "# env=Bench agent=RW hyper=\n0.25,0.5,0.75,1.5\n";
+    double partialAppendsPerSec = 0.0;
+    {
+        ShardPartialWriter writer(pj, pc, 0, 0);
+        partialAppendsPerSec = callsPerSecond(
+            [&] { writer.append(0, benchLine, benchBlock); });
+    }
+    // Repair re-ingest throughput over a fixed-size dead-worker state.
+    const std::size_t kPartialRuns = 512;
+    fs::remove(pj);
+    fs::remove(pc);
+    {
+        ShardPartialWriter writer(pj, pc, 0, 0);
+        for (std::size_t i = 0; i < kPartialRuns; ++i)
+            writer.append(i, benchLine, benchBlock);
+    }
+    const double reingestPerSec = callsPerSecond([&] {
+        guard += static_cast<double>(
+            readPartialResultLines(pj).records.size() +
+            readPartialCsvFrames(pc).records.size());
+    });
+    const double repairReingestRunsPerSec =
+        reingestPerSec * static_cast<double>(kPartialRuns);
+    std::printf("partial durability: %.1f appends/s, repair re-ingest "
+                "%.1f runs/s\n",
+                partialAppendsPerSec, repairReingestRunsPerSec);
+
+    // --- Cooperative service: kill + steal + repair overhead ---------
+    // Kill the worker after half of the first shard's runs are durable,
+    // then resume as a peer: the stale lease (TTL 0) is stolen and the
+    // persisted half is re-ingested run-granularly instead of re-run.
+    double killRepair = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+        fs::remove_all(dir);
+        killRepair += timeOnce([&] {
+            std::size_t persisted = 0;
+            faultHooks().afterRunPersisted =
+                [&persisted](const std::string &worker, std::size_t,
+                             std::size_t) {
+                    if (++persisted == kShardSize / 2)
+                        throw WorkerKilled(worker);
+                };
+            auto killedOpts = optsOne;
+            killedOpts.leaseTtlMs = 0;  // immediately stealable
+            try {
+                runSweepSharded(factory, "RW", builder, configs, runCfg,
+                                killedOpts, 5);
+            } catch (const WorkerKilled &) {
+            }
+            faultHooks().clear();
+            guard += runSweepSharded(factory, "RW", builder, configs,
+                                     runCfg, killedOpts, 5)
+                         .bestRewards.front();
+        });
+    }
+    const double killRepairOverhead =
+        uninterrupted > 0.0 ? killRepair / uninterrupted - 1.0 : 0.0;
+    std::printf("kill-at-half-shard + steal + repair + resume vs "
+                "uninterrupted: %.3fs vs %.3fs (overhead %.1f%%)\n",
+                killRepair / 3.0, uninterrupted / 3.0,
+                killRepairOverhead * 100.0);
+
     // --- 3-metric Pareto skyline at lottery scale --------------------
     const std::size_t kPoints = 100000;
     std::vector<Transition> cloud(kPoints);
@@ -246,6 +344,10 @@ main()
     }
     json << "],\"resumeConfigsPerSec\":" << resumeConfigsPerSec
          << ",\"resumeOverheadFraction\":" << resumeOverhead
+         << "},\"service\":{\"leaseClaimsPerSec\":" << leaseClaimsPerSec
+         << ",\"partialAppendsPerSec\":" << partialAppendsPerSec
+         << ",\"repairReingestRunsPerSec\":" << repairReingestRunsPerSec
+         << ",\"killRepairResumeOverheadFraction\":" << killRepairOverhead
          << "},\"pareto\":{\"transitions\":" << kPoints
          << ",\"metrics\":3,\"frontSize\":" << frontSize
          << ",\"skylineFrontsPerSec\":" << skylinePerSec

@@ -35,6 +35,20 @@
  *   --threads T      worker threads             (default hardware)
  *   --pareto         report the <m0, m1, m2> Pareto frontier (all
  *                    minimized) of the logged/streamed transitions
+ *
+ * Cooperative worker mode (--sweep-worker, with --sweep N): join the
+ * sweep under --sweep-dir as one worker of a fleet. Every process
+ * launched with the *same* sweep arguments cooperates through
+ * lease-based shard claiming with heartbeats; a worker that dies
+ * mid-shard has its shard stolen and repaired (run-granular) by a
+ * peer once its lease goes stale. See docs/sweep_service.md.
+ *
+ *   --sweep-worker   cooperative worker mode: print per-worker stats,
+ *                    skip the dataset/pareto summary (peers may still
+ *                    be writing)
+ *   --worker-id ID   stable worker identity     (default pid:<pid>)
+ *   --lease-ttl MS   heartbeat age peers treat as dead (default 10000)
+ *   --heartbeat MS   heartbeat refresh cadence  (default lease-ttl/4)
  */
 
 #include <cstdio>
@@ -183,6 +197,10 @@ main(int argc, char **argv)
     std::size_t shardSize = 16;
     std::size_t threads = 0;
     bool pareto = false;
+    bool sweepWorker = false;
+    std::string workerId;
+    std::uint64_t leaseTtl = 10000;
+    std::uint64_t heartbeat = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -215,6 +233,14 @@ main(int argc, char **argv)
             threads = std::stoul(next());
         else if (arg == "--pareto")
             pareto = true;
+        else if (arg == "--sweep-worker")
+            sweepWorker = true;
+        else if (arg == "--worker-id")
+            workerId = next();
+        else if (arg == "--lease-ttl")
+            leaseTtl = std::stoull(next());
+        else if (arg == "--heartbeat")
+            heartbeat = std::stoull(next());
         else {
             std::fprintf(stderr,
                          "unknown option %s (see file header for usage)\n",
@@ -227,6 +253,11 @@ main(int argc, char **argv)
     if (!env) {
         std::fprintf(stderr, "unknown environment '%s'\n",
                      envName.c_str());
+        return 2;
+    }
+
+    if (sweepWorker && sweepConfigs == 0) {
+        std::fprintf(stderr, "--sweep-worker requires --sweep N\n");
         return 2;
     }
 
@@ -249,11 +280,18 @@ main(int argc, char **argv)
         opts.shardSize = shardSize;
         opts.numThreads = threads;
         opts.exportDataset = true;
+        opts.workerId = workerId;
+        opts.leaseTtlMs = leaseTtl;
+        opts.heartbeatMs = heartbeat;
 
         std::printf("sharded lottery: env=%s agent=%s configs=%zu "
-                    "samples=%zu shard-size=%zu dir=%s\n",
+                    "samples=%zu shard-size=%zu dir=%s%s%s\n",
                     envName.c_str(), agentName.c_str(), sweepConfigs,
-                    samples, shardSize, sweepDir.c_str());
+                    samples, shardSize, sweepDir.c_str(),
+                    sweepWorker ? " worker=" : "",
+                    sweepWorker
+                        ? (workerId.empty() ? "pid" : workerId.c_str())
+                        : "");
         ShardedSweepResult sweep;
         try {
             sweep = runSweepSharded(factory, agentName, builder, configs,
@@ -265,6 +303,16 @@ main(int argc, char **argv)
         std::printf("shards: %zu total, %zu resumed from disk, %zu run\n",
                     sweep.shardCount, sweep.shardsSkipped,
                     sweep.shardsRun);
+        if (sweepWorker) {
+            // Worker-centric exit report; the fleet-level dataset
+            // summary is for whoever aggregates after every worker
+            // (this one included) reports complete.
+            std::printf("worker: %zu shards stolen from stale leases, "
+                        "%zu runs repaired from partials, sweep %s\n",
+                        sweep.shardsStolen, sweep.runsRepaired,
+                        sweep.complete ? "complete" : "incomplete");
+            return sweep.complete ? 0 : 1;
+        }
         std::printf("best reward per config: %s\n",
                     summarize(sweep.bestRewards).str().c_str());
 

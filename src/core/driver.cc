@@ -6,10 +6,16 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
 
+#include <unistd.h>
+
+#include "core/fault_hooks.h"
+#include "core/fsio.h"
+#include "core/lease.h"
 #include "core/worker_pool.h"
 
 namespace archgym {
@@ -414,13 +420,18 @@ runSweepSharded(const EnvFactory &env_factory,
     manifest.hash = configsHash(configs);
 
     // Validate-or-write the manifest: resuming a directory that belongs
-    // to a *different* sweep must fail loudly, never mix results.
+    // to a *different* sweep must fail loudly, never mix results. Every
+    // mismatch names the offending field and both values.
     const fs::path manifestPath = dir / "manifest.json";
     if (fs::exists(manifestPath)) {
         std::ifstream in(manifestPath);
         std::string text((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
         const std::string ctx = "manifest " + manifestPath.string();
+        if (text.empty())
+            throw std::runtime_error(
+                ctx + ": file is empty (torn or zeroed write) — delete "
+                      "it to restart the sweep");
         const auto check = [&](const std::string &key,
                                std::uint64_t expected) {
             const std::uint64_t got = jsonUintField(text, key, ctx);
@@ -430,14 +441,17 @@ runSweepSharded(const EnvFactory &env_factory,
                     ", requested sweep has " + std::to_string(expected) +
                     " — not the same sweep");
         };
-        if (jsonStringField(text, "env", ctx) != manifest.env)
-            throw std::runtime_error(ctx +
-                                     ": environment mismatch — not the "
-                                     "same sweep");
-        if (jsonStringField(text, "agent", ctx) != agent_name)
-            throw std::runtime_error(ctx +
-                                     ": agent mismatch — not the same "
-                                     "sweep");
+        const auto checkString = [&](const std::string &key,
+                                     const std::string &expected) {
+            const std::string got = jsonStringField(text, key, ctx);
+            if (got != expected)
+                throw std::runtime_error(
+                    ctx + ": '" + key + "' is \"" + got +
+                    "\", requested sweep has \"" + expected +
+                    "\" — not the same sweep");
+        };
+        checkString("env", manifest.env);
+        checkString("agent", agent_name);
         check("configCount", manifest.configCount);
         check("shardSize", manifest.shardSize);
         check("baseSeed", manifest.baseSeed);
@@ -447,18 +461,11 @@ runSweepSharded(const EnvFactory &env_factory,
         check("exportDataset", manifest.exportDataset);
         check("configsHash", manifest.hash);
     } else {
-        std::ofstream out(manifestPath);
-        out << renderManifest(manifest);
-        if (!out.flush())
-            throw std::runtime_error("cannot write " +
-                                     manifestPath.string());
+        // Durable atomic create. Two workers racing here both render
+        // identical bytes, so the second rename is a no-op overwrite.
+        fsio::atomicWriteFile(manifestPath.string(),
+                              renderManifest(manifest));
     }
-
-    // Discard half-written in-flight shard files from an interrupted
-    // run; the owning shard simply re-runs (bit-identically).
-    for (const auto &entry : fs::directory_iterator(dir))
-        if (entry.path().extension() == ".tmp")
-            fs::remove(entry.path());
 
     const std::size_t shardCount =
         (configs.size() + options.shardSize - 1) / options.shardSize;
@@ -486,70 +493,179 @@ runSweepSharded(const EnvFactory &env_factory,
     // determinism argument as runSweepParallel).
     std::vector<std::unique_ptr<Environment>> envs(numThreads);
 
-    for (std::size_t shard = 0; shard < shardCount; ++shard) {
-        if (options.maxShards != 0 &&
-            result.shardsRun >= options.maxShards)
-            return result;  // interrupted by request; complete == false
+    LeaseOptions leaseOpts;
+    leaseOpts.workerId = options.workerId.empty()
+                             ? "pid:" + std::to_string(::getpid())
+                             : options.workerId;
+    leaseOpts.ttlMs = options.leaseTtlMs;
+    leaseOpts.heartbeatMs = options.heartbeatMs;
 
-        const std::size_t lo = shard * options.shardSize;
-        const std::size_t hi =
-            std::min(configs.size(), lo + options.shardSize);
+    // Ingest a completed shard's final .jsonl into the result arrays.
+    // Corruption (truncation, appended garbage, foreign results) fails
+    // loudly with the offending line number — never a silent
+    // mis-resume.
+    const auto ingestFinal = [&](const fs::path &jsonlPath,
+                                 std::size_t lo, std::size_t hi) {
+        std::ifstream in(jsonlPath);
+        std::string line;
+        std::size_t next = lo;
+        std::size_t lineno = 0;
+        while (std::getline(in, line)) {
+            ++lineno;
+            const std::string ctx = "shard results " +
+                                    jsonlPath.string() + ":" +
+                                    std::to_string(lineno);
+            if (line.empty())
+                throw std::runtime_error(
+                    ctx + ": empty line (truncated write?) — delete "
+                          "the shard files to re-run it");
+            // A structurally whole record ends in '}'; a mid-line
+            // truncation otherwise parses as a silently shorter
+            // bestAction array.
+            if (line.back() != '}')
+                throw std::runtime_error(
+                    ctx + ": line does not end in '}' (truncated "
+                          "write?) — delete the shard files to re-run "
+                          "it");
+            const std::uint64_t idx = jsonUintField(line, "config", ctx);
+            if (next >= hi || idx != next)
+                throw std::runtime_error(
+                    ctx + ": unexpected config index " +
+                    std::to_string(idx) + " (expected " +
+                    (next >= hi ? std::string("end of shard")
+                                : std::to_string(next)) +
+                    ") — delete the shard files to re-run it");
+            result.bestRewards[idx] =
+                jsonDoubleField(line, "bestReward", ctx);
+            result.samplesUsed[idx] = static_cast<std::size_t>(
+                jsonUintField(line, "samplesUsed", ctx));
+            result.bestActions[idx] =
+                jsonDoubleArrayField(line, "bestAction", ctx);
+            const std::uint64_t seed = jsonUintField(line, "seed", ctx);
+            if (seed != result.seeds[idx])
+                throw std::runtime_error(
+                    ctx + ": seed is " + std::to_string(seed) +
+                    ", expected " + std::to_string(result.seeds[idx]) +
+                    " at config " + std::to_string(idx) +
+                    " — delete the shard files to re-run it");
+            ++next;
+        }
+        if (next != hi)
+            throw std::runtime_error(
+                "shard results " + jsonlPath.string() + ":" +
+                std::to_string(lineno) + ": holds " +
+                std::to_string(next - lo) + " of " +
+                std::to_string(hi - lo) +
+                " configs — delete the shard files to re-run it");
+    };
+
+    // Execute one claimed shard: clean stale tmps, repair from the
+    // previous owner's partial files, run what is missing, finalize
+    // atomically, release the lease. Returns false when this worker
+    // was fenced (a peer stole the lease mid-run and finished first);
+    // the caller then ingests the peer's final files instead.
+    const auto runShard = [&](std::size_t shard, std::size_t lo,
+                              std::size_t hi, ShardLease &lease) {
         const std::string stem = shardStem(shard);
         const fs::path jsonlPath = dir / (stem + ".jsonl");
         const fs::path csvPath = dir / (stem + ".csv");
+        const fs::path partialJsonl = dir / (stem + ".partial.jsonl");
+        const fs::path partialCsvf = dir / (stem + ".partial.csvf");
+        const auto finalsExist = [&] {
+            return fs::exists(jsonlPath) &&
+                   (!options.exportDataset || fs::exists(csvPath));
+        };
 
-        if (fs::exists(jsonlPath) &&
-            (!options.exportDataset || fs::exists(csvPath))) {
-            // Completed shard: re-ingest its results instead of
-            // re-running (the resume path).
-            std::ifstream in(jsonlPath);
-            const std::string ctx = "shard results " + jsonlPath.string();
-            std::string line;
-            std::size_t next = lo;
-            while (std::getline(in, line)) {
-                if (line.empty())
-                    continue;
-                const std::uint64_t idx =
-                    jsonUintField(line, "config", ctx);
-                if (next >= hi || idx != next)
-                    throw std::runtime_error(
-                        ctx + ": unexpected config index " +
-                        std::to_string(idx) +
-                        " — delete the shard files to re-run it");
-                result.bestRewards[idx] =
-                    jsonDoubleField(line, "bestReward", ctx);
-                result.samplesUsed[idx] = static_cast<std::size_t>(
-                    jsonUintField(line, "samplesUsed", ctx));
-                result.bestActions[idx] =
-                    jsonDoubleArrayField(line, "bestAction", ctx);
-                const std::uint64_t seed =
-                    jsonUintField(line, "seed", ctx);
-                if (seed != result.seeds[idx])
-                    throw std::runtime_error(
-                        ctx + ": seed mismatch at config " +
-                        std::to_string(idx) +
-                        " — delete the shard files to re-run it");
-                ++next;
-            }
-            if (next != hi)
-                throw std::runtime_error(
-                    ctx + ": holds " + std::to_string(next - lo) +
-                    " of " + std::to_string(hi - lo) +
-                    " configs — delete the shard files to re-run it");
-            ++result.shardsSkipped;
-            continue;
+        // Discard the previous owner's half-written rename staging
+        // files (unique .tmp.* names, so live peers of *other* shards
+        // are never touched).
+        for (const auto &entry : fs::directory_iterator(dir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.compare(0, stem.size(), stem) == 0 &&
+                name.find(".tmp") != std::string::npos)
+                fs::remove(entry.path());
         }
         // exportDataset with a .jsonl but no .csv (manual deletion):
         // drop the orphan marker and re-run the shard whole.
-        if (fs::exists(jsonlPath))
+        if (fs::exists(jsonlPath) && !finalsExist())
             fs::remove(jsonlPath);
 
-        std::unique_ptr<StreamingDatasetWriter> writer;
-        const fs::path csvTmp = dir / (stem + ".csv.tmp");
+        // Repair pass: re-ingest every run the previous owner durably
+        // appended. A run is durable when its checksummed result line
+        // is intact AND (with exportDataset) its trajectory frame is
+        // too; the writers order frame-before-line, so the line is
+        // normally the deciding record.
+        const PartialReadResult pr =
+            readPartialResultLines(partialJsonl.string());
+        PartialCsvReadResult cr;
         if (options.exportDataset)
+            cr = readPartialCsvFrames(partialCsvf.string());
+
+        std::map<std::size_t, const PartialCsvRecord *> frames;
+        for (const auto &rec : cr.records)
+            frames.emplace(rec.config, &rec);  // keep-first dedupe
+
+        std::map<std::size_t, std::string> durable;
+        for (const auto &rec : pr.records) {
+            const std::string ctx = "shard partial " +
+                                    partialJsonl.string();
+            if (rec.config < lo || rec.config >= hi)
+                throw std::runtime_error(
+                    ctx + ": config index " +
+                    std::to_string(rec.config) +
+                    " is outside this shard [" + std::to_string(lo) +
+                    ", " + std::to_string(hi) +
+                    ") — delete the partial files to re-run it");
+            const std::uint64_t seed =
+                jsonUintField(rec.resultLine, "seed", ctx);
+            if (seed != result.seeds[rec.config])
+                throw std::runtime_error(
+                    ctx + ": seed is " + std::to_string(seed) +
+                    ", expected " +
+                    std::to_string(result.seeds[rec.config]) +
+                    " at config " + std::to_string(rec.config) +
+                    " — delete the partial files to re-run it");
+            if (durable.count(rec.config))
+                continue;  // duplicate from a double-execution race
+            if (options.exportDataset && !frames.count(rec.config))
+                continue;  // line durable but frame lost: re-run it
+            durable.emplace(rec.config, rec.resultLine);
+        }
+
+        std::unique_ptr<StreamingDatasetWriter> writer;
+        std::string csvTmp;
+        if (options.exportDataset) {
+            csvTmp = fsio::uniqueTmpPath(csvPath.string());
             writer = std::make_unique<StreamingDatasetWriter>(
-                csvTmp.string(), metaEnv->actionSpace(),
-                metaEnv->metricNames(), lo, hi - lo);
+                csvTmp, metaEnv->actionSpace(), metaEnv->metricNames(),
+                lo, hi - lo);
+        }
+
+        // Pre-feed repaired runs into the result arrays, the final
+        // line buffer and the streaming CSV; then truncate the torn
+        // partial tails and keep appending where the dead worker
+        // stopped.
+        std::vector<std::string> lines(hi - lo);
+        for (const auto &[config, line] : durable) {
+            const std::string ctx = "shard partial " +
+                                    partialJsonl.string();
+            result.bestRewards[config] =
+                jsonDoubleField(line, "bestReward", ctx);
+            result.samplesUsed[config] = static_cast<std::size_t>(
+                jsonUintField(line, "samplesUsed", ctx));
+            result.bestActions[config] =
+                jsonDoubleArrayField(line, "bestAction", ctx);
+            lines[config - lo] = line;
+            if (writer)
+                writer->appendSerialized(config,
+                                         frames.at(config)->block);
+        }
+        result.runsRepaired += durable.size();
+
+        ShardPartialWriter pw(
+            partialJsonl.string(),
+            options.exportDataset ? partialCsvf.string() : std::string(),
+            pr.validBytes, cr.validBytes);
 
         RunConfig shardRun = run_config;
         // The engine persists scalars + streamed trajectories only;
@@ -558,46 +674,151 @@ runSweepSharded(const EnvFactory &env_factory,
         shardRun.recordRewardHistory = false;
         shardRun.logTrajectory = options.exportDataset;
 
-        std::vector<std::string> lines(hi - lo);
+        std::vector<std::size_t> missing;
+        missing.reserve(hi - lo - durable.size());
+        for (std::size_t i = lo; i < hi; ++i)
+            if (!durable.count(i))
+                missing.push_back(i);
+
         WorkerPool::shared().parallelFor(
-            hi - lo,
-            [&](std::size_t slot, std::size_t offset) {
+            missing.size(),
+            [&](std::size_t slot, std::size_t m) {
+                const std::size_t i = missing[m];
+                if (faultHooks().beforeRun)
+                    faultHooks().beforeRun(leaseOpts.workerId, shard, i);
                 auto &env = envs[slot];
                 if (!env)
                     env = env_factory();
-                const std::size_t i = lo + offset;
                 const std::uint64_t seed = result.seeds[i];
                 auto agent = builder(env->actionSpace(), configs[i], seed);
                 RunResult run = runSearch(*env, *agent, shardRun);
                 result.bestRewards[i] = run.bestReward;
                 result.bestActions[i] = run.bestAction;
                 result.samplesUsed[i] = run.samplesUsed;
-                lines[offset] =
-                    renderResultLine(i, seed, configs[i], run);
+                lines[i - lo] = renderResultLine(i, seed, configs[i], run);
+                std::string block;
                 if (writer)
-                    writer->append(i, run.trajectory);
+                    block = writer->serializeBlock(run.trajectory);
+                // Run-granular durability: persist before reporting.
+                pw.append(i, lines[i - lo], block);
+                if (faultHooks().afterRunPersisted)
+                    faultHooks().afterRunPersisted(leaseOpts.workerId,
+                                                   shard, i);
+                if (writer)
+                    writer->appendSerialized(i, block);
             },
             numThreads, /*chunk=*/1);
 
-        // Atomic completion: write both files as .tmp, rename the CSV
-        // first, the .jsonl last — its presence marks the shard done.
-        const fs::path jsonlTmp = dir / (stem + ".jsonl.tmp");
-        {
-            std::ofstream out(jsonlTmp);
+        // Atomic completion: stream-close + rename the CSV first, then
+        // the .jsonl — its presence marks the shard done. Both renames
+        // land from unique tmp names, so even a fenced stale owner
+        // racing the thief only ever renames byte-identical content.
+        try {
+            std::string all;
             for (const auto &line : lines)
-                out << line;
-            if (!out.flush())
-                throw std::runtime_error("cannot write " +
-                                         jsonlTmp.string());
+                all += line;
+            if (writer) {
+                writer->close();
+                fs::rename(csvTmp, csvPath);
+            }
+            fsio::atomicWriteFile(jsonlPath.string(), all);
+        } catch (const std::exception &) {
+            // A peer that stole our stale lease may have removed our
+            // staging files; if it finished the shard (or our lease is
+            // gone), yield to it — the caller re-ingests its finals.
+            if (lease.lost() || finalsExist()) {
+                lease.release();  // ownership-checked no-op if stolen
+                return false;
+            }
+            throw;
         }
-        if (writer) {
-            writer->close();
-            fs::rename(csvTmp, csvPath);
+        pw.closeAndRemove();
+        lease.release();
+        return true;
+    };
+
+    std::vector<bool> ingested(shardCount, false);
+    std::size_t remaining = shardCount;
+    bool capped = false;
+
+    // Cooperative claim loop: scan for work, ingest what peers have
+    // finished, claim and run what nobody owns, back off while every
+    // remaining shard is leased by a live peer.
+    while (remaining > 0 && !capped) {
+        bool progress = false;
+        for (std::size_t shard = 0; shard < shardCount; ++shard) {
+            if (ingested[shard])
+                continue;
+            const std::size_t lo = shard * options.shardSize;
+            const std::size_t hi =
+                std::min(configs.size(), lo + options.shardSize);
+            const std::string stem = shardStem(shard);
+            const fs::path jsonlPath = dir / (stem + ".jsonl");
+            const fs::path csvPath = dir / (stem + ".csv");
+            const bool finals =
+                fs::exists(jsonlPath) &&
+                (!options.exportDataset || fs::exists(csvPath));
+
+            if (finals) {
+                // Completed (by an earlier invocation or a live peer):
+                // re-ingest instead of re-running, and sweep up any
+                // leftovers a worker that died post-rename left behind.
+                ingestFinal(jsonlPath, lo, hi);
+                std::error_code ec;
+                fs::remove(dir / (stem + ".partial.jsonl"), ec);
+                fs::remove(dir / (stem + ".partial.csvf"), ec);
+                fs::remove(dir / (stem + ".lease"), ec);
+                ingested[shard] = true;
+                ++result.shardsSkipped;
+                --remaining;
+                progress = true;
+                continue;
+            }
+
+            if (options.maxShards != 0 &&
+                result.shardsRun >= options.maxShards) {
+                capped = true;  // interrupted by request
+                break;
+            }
+
+            auto lease =
+                ShardLease::tryAcquire(options.directory, shard,
+                                       leaseOpts);
+            if (!lease)
+                continue;  // a live peer owns it; move on
+            if (lease->stolen())
+                ++result.shardsStolen;
+            if (faultHooks().afterShardClaimed)
+                faultHooks().afterShardClaimed(leaseOpts.workerId, shard);
+
+            // A peer may have finished and released between our scan
+            // and the claim; re-check under ownership.
+            const bool finalsNow =
+                fs::exists(jsonlPath) &&
+                (!options.exportDataset || fs::exists(csvPath));
+            if (finalsNow) {
+                ingestFinal(jsonlPath, lo, hi);
+                std::error_code ec;
+                fs::remove(dir / (stem + ".partial.jsonl"), ec);
+                fs::remove(dir / (stem + ".partial.csvf"), ec);
+                lease->release();
+                ingested[shard] = true;
+                ++result.shardsSkipped;
+            } else if (runShard(shard, lo, hi, *lease)) {
+                ingested[shard] = true;
+                ++result.shardsRun;
+            } else {
+                continue;  // fenced mid-run; re-scan picks up finals
+            }
+            --remaining;
+            progress = true;
         }
-        fs::rename(jsonlTmp, jsonlPath);
-        ++result.shardsRun;
+        if (remaining > 0 && !capped && !progress)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(options.pollMs));
     }
-    result.complete = true;
+
+    result.complete = remaining == 0;
     return result;
 }
 

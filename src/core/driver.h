@@ -12,6 +12,7 @@
 #ifndef ARCHGYM_CORE_DRIVER_H
 #define ARCHGYM_CORE_DRIVER_H
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <string>
@@ -152,14 +153,42 @@ SweepResult runSweepParallel(const EnvFactory &env_factory,
                              std::uint64_t base_seed = 1,
                              std::size_t num_threads = 0);
 
-/** Options of the sharded, resumable sweep engine. */
+/** Options of the sharded, resumable, cooperative sweep engine. */
 struct ShardedSweepOptions
 {
     /**
-     * Directory holding manifest.json + shard_NNNN.{jsonl,csv}. See
-     * core/trajectory.h for the layout and the resume contract.
+     * Directory holding manifest.json + shard_NNNN.{jsonl,csv} plus
+     * the cooperative-service files (shard_NNNN.lease,
+     * shard_NNNN.partial.{jsonl,csvf}, sweep.lock). See
+     * core/trajectory.h for the layout and docs/sweep_service.md for
+     * the lease/heartbeat protocol and the repair pass.
      */
     std::string directory;
+
+    /**
+     * Stable identity of this worker in the cooperative service (it
+     * is written into lease files and shown in peer diagnostics).
+     * Empty = "pid:<pid>", which is unique per process but NOT per
+     * thread — in-process cooperating workers must pass distinct ids.
+     */
+    std::string workerId;
+
+    /**
+     * Lease heartbeat age after which peers may presume this worker
+     * dead and steal its shard. Must comfortably exceed heartbeatMs;
+     * see docs/sweep_service.md for tuning (including the cross-host
+     * monotonic-clock caveat).
+     */
+    std::uint64_t leaseTtlMs = 10000;
+
+    /** Heartbeat refresh cadence; 0 = leaseTtlMs / 4. */
+    std::uint64_t heartbeatMs = 0;
+
+    /**
+     * Idle back-off while every remaining shard is leased by live
+     * peers: sleep this long between claim scans.
+     */
+    std::uint64_t pollMs = 50;
 
     /** Configurations per shard (the resume granularity). */
     std::size_t shardSize = 64;
@@ -205,6 +234,8 @@ struct ShardedSweepResult
     std::size_t shardCount = 0;
     std::size_t shardsSkipped = 0;  ///< resumed from completed files
     std::size_t shardsRun = 0;      ///< executed in this invocation
+    std::size_t shardsStolen = 0;   ///< claims that evicted a stale lease
+    std::size_t runsRepaired = 0;   ///< runs re-ingested from partials
     bool complete = false;          ///< every shard done
 };
 
@@ -220,11 +251,24 @@ struct ShardedSweepResult
  *
  * Invoked again on the same directory, the engine validates the
  * manifest against the requested sweep (agent, configs, shard size,
- * base seed, budget — mismatch throws std::runtime_error), re-ingests
- * completed shards from disk instead of re-running them, discards any
- * half-written in-flight shard, and runs only what is missing: an
- * interrupted lottery resumes to a ShardedSweepResult and exported
- * dataset bit-identical to an uninterrupted run's.
+ * base seed, budget — a mismatch throws std::runtime_error naming the
+ * offending field and both values), re-ingests completed shards from
+ * disk instead of re-running them, discards any half-written in-flight
+ * shard, and runs only what is missing: an interrupted lottery resumes
+ * to a ShardedSweepResult and exported dataset bit-identical to an
+ * uninterrupted run's.
+ *
+ * The engine is also a cooperative multi-worker service: any number of
+ * processes (or threads with distinct ShardedSweepOptions::workerId)
+ * may point at the same directory concurrently. Each shard execution
+ * is guarded by a heartbeat-refreshed lease (core/lease.h); a worker
+ * that dies mid-shard leaves a lease whose heartbeat goes stale past
+ * leaseTtlMs, after which a peer steals the shard, re-ingests every
+ * run the dead worker had durably appended to the shard's checksummed
+ * partial files (resume granularity: single run, not whole shard), and
+ * runs only the remainder. Results are bit-identical at any worker
+ * count and across any kill/steal/repair schedule. Protocol details
+ * and TTL tuning: docs/sweep_service.md.
  */
 ShardedSweepResult runSweepSharded(const EnvFactory &env_factory,
                                    const std::string &agent_name,

@@ -1,0 +1,12 @@
+#include "fault_hooks.h"
+
+namespace archgym {
+
+FaultHooks &
+faultHooks()
+{
+    static FaultHooks hooks;
+    return hooks;
+}
+
+} // namespace archgym

@@ -1,0 +1,111 @@
+#include "fsio.h"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace archgym {
+namespace fsio {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &what, const std::string &path)
+{
+    throw std::runtime_error(what + " " + path + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : bytes) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+fsyncPath(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        fail("fsync: cannot open", path);
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        fail("fsync failed on", path);
+    }
+    ::close(fd);
+}
+
+void
+fsyncParentDir(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        parent = ".";
+    fsyncPath(parent.string());
+}
+
+std::string
+uniqueTmpPath(const std::string &path)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    return path + ".tmp." + std::to_string(::getpid()) + "." +
+           std::to_string(counter.fetch_add(1));
+}
+
+void
+atomicWriteFile(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = uniqueTmpPath(path);
+    const int fd = ::open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0)
+        fail("atomicWriteFile: cannot create", tmp);
+    const char *data = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        const ssize_t n = ::write(fd, data, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            const int err = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            errno = err;
+            fail("atomicWriteFile: write failed on", tmp);
+        }
+        data += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        const int err = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        errno = err;
+        fail("atomicWriteFile: fsync failed on", tmp);
+    }
+    ::close(fd);
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        ::unlink(tmp.c_str());
+        errno = err;
+        fail("atomicWriteFile: rename failed onto", path);
+    }
+    fsyncParentDir(path);
+}
+
+} // namespace fsio
+} // namespace archgym

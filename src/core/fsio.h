@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small filesystem-durability utilities shared by the sweep engine's
+ * on-disk writers (manifest, shard JSONL, streamed CSV, leases).
+ *
+ * The tmp-then-rename idiom alone only protects against *process*
+ * death: after a power loss the renamed file can exist with none of
+ * its data blocks on disk, or the rename itself can be lost. A write
+ * is crash-durable only once (1) the data file was fsync'ed before the
+ * rename and (2) the containing directory was fsync'ed after it.
+ * atomicWriteFile() performs the full sequence; the incremental
+ * writers use fsyncPath()/fsyncParentDir() around their own renames.
+ */
+
+#ifndef ARCHGYM_CORE_FSIO_H
+#define ARCHGYM_CORE_FSIO_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace archgym {
+namespace fsio {
+
+/** FNV-1a 64-bit over a byte range (record checksums). */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/** fsync an existing file by path; throws std::runtime_error. */
+void fsyncPath(const std::string &path);
+
+/** fsync the directory containing `path` (after a rename into it). */
+void fsyncParentDir(const std::string &path);
+
+/**
+ * Process-unique temporary sibling name for `path` (the base name
+ * gains a ".tmp.<pid>.<n>" suffix). Cooperating workers may race on
+ * the same target path, so a shared ".tmp" name would let two writers
+ * interleave into one temporary file; a unique name makes each
+ * writer's rename atomic and self-contained.
+ */
+std::string uniqueTmpPath(const std::string &path);
+
+/**
+ * Crash-durable whole-file replacement: write `bytes` to a unique
+ * temporary sibling, fsync it, rename it over `path`, and fsync the
+ * containing directory. Throws std::runtime_error on any failure
+ * (the temporary is removed on the failure paths).
+ */
+void atomicWriteFile(const std::string &path, const std::string &bytes);
+
+} // namespace fsio
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_FSIO_H

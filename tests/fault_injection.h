@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Fault-injection helpers for the cooperative sweep service tests.
+ *
+ * The engine compiles its hook sites in unconditionally (null-checked
+ * std::function calls in core/fault_hooks.h); these helpers install
+ * hooks for the duration of a test and restore a clean slate on scope
+ * exit, plus a few direct on-disk corruption primitives (truncating a
+ * partial file mid-record, corrupting a lease) that simulate torn
+ * writes without any cooperation from the engine.
+ */
+
+#ifndef ARCHGYM_TESTS_FAULT_INJECTION_H
+#define ARCHGYM_TESTS_FAULT_INJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/fault_hooks.h"
+
+namespace archgym {
+namespace testing {
+
+/** Clears every installed hook on construction and destruction. */
+class FaultHookGuard
+{
+  public:
+    FaultHookGuard() { faultHooks().clear(); }
+    ~FaultHookGuard() { faultHooks().clear(); }
+    FaultHookGuard(const FaultHookGuard &) = delete;
+    FaultHookGuard &operator=(const FaultHookGuard &) = delete;
+};
+
+/**
+ * Kill worker `victim` (by throwing WorkerKilled out of the engine,
+ * which unwinds exactly like a SIGKILL leaves disk state: lease file
+ * present, partial files present, no finals) after it has durably
+ * persisted `after_runs` runs. One-shot.
+ */
+class KillAfterRuns
+{
+  public:
+    KillAfterRuns(std::string victim, std::size_t after_runs)
+        : victim_(std::move(victim)), remaining_(after_runs)
+    {
+        faultHooks().afterRunPersisted =
+            [this](const std::string &worker, std::size_t,
+                   std::size_t) {
+                if (worker != victim_ || fired_.load())
+                    return;
+                if (remaining_.fetch_sub(1) <= 1) {
+                    fired_.store(true);
+                    throw WorkerKilled(worker);
+                }
+            };
+    }
+
+    ~KillAfterRuns() { faultHooks().afterRunPersisted = nullptr; }
+
+    bool fired() const { return fired_.load(); }
+
+  private:
+    std::string victim_;
+    std::atomic<std::size_t> remaining_;
+    std::atomic<bool> fired_{false};
+};
+
+/**
+ * Freeze the heartbeats of a set of workers: their lease files stop
+ * refreshing while the workers stay alive, so peers judge them dead
+ * once the (injected or real) clock passes the TTL.
+ */
+class StallHeartbeats
+{
+  public:
+    explicit StallHeartbeats(std::set<std::string> victims)
+        : victims_(std::move(victims))
+    {
+        faultHooks().heartbeatStalled =
+            [this](const std::string &worker) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                return victims_.count(worker) != 0;
+            };
+    }
+
+    ~StallHeartbeats() { faultHooks().heartbeatStalled = nullptr; }
+
+    void unstall(const std::string &worker)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        victims_.erase(worker);
+    }
+
+  private:
+    std::mutex mutex_;
+    std::set<std::string> victims_;
+};
+
+/**
+ * Replace the lease clock with a test-controlled counter so staleness
+ * is deterministic: tests advance time instead of sleeping TTLs out.
+ */
+class InjectedClock
+{
+  public:
+    InjectedClock() { faultHooks().clockNowNs = &now; }
+    ~InjectedClock() { faultHooks().clockNowNs = nullptr; }
+
+    static void advanceMs(std::uint64_t ms)
+    {
+        ns_.fetch_add(ms * 1000000ULL);
+    }
+
+  private:
+    static std::uint64_t now() { return ns_.load(); }
+    static inline std::atomic<std::uint64_t> ns_{1};
+};
+
+/** Chop the last `bytes` bytes off a file (torn trailing record). */
+inline void
+truncateTail(const std::string &path, std::size_t bytes)
+{
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in)
+        throw std::runtime_error("truncateTail: cannot open " + path);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.close();
+    const std::size_t keep = size > bytes ? size - bytes : 0;
+    if (::truncate(path.c_str(), static_cast<off_t>(keep)) != 0)
+        throw std::runtime_error("truncateTail: truncate failed on " +
+                                 path);
+}
+
+/** Overwrite a file with bytes no reader of ours can parse. */
+inline void
+corruptFile(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "\x7f garbage \x01\x02";
+    out.flush();
+}
+
+/** Append garbage to a file (trailing corruption after valid data). */
+inline void
+appendGarbage(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "not json at all\n";
+    out.flush();
+}
+
+} // namespace testing
+} // namespace archgym
+
+#endif // ARCHGYM_TESTS_FAULT_INJECTION_H

@@ -346,6 +346,177 @@ TEST(ShardedSweep, ManifestMismatchThrows)
     EXPECT_EQ(ok.shardsRun, 0u);
 }
 
+/**
+ * Expect `fn` to throw a std::runtime_error whose message contains
+ * every given fragment — the per-field manifest-mismatch contract:
+ * name the field and show both values.
+ */
+template <typename Fn>
+void
+expectThrowContaining(Fn &&fn, const std::vector<std::string> &fragments)
+{
+    try {
+        fn();
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        for (const auto &fragment : fragments)
+            EXPECT_NE(what.find(fragment), std::string::npos)
+                << "message lacks \"" << fragment << "\": " << what;
+    }
+}
+
+TEST(ShardedSweep, ManifestMismatchNamesFieldAndBothValues)
+{
+    const auto configs = dummyConfigs(6);
+    RunConfig cfg;
+    cfg.maxSamples = 15;
+    ShardedSweepOptions opts;
+    opts.directory = tempDir("mismatch_fields");
+    opts.shardSize = 2;
+    runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                    configs, cfg, opts, 9);
+
+    const auto rerun = [&](const std::string &agent,
+                           const std::vector<HyperParams> &cs,
+                           const RunConfig &c,
+                           const ShardedSweepOptions &o,
+                           std::uint64_t seed) {
+        return [=] {
+            runSweepSharded(quadraticFactory(), agent, scriptedBuilder(),
+                            cs, c, o, seed);
+        };
+    };
+
+    expectThrowContaining(rerun("Scripted", configs, cfg, opts, 10),
+                          {"'baseSeed'", "9", "10"});
+    expectThrowContaining(rerun("Other", configs, cfg, opts, 9),
+                          {"'agent'", "\"Scripted\"", "\"Other\""});
+    const EnvFactory otherEnv = [] {
+        return std::unique_ptr<Environment>(std::make_unique<OneMaxEnv>(4));
+    };
+    QuadraticEnv quadratic({3.0, 8.0});
+    OneMaxEnv onemax(4);
+    expectThrowContaining(
+        [&] {
+            runSweepSharded(otherEnv, "Scripted", scriptedBuilder(),
+                            configs, cfg, opts, 9);
+        },
+        {"'env'", "\"" + quadratic.name() + "\"",
+         "\"" + onemax.name() + "\""});
+
+    expectThrowContaining(rerun("Scripted", dummyConfigs(7), cfg, opts, 9),
+                          {"'configCount'", "6", "7"});
+    auto badShard = opts;
+    badShard.shardSize = 3;
+    expectThrowContaining(rerun("Scripted", configs, cfg, badShard, 9),
+                          {"'shardSize'", "2", "3"});
+    RunConfig moreSamples = cfg;
+    moreSamples.maxSamples = 16;
+    expectThrowContaining(rerun("Scripted", configs, moreSamples, opts, 9),
+                          {"'maxSamples'", "15", "16"});
+    RunConfig stopCfg = cfg;
+    stopCfg.stopWhenSatisfied = true;
+    expectThrowContaining(rerun("Scripted", configs, stopCfg, opts, 9),
+                          {"'stopWhenSatisfied'", "0", "1"});
+    RunConfig batchCfg = cfg;
+    batchCfg.batchEval = true;
+    expectThrowContaining(rerun("Scripted", configs, batchCfg, opts, 9),
+                          {"'batchEval'", "0", "1"});
+    auto exported = opts;
+    exported.exportDataset = true;
+    expectThrowContaining(rerun("Scripted", configs, cfg, exported, 9),
+                          {"'exportDataset'", "0", "1"});
+    auto otherConfigs = configs;
+    otherConfigs.back().set("dummy", 99.0);
+    expectThrowContaining(rerun("Scripted", otherConfigs, cfg, opts, 9),
+                          {"'configsHash'"});
+}
+
+// --------------------------------------------------------------------
+// Corrupted on-disk state on the resume path
+// --------------------------------------------------------------------
+
+/** A completed 2-shard sweep to corrupt, plus its resume callable. */
+struct ResumableSweep
+{
+    std::vector<HyperParams> configs = dummyConfigs(6);
+    RunConfig cfg;
+    ShardedSweepOptions opts;
+
+    explicit ResumableSweep(const std::string &name)
+    {
+        cfg.maxSamples = 10;
+        opts.directory = tempDir(name);
+        opts.shardSize = 3;
+        const auto done =
+            runSweepSharded(quadraticFactory(), "Scripted",
+                            scriptedBuilder(), configs, cfg, opts, 9);
+        EXPECT_TRUE(done.complete);
+    }
+
+    void resume() const
+    {
+        runSweepSharded(quadraticFactory(), "Scripted", scriptedBuilder(),
+                        configs, cfg, opts, 9);
+    }
+
+    fs::path path(const std::string &file) const
+    {
+        return fs::path(opts.directory) / file;
+    }
+};
+
+TEST(ShardedSweep, TruncatedFinalShardFailsWithLineNumber)
+{
+    const ResumableSweep sweep("corrupt_truncated");
+    // Chop into the last result line: a structurally torn record must
+    // fail naming file and line, never ingest a shortened bestAction.
+    const fs::path shard = sweep.path("shard_0000.jsonl");
+    const auto size = fs::file_size(shard);
+    fs::resize_file(shard, size - 4);
+    expectThrowContaining([&] { sweep.resume(); },
+                          {"shard_0000.jsonl:3", "truncated"});
+}
+
+TEST(ShardedSweep, MissingTrailingLinesFailWithCount)
+{
+    const ResumableSweep sweep("corrupt_short");
+    // Drop the whole last line (clean truncation at a line boundary).
+    const std::string bytes = fileBytes(sweep.path("shard_0000.jsonl"));
+    const auto cut = bytes.rfind('\n', bytes.size() - 2);
+    ASSERT_NE(cut, std::string::npos);
+    std::ofstream out(sweep.path("shard_0000.jsonl"),
+                      std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, cut + 1);
+    out.close();
+    expectThrowContaining([&] { sweep.resume(); },
+                          {"shard_0000.jsonl", "holds 2 of 3"});
+}
+
+TEST(ShardedSweep, GarbageTrailingBytesFailWithLineNumber)
+{
+    const ResumableSweep sweep("corrupt_garbage");
+    {
+        std::ofstream out(sweep.path("shard_0001.jsonl"),
+                          std::ios::binary | std::ios::app);
+        out << "{not a result line}\n";
+    }
+    expectThrowContaining([&] { sweep.resume(); },
+                          {"shard_0001.jsonl:4", "config"});
+}
+
+TEST(ShardedSweep, EmptyManifestFailsWithClearError)
+{
+    const ResumableSweep sweep("corrupt_manifest");
+    {
+        std::ofstream out(sweep.path("manifest.json"),
+                          std::ios::binary | std::ios::trunc);
+    }
+    expectThrowContaining([&] { sweep.resume(); },
+                          {"manifest", "empty"});
+}
+
 // --------------------------------------------------------------------
 // Streaming dataset export
 // --------------------------------------------------------------------
