@@ -8,8 +8,8 @@
 
 #include <cstdio>
 
-#include "proxy_common.h"
 #include "bench_util.h"
+#include "proxy/proxy_dataset.h"
 #include "proxy/proxy_model.h"
 
 using namespace archgym;

@@ -12,7 +12,7 @@
 #include <array>
 
 #include "bench_util.h"
-#include "proxy_common.h"
+#include "proxy/proxy_dataset.h"
 #include "proxy/proxy_model.h"
 
 using namespace archgym;
@@ -83,10 +83,12 @@ main()
                                                          "(ACO)",
                     train.size());
         for (std::size_t m = 0; m < acc.metricNames.size(); ++m) {
-            std::printf("  %-12s correlation %.4f   relative RMSE "
-                        "%.2f%%\n",
-                        acc.metricNames[m].c_str(), acc.correlation[m],
-                        acc.relativeRmse[m] * 100.0);
+            std::printf("  %-12s correlation %-8s relative RMSE %s\n",
+                        acc.metricNames[m].c_str(),
+                        ProxyAccuracy::renderValue(acc.correlation[m])
+                            .c_str(),
+                        ProxyAccuracy::renderValue(acc.relativeRmse[m])
+                            .c_str());
         }
 
         // Scatter for the power model (metric index 1).

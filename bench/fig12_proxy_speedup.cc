@@ -19,11 +19,10 @@
 #include <cstdio>
 #include <memory>
 
-#include "proxy_common.h"
+#include "proxy/proxy_dataset.h"
 #include "proxy/proxy_model.h"
 
 using namespace archgym;
-using namespace archgym::bench;
 
 namespace {
 

@@ -49,16 +49,34 @@
  *   --worker-id ID   stable worker identity     (default pid:<pid>)
  *   --lease-ttl MS   heartbeat age peers treat as dead (default 10000)
  *   --heartbeat MS   heartbeat refresh cadence  (default lease-ttl/4)
+ *
+ * Proxy-screened mode (--proxy-screen, with --sweep N): simulate only a
+ * pilot slice of the lottery for real, train a random-forest proxy on
+ * the pilot trajectories, rank the remaining configurations through
+ * batched proxy inference, and submit only the top-K frontier to the
+ * simulator — the screen-then-simulate protocol of
+ * docs/proxy_serving.md. The screen decision is recorded in
+ * <sweep-dir>/screen.json, so re-running resumes onto the identical
+ * frontier.
+ *
+ *   --proxy-screen     enable proxy-screened sweep mode
+ *   --screen-top-k K   screened configs promoted to simulation (def. 8)
+ *   --pilot N          pilot configs simulated for training  (def. 16)
+ *   --columnar         serve datasets through the columnar row-group
+ *                      reader (proxy training data in screen mode, the
+ *                      summary/pareto dataset in plain sweep mode)
  */
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "agents/registry.h"
+#include "core/columnar.h"
 #include "core/driver.h"
 #include "core/pareto.h"
 #include "envs/dram_gym_env.h"
@@ -66,6 +84,7 @@
 #include "envs/maestro_gym_env.h"
 #include "envs/timeloop_gym_env.h"
 #include "mathutil/stats.h"
+#include "proxy/proxy_screen.h"
 
 namespace {
 
@@ -151,6 +170,23 @@ parseHyper(const std::string &spec)
 }
 
 /**
+ * The environment's own objective, when its concrete type exposes one
+ * (the proxy screen scores predicted metrics with it). Environments
+ * without an objective accessor cannot run --proxy-screen.
+ */
+const Objective *
+envObjective(const Environment &env)
+{
+    if (const auto *dram = dynamic_cast<const DramGymEnv *>(&env))
+        return &dram->objective();
+    if (const auto *farsi = dynamic_cast<const FarsiGymEnv *>(&env))
+        return &farsi->objective();
+    if (const auto *tl = dynamic_cast<const TimeloopGymEnv *>(&env))
+        return &tl->objective();
+    return nullptr;
+}
+
+/**
  * Print the Pareto frontier of the first three metrics (the paper's
  * native <latency, power, area>-shaped tuples), all minimized.
  */
@@ -201,6 +237,10 @@ main(int argc, char **argv)
     std::string workerId;
     std::uint64_t leaseTtl = 10000;
     std::uint64_t heartbeat = 0;
+    bool proxyScreen = false;
+    std::size_t screenTopK = 8;
+    std::size_t pilotConfigs = 16;
+    bool columnar = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -241,6 +281,14 @@ main(int argc, char **argv)
             leaseTtl = std::stoull(next());
         else if (arg == "--heartbeat")
             heartbeat = std::stoull(next());
+        else if (arg == "--proxy-screen")
+            proxyScreen = true;
+        else if (arg == "--screen-top-k")
+            screenTopK = std::stoul(next());
+        else if (arg == "--pilot")
+            pilotConfigs = std::stoul(next());
+        else if (arg == "--columnar")
+            columnar = true;
         else {
             std::fprintf(stderr,
                          "unknown option %s (see file header for usage)\n",
@@ -260,6 +308,18 @@ main(int argc, char **argv)
         std::fprintf(stderr, "--sweep-worker requires --sweep N\n");
         return 2;
     }
+    if (proxyScreen && sweepConfigs == 0) {
+        std::fprintf(stderr, "--proxy-screen requires --sweep N\n");
+        return 2;
+    }
+    if (proxyScreen && sweepWorker) {
+        std::fprintf(stderr,
+                     "--proxy-screen and --sweep-worker are exclusive "
+                     "(the pilot/frontier stages are single-process "
+                     "sweeps; point workers at those directories "
+                     "instead)\n");
+        return 2;
+    }
 
     if (sweepConfigs > 0) {
         // Sharded lottery mode: N configs from the agent's default
@@ -275,6 +335,72 @@ main(int argc, char **argv)
 
         RunConfig cfg;
         cfg.maxSamples = samples;
+
+        if (proxyScreen) {
+            const Objective *objective = envObjective(*env);
+            if (objective == nullptr) {
+                std::fprintf(stderr,
+                             "--proxy-screen: environment '%s' does not "
+                             "expose an objective\n",
+                             envName.c_str());
+                return 2;
+            }
+            ProxyScreenOptions popts;
+            popts.directory = sweepDir;
+            popts.objective = objective;
+            popts.pilotConfigs = pilotConfigs;
+            popts.screenTopK = screenTopK;
+            popts.columnar = columnar;
+            popts.shardSize = shardSize;
+            popts.numThreads = threads;
+
+            std::printf("proxy-screened lottery: env=%s agent=%s "
+                        "configs=%zu pilot=%zu top-k=%zu samples=%zu "
+                        "dir=%s (%s training reader)\n",
+                        envName.c_str(), agentName.c_str(), sweepConfigs,
+                        pilotConfigs, screenTopK, samples,
+                        sweepDir.c_str(),
+                        columnar ? "columnar" : "CSV");
+            ProxyScreenResult screen;
+            try {
+                screen = runSweepProxyScreened(factory, agentName,
+                                               builder, configs, cfg,
+                                               popts, seed);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return 1;
+            }
+            std::printf("pilot: %zu configs simulated, best reward %s\n",
+                        screen.pilot.configs.size(),
+                        summarize(screen.pilot.bestRewards)
+                            .str()
+                            .c_str());
+            if (screen.screenReused)
+                std::printf("screen: ranking reused from screen.json\n");
+            else
+                std::printf("screen: proxy trained on %zu transitions, "
+                            "%zu proxy evaluations spent ranking %zu "
+                            "configs\n",
+                            screen.trainRowCount, screen.proxyEvaluations,
+                            screen.ranking.size());
+            std::printf("frontier (top %zu by proxy reward):\n",
+                        screen.frontier.size());
+            for (std::size_t j = 0; j < screen.frontier.size(); ++j) {
+                std::printf("  config #%-5zu proxy %.6g   simulated "
+                            "%.6g\n",
+                            screen.frontier[j], screen.screenRewards[j],
+                            screen.frontierSweep.bestRewards[j]);
+            }
+            const std::size_t simulated = screen.pilot.configs.size() +
+                                          screen.frontier.size();
+            std::printf("simulator budget: %zu of %zu configs simulated "
+                        "(%.1f%%), rest screened by proxy\n",
+                        simulated, sweepConfigs,
+                        100.0 * static_cast<double>(simulated) /
+                            static_cast<double>(sweepConfigs));
+            return 0;
+        }
+
         ShardedSweepOptions opts;
         opts.directory = sweepDir;
         opts.shardSize = shardSize;
@@ -316,10 +442,26 @@ main(int argc, char **argv)
         std::printf("best reward per config: %s\n",
                     summarize(sweep.bestRewards).str().c_str());
 
-        const Dataset dataset = Dataset::loadDirectory(sweepDir);
+        Dataset dataset;
+        if (columnar) {
+            // Serve the summary through the columnar reader: convert
+            // the shard CSVs once (skipped when the index already
+            // exists) and re-ingest from the row-group pair.
+            const std::string stem =
+                (std::filesystem::path(sweepDir) / "columnar").string();
+            if (!std::filesystem::exists(
+                    ColumnarDatasetWriter::indexPath(stem)))
+                writeColumnarFromCsvDirectory(sweepDir, stem,
+                                              env->actionSpace(),
+                                              env->metricNames());
+            dataset = ColumnarDatasetReader::open(stem).toDataset();
+        } else {
+            dataset = Dataset::loadDirectory(sweepDir);
+        }
         std::printf("streamed dataset: %zu trajectories, %zu "
-                    "transitions\n",
-                    dataset.logCount(), dataset.transitionCount());
+                    "transitions (%s reader)\n",
+                    dataset.logCount(), dataset.transitionCount(),
+                    columnar ? "columnar" : "CSV");
         if (pareto)
             printParetoFront(dataset.flatten(), env->metricNames());
         return 0;

@@ -3,7 +3,8 @@
 
 Compares freshly produced bench JSON (perf_dram_hotloop ->
 BENCH_dram.json, perf_env_hotloop -> BENCH_envs.json, perf_bo_hotloop ->
-BENCH_bo.json, perf_sweep_hotloop -> BENCH_sweep.json) against the
+BENCH_bo.json, perf_sweep_hotloop -> BENCH_sweep.json,
+perf_proxy_hotloop -> BENCH_proxy.json) against the
 committed baselines in bench/baselines/ and fails when any throughput
 metric drops by more than the threshold (default 25%).
 
@@ -27,9 +28,10 @@ Exit status: 0 = no regression, 1 = regression or missing metric,
 Refresh the baselines (after an intentional perf change, on the
 reference machine):
     ./build/perf_dram_hotloop && ./build/perf_env_hotloop && \
-        ./build/perf_bo_hotloop && ./build/perf_sweep_hotloop
+        ./build/perf_bo_hotloop && ./build/perf_sweep_hotloop && \
+        ./build/perf_proxy_hotloop
     cp BENCH_dram.json BENCH_envs.json BENCH_bo.json BENCH_sweep.json \
-        bench/baselines/
+        BENCH_proxy.json bench/baselines/
 """
 
 import argparse

@@ -15,6 +15,7 @@
 
 #include "core/fault_hooks.h"
 #include "core/fsio.h"
+#include "core/jsonio.h"
 #include "core/lease.h"
 #include "core/worker_pool.h"
 
@@ -109,8 +110,7 @@ runSweep(Environment &env, const std::string &agent_name,
     for (std::size_t i = 0; i < configs.size(); ++i) {
         // Deterministic per-configuration seed so individual sweep points
         // can be reproduced in isolation.
-        const std::uint64_t seed = base_seed * 0x9e3779b97f4a7c15ULL +
-                                   static_cast<std::uint64_t>(i);
+        const std::uint64_t seed = sweepConfigSeed(base_seed, i);
         auto agent = builder(env.actionSpace(), configs[i], seed);
         RunResult run = runSearch(env, *agent, run_config);
         sweep.bestRewards.push_back(run.bestReward);
@@ -156,9 +156,7 @@ runSweepParallel(const EnvFactory &env_factory,
             auto &env = envs[slot];
             if (!env)
                 env = env_factory();
-            const std::uint64_t seed =
-                base_seed * 0x9e3779b97f4a7c15ULL +
-                static_cast<std::uint64_t>(i);
+            const std::uint64_t seed = sweepConfigSeed(base_seed, i);
             auto agent = builder(env->actionSpace(), configs[i], seed);
             RunResult run = runSearch(*env, *agent, run_config);
             sweep.bestRewards[i] = run.bestReward;
@@ -172,134 +170,15 @@ runSweepParallel(const EnvFactory &env_factory,
 // Sharded, resumable sweep engine
 // ---------------------------------------------------------------------
 
-namespace {
-
-namespace fs = std::filesystem;
-
-/** Per-configuration seed; shared with runSweep/runSweepParallel. */
 std::uint64_t
-configSeed(std::uint64_t base_seed, std::size_t index)
+sweepConfigSeed(std::uint64_t base_seed, std::size_t index)
 {
     return base_seed * 0x9e3779b97f4a7c15ULL +
            static_cast<std::uint64_t>(index);
 }
 
-/** Shortest round-trip rendering (exact from_chars read-back). */
-void
-appendDouble(std::string &out, double v)
-{
-    char buf[32];
-    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-    out.append(buf, res.ptr);
-}
-
-/** Minimal JSON string escaping for names/hyperparam strings. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-/**
- * Locate `"key":` in one of our own JSON lines and return the start of
- * its value. These parsers only accept what the engine itself writes —
- * anything else throws with the surrounding context.
- */
-std::size_t
-jsonValuePos(const std::string &text, const std::string &key,
-             const std::string &context)
-{
-    const std::string needle = "\"" + key + "\":";
-    const auto pos = text.find(needle);
-    if (pos == std::string::npos)
-        throw std::runtime_error(context + ": missing key '" + key + "'");
-    return pos + needle.size();
-}
-
-double
-jsonDoubleField(const std::string &text, const std::string &key,
-                const std::string &context)
-{
-    const std::size_t pos = jsonValuePos(text, key, context);
-    double value = 0.0;
-    const char *begin = text.data() + pos;
-    const auto res = std::from_chars(begin, text.data() + text.size(),
-                                     value);
-    if (res.ec != std::errc{})
-        throw std::runtime_error(context + ": bad number for '" + key +
-                                 "'");
-    return value;
-}
-
 std::uint64_t
-jsonUintField(const std::string &text, const std::string &key,
-              const std::string &context)
-{
-    const std::size_t pos = jsonValuePos(text, key, context);
-    std::uint64_t value = 0;
-    const char *begin = text.data() + pos;
-    const auto res = std::from_chars(begin, text.data() + text.size(),
-                                     value);
-    if (res.ec != std::errc{})
-        throw std::runtime_error(context + ": bad integer for '" + key +
-                                 "'");
-    return value;
-}
-
-std::string
-jsonStringField(const std::string &text, const std::string &key,
-                const std::string &context)
-{
-    std::size_t pos = jsonValuePos(text, key, context);
-    if (pos >= text.size() || text[pos] != '"')
-        throw std::runtime_error(context + ": bad string for '" + key +
-                                 "'");
-    ++pos;
-    std::string out;
-    while (pos < text.size() && text[pos] != '"') {
-        if (text[pos] == '\\' && pos + 1 < text.size())
-            ++pos;
-        out.push_back(text[pos++]);
-    }
-    return out;
-}
-
-std::vector<double>
-jsonDoubleArrayField(const std::string &text, const std::string &key,
-                     const std::string &context)
-{
-    std::size_t pos = jsonValuePos(text, key, context);
-    if (pos >= text.size() || text[pos] != '[')
-        throw std::runtime_error(context + ": bad array for '" + key +
-                                 "'");
-    ++pos;
-    std::vector<double> out;
-    while (pos < text.size() && text[pos] != ']') {
-        double value = 0.0;
-        const auto res = std::from_chars(text.data() + pos,
-                                         text.data() + text.size(), value);
-        if (res.ec != std::errc{})
-            throw std::runtime_error(context + ": bad array entry for '" +
-                                     key + "'");
-        out.push_back(value);
-        pos = static_cast<std::size_t>(res.ptr - text.data());
-        if (pos < text.size() && text[pos] == ',')
-            ++pos;
-    }
-    return out;
-}
-
-/** FNV-1a over every configuration's rendering: the manifest's cheap
- *  guard against resuming with a different configuration list. */
-std::uint64_t
-configsHash(const std::vector<HyperParams> &configs)
+sweepConfigsHash(const std::vector<HyperParams> &configs)
 {
     std::uint64_t h = 0xcbf29ce484222325ULL;
     const auto mix = [&h](const std::string &s) {
@@ -314,6 +193,10 @@ configsHash(const std::vector<HyperParams> &configs)
         mix(hp.str());
     return h;
 }
+
+namespace {
+
+namespace fs = std::filesystem;
 
 struct ManifestFields
 {
@@ -333,8 +216,8 @@ std::string
 renderManifest(const ManifestFields &m)
 {
     std::ostringstream os;
-    os << "{\"format\":1,\"env\":\"" << jsonEscape(m.env)
-       << "\",\"agent\":\"" << jsonEscape(m.agent)
+    os << "{\"format\":1,\"env\":\"" << jsonio::escape(m.env)
+       << "\",\"agent\":\"" << jsonio::escape(m.agent)
        << "\",\"configCount\":" << m.configCount
        << ",\"shardSize\":" << m.shardSize << ",\"baseSeed\":"
        << m.baseSeed << ",\"maxSamples\":" << m.maxSamples
@@ -364,7 +247,7 @@ renderResultLine(std::size_t config_index, std::uint64_t seed,
     line += ",\"seed\":";
     line += std::to_string(seed);
     line += ",\"bestReward\":";
-    appendDouble(line, run.bestReward);
+    jsonio::appendDouble(line, run.bestReward);
     line += ",\"bestSampleIndex\":";
     line += std::to_string(run.bestSampleIndex);
     line += ",\"samplesUsed\":";
@@ -373,10 +256,10 @@ renderResultLine(std::size_t config_index, std::uint64_t seed,
     for (std::size_t i = 0; i < run.bestAction.size(); ++i) {
         if (i)
             line.push_back(',');
-        appendDouble(line, run.bestAction[i]);
+        jsonio::appendDouble(line, run.bestAction[i]);
     }
     line += "],\"hyper\":\"";
-    line += jsonEscape(hp.str());
+    line += jsonio::escape(hp.str());
     line += "\"}\n";
     return line;
 }
@@ -417,7 +300,7 @@ runSweepSharded(const EnvFactory &env_factory,
     manifest.stopWhenSatisfied = run_config.stopWhenSatisfied ? 1 : 0;
     manifest.batchEval = run_config.batchEval ? 1 : 0;
     manifest.exportDataset = options.exportDataset ? 1 : 0;
-    manifest.hash = configsHash(configs);
+    manifest.hash = sweepConfigsHash(configs);
 
     // Validate-or-write the manifest: resuming a directory that belongs
     // to a *different* sweep must fail loudly, never mix results. Every
@@ -434,7 +317,7 @@ runSweepSharded(const EnvFactory &env_factory,
                       "it to restart the sweep");
         const auto check = [&](const std::string &key,
                                std::uint64_t expected) {
-            const std::uint64_t got = jsonUintField(text, key, ctx);
+            const std::uint64_t got = jsonio::uintField(text, key, ctx);
             if (got != expected)
                 throw std::runtime_error(
                     ctx + ": '" + key + "' is " + std::to_string(got) +
@@ -443,7 +326,7 @@ runSweepSharded(const EnvFactory &env_factory,
         };
         const auto checkString = [&](const std::string &key,
                                      const std::string &expected) {
-            const std::string got = jsonStringField(text, key, ctx);
+            const std::string got = jsonio::stringField(text, key, ctx);
             if (got != expected)
                 throw std::runtime_error(
                     ctx + ": '" + key + "' is \"" + got +
@@ -480,7 +363,7 @@ runSweepSharded(const EnvFactory &env_factory,
     result.seeds.resize(configs.size());
     result.shardCount = shardCount;
     for (std::size_t i = 0; i < configs.size(); ++i)
-        result.seeds[i] = configSeed(base_seed, i);
+        result.seeds[i] = sweepConfigSeed(base_seed, i);
 
     std::size_t numThreads = options.numThreads;
     if (numThreads == 0)
@@ -527,7 +410,7 @@ runSweepSharded(const EnvFactory &env_factory,
                     ctx + ": line does not end in '}' (truncated "
                           "write?) — delete the shard files to re-run "
                           "it");
-            const std::uint64_t idx = jsonUintField(line, "config", ctx);
+            const std::uint64_t idx = jsonio::uintField(line, "config", ctx);
             if (next >= hi || idx != next)
                 throw std::runtime_error(
                     ctx + ": unexpected config index " +
@@ -536,12 +419,12 @@ runSweepSharded(const EnvFactory &env_factory,
                                 : std::to_string(next)) +
                     ") — delete the shard files to re-run it");
             result.bestRewards[idx] =
-                jsonDoubleField(line, "bestReward", ctx);
+                jsonio::doubleField(line, "bestReward", ctx);
             result.samplesUsed[idx] = static_cast<std::size_t>(
-                jsonUintField(line, "samplesUsed", ctx));
+                jsonio::uintField(line, "samplesUsed", ctx));
             result.bestActions[idx] =
-                jsonDoubleArrayField(line, "bestAction", ctx);
-            const std::uint64_t seed = jsonUintField(line, "seed", ctx);
+                jsonio::doubleArrayField(line, "bestAction", ctx);
+            const std::uint64_t seed = jsonio::uintField(line, "seed", ctx);
             if (seed != result.seeds[idx])
                 throw std::runtime_error(
                     ctx + ": seed is " + std::to_string(seed) +
@@ -617,7 +500,7 @@ runSweepSharded(const EnvFactory &env_factory,
                     ", " + std::to_string(hi) +
                     ") — delete the partial files to re-run it");
             const std::uint64_t seed =
-                jsonUintField(rec.resultLine, "seed", ctx);
+                jsonio::uintField(rec.resultLine, "seed", ctx);
             if (seed != result.seeds[rec.config])
                 throw std::runtime_error(
                     ctx + ": seed is " + std::to_string(seed) +
@@ -650,11 +533,11 @@ runSweepSharded(const EnvFactory &env_factory,
             const std::string ctx = "shard partial " +
                                     partialJsonl.string();
             result.bestRewards[config] =
-                jsonDoubleField(line, "bestReward", ctx);
+                jsonio::doubleField(line, "bestReward", ctx);
             result.samplesUsed[config] = static_cast<std::size_t>(
-                jsonUintField(line, "samplesUsed", ctx));
+                jsonio::uintField(line, "samplesUsed", ctx));
             result.bestActions[config] =
-                jsonDoubleArrayField(line, "bestAction", ctx);
+                jsonio::doubleArrayField(line, "bestAction", ctx);
             lines[config - lo] = line;
             if (writer)
                 writer->appendSerialized(config,

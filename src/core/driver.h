@@ -116,6 +116,22 @@ SweepResult runSweep(Environment &env, const std::string &agent_name,
 using EnvFactory = std::function<std::unique_ptr<Environment>()>;
 
 /**
+ * Per-configuration agent seed shared by every sweep engine
+ * (runSweep/runSweepParallel/runSweepSharded) and by the proxy-screened
+ * mode's screening runs: it depends only on (base_seed, index), never
+ * on scheduling, which is what makes sweep results bit-identical across
+ * engines, thread counts, and resume schedules.
+ */
+std::uint64_t sweepConfigSeed(std::uint64_t base_seed, std::size_t index);
+
+/**
+ * FNV-1a identity hash over a configuration list's renderings — the
+ * cheap guard the sharded-sweep manifest (and the proxy screen record)
+ * stores against resuming with a different configuration list.
+ */
+std::uint64_t sweepConfigsHash(const std::vector<HyperParams> &configs);
+
+/**
  * Parallel sweep: identical semantics and results to runSweep (the
  * per-configuration seeds do not depend on scheduling), but
  * configurations are distributed over worker threads, each with its own

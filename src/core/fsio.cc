@@ -4,6 +4,8 @@
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include <fcntl.h>
@@ -105,6 +107,17 @@ atomicWriteFile(const std::string &path, const std::string &bytes)
         fail("atomicWriteFile: rename failed onto", path);
     }
     fsyncParentDir(path);
+}
+
+std::string
+readFileIfExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
 }
 
 } // namespace fsio

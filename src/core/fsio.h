@@ -48,6 +48,12 @@ std::string uniqueTmpPath(const std::string &path);
  */
 void atomicWriteFile(const std::string &path, const std::string &bytes);
 
+/**
+ * Whole-file binary read; a missing (or unopenable) file reads as "".
+ * Shared by the partial-file readers and the columnar dataset index.
+ */
+std::string readFileIfExists(const std::string &path);
+
 } // namespace fsio
 } // namespace archgym
 

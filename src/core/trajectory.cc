@@ -588,18 +588,6 @@ ShardPartialWriter::closeAndRemove()
 
 namespace {
 
-/** Whole-file read; missing file -> empty string. */
-std::string
-slurpIfExists(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        return "";
-    std::ostringstream os;
-    os << in.rdbuf();
-    return os.str();
-}
-
 /** Parse the leading `{"config":<n>` of a result-line payload. */
 bool
 parseConfigIndex(std::string_view payload, std::size_t &out)
@@ -619,7 +607,7 @@ PartialReadResult
 readPartialResultLines(const std::string &path)
 {
     PartialReadResult result;
-    const std::string text = slurpIfExists(path);
+    const std::string text = fsio::readFileIfExists(path);
     std::size_t pos = 0;
     while (pos < text.size()) {
         const std::size_t eol = text.find('\n', pos);
@@ -662,7 +650,7 @@ PartialCsvReadResult
 readPartialCsvFrames(const std::string &path)
 {
     PartialCsvReadResult result;
-    const std::string text = slurpIfExists(path);
+    const std::string text = fsio::readFileIfExists(path);
     const std::size_t magicLen = std::strlen(kFrameMagic);
     std::size_t pos = 0;
     while (pos < text.size()) {

@@ -135,7 +135,7 @@ double
 pearson(const std::vector<double> &xs, const std::vector<double> &ys)
 {
     if (xs.size() != ys.size() || xs.size() < 2)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     const double mx = mean(xs);
     const double my = mean(ys);
     double sxy = 0.0, sxx = 0.0, syy = 0.0;
@@ -147,7 +147,7 @@ pearson(const std::vector<double> &xs, const std::vector<double> &ys)
         syy += dy * dy;
     }
     if (sxx <= 0.0 || syy <= 0.0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return sxy / std::sqrt(sxx * syy);
 }
 

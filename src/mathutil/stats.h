@@ -81,7 +81,12 @@ double rmse(const std::vector<double> &predicted,
 double meanAbsError(const std::vector<double> &predicted,
                     const std::vector<double> &actual);
 
-/** Pearson correlation coefficient; 0 when either side is constant. */
+/**
+ * Pearson correlation coefficient. Degenerate inputs — fewer than two
+ * points, mismatched lengths, or either side constant — have no defined
+ * correlation and return NaN (render as "n/a", mirroring
+ * Summary::relativeSpread) rather than a fabricated 0.
+ */
 double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
 
 /**

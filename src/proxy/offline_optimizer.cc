@@ -9,7 +9,6 @@ namespace {
 struct Scored
 {
     Action action;
-    Metrics predicted;
     double reward = 0.0;
 };
 
@@ -23,20 +22,39 @@ offlineSearch(const ProxyCostModel &proxy, Environment &env,
     const ParamSpace &space = env.actionSpace();
     OfflineSearchResult result;
 
+    Metrics scratch(proxy.metricCount());
     auto score = [&](const Action &a) {
         Scored s;
         s.action = a;
-        s.predicted = proxy.predict(a);
-        s.reward = objective.reward(s.predicted);
+        scratch = proxy.predict(a);
+        s.reward = objective.reward(scratch);
         ++result.proxyEvaluations;
         return s;
     };
 
-    // Phase 1: broad random sweep through the proxy.
-    std::vector<Scored> pool;
-    pool.reserve(config.randomCandidates);
+    // Phase 1: broad random sweep, scored through one predictBatch call
+    // (bit-identical to per-candidate predict, so ranking is unchanged);
+    // predictions stay in the column-major matrix — no Metrics vector is
+    // retained per candidate.
+    std::vector<Action> candidates;
+    candidates.reserve(config.randomCandidates);
     for (std::size_t i = 0; i < config.randomCandidates; ++i)
-        pool.push_back(score(space.sample(rng)));
+        candidates.push_back(space.sample(rng));
+    const std::vector<double> predictedAll = proxy.predictBatch(candidates);
+    result.proxyEvaluations += candidates.size();
+
+    const std::size_t rows = candidates.size();
+    const std::size_t metricCount = proxy.metricCount();
+    std::vector<Scored> pool;
+    pool.reserve(rows + config.hillClimbSeeds);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t m = 0; m < metricCount; ++m)
+            scratch[m] = predictedAll[m * rows + r];
+        Scored s;
+        s.action = std::move(candidates[r]);
+        s.reward = objective.reward(scratch);
+        pool.push_back(std::move(s));
+    }
     std::sort(pool.begin(), pool.end(),
               [](const Scored &a, const Scored &b) {
                   return a.reward > b.reward;
@@ -75,7 +93,9 @@ offlineSearch(const ProxyCostModel &proxy, Environment &env,
         seen.push_back(s.action);
         OfflineCandidate cand;
         cand.action = s.action;
-        cand.predicted = s.predicted;
+        // Re-derive the metrics for the handful of finalists; identical
+        // to the batch values by the predictBatch bit-identity contract.
+        cand.predicted = proxy.predict(s.action);
         cand.predictedReward = s.reward;
         const StepResult sr = env.step(s.action);
         ++result.simulatorEvaluations;

@@ -1,28 +1,16 @@
-/**
- * @file
- * Shared dataset-collection setup for the §7 proxy-model benches
- * (Figs. 10-12): run ACO/GA/RW/BO hyperparameter explorations on
- * DRAMGym, log every transition, and build a held-out test set of fresh
- * random designs evaluated on the ground-truth simulator.
- */
-
-#ifndef ARCHGYM_BENCH_PROXY_COMMON_H
-#define ARCHGYM_BENCH_PROXY_COMMON_H
+#include "proxy_dataset.h"
 
 #include <filesystem>
 #include <memory>
-#include <string>
-#include <vector>
 
 #include "agents/registry.h"
 #include "core/driver.h"
-#include "core/trajectory.h"
-#include "envs/dram_gym_env.h"
 
-namespace archgym::bench {
+namespace archgym {
 
-/** Agents contributing to the diverse dataset (paper §7.1). */
-inline const std::vector<std::string> &
+namespace fs = std::filesystem;
+
+const std::vector<std::string> &
 proxyAgents()
 {
     static const std::vector<std::string> agents = {"ACO", "GA", "RW",
@@ -30,7 +18,7 @@ proxyAgents()
     return agents;
 }
 
-inline DramGymEnv::Options
+DramGymEnv::Options
 proxyEnvOptions()
 {
     DramGymEnv::Options o;
@@ -41,18 +29,13 @@ proxyEnvOptions()
     return o;
 }
 
-inline DramGymEnv
+DramGymEnv
 makeProxyEnv()
 {
     return DramGymEnv(proxyEnvOptions());
 }
 
-/**
- * Collect `runs_per_agent` exploration runs of `samples_per_run`
- * transitions from each proxy agent (different hyperparameters per run),
- * as the Fig. 9 aggregation pipeline prescribes.
- */
-inline Dataset
+Dataset
 collectProxyDataset(DramGymEnv &env, std::size_t runs_per_agent,
                     std::size_t samples_per_run)
 {
@@ -77,23 +60,14 @@ collectProxyDataset(DramGymEnv &env, std::size_t runs_per_agent,
     return dataset;
 }
 
-/**
- * Streamed variant of collectProxyDataset: every agent's exploration
- * runs go through the sharded sweep engine with trajectory export, so
- * transitions land in per-shard multi-block CSVs under
- * `directory/<agent>/` as runs complete instead of accumulating in
- * memory; the dataset is then re-ingested with Dataset::loadDirectory
- * (which recurses over the per-agent shard directories in sorted
- * order). Same pool shape as collectProxyDataset — same agents, same
- * hyperparameter draws — but per-run seeds come from the sweep
- * engine's index-only formula.
- */
-inline Dataset
-collectProxyDatasetStreamed(const std::string &directory,
-                            std::size_t runs_per_agent,
-                            std::size_t samples_per_run)
+namespace {
+
+/** The sweep stage shared by the streamed and columnar collectors. */
+void
+runStreamedCollection(const std::string &directory,
+                      std::size_t runs_per_agent,
+                      std::size_t samples_per_run)
 {
-    std::filesystem::remove_all(directory);
     const EnvFactory factory = [] {
         return std::unique_ptr<Environment>(
             std::make_unique<DramGymEnv>(proxyEnvOptions()));
@@ -113,19 +87,47 @@ collectProxyDatasetStreamed(const std::string &directory,
         RunConfig cfg;
         cfg.maxSamples = samples_per_run;
         ShardedSweepOptions opts;
-        opts.directory =
-            (std::filesystem::path(directory) / agentName).string();
+        opts.directory = (fs::path(directory) / agentName).string();
         opts.shardSize = 2;
         opts.exportDataset = true;
         runSweepSharded(factory, agentName, builder, configs, cfg, opts,
                         7000);
     }
-    return Dataset::loadDirectory(directory);
 }
 
-/** Fresh uniformly random designs evaluated on the simulator. */
-inline std::vector<Transition>
-makeHeldOutSet(DramGymEnv &env, std::size_t n, std::uint64_t seed = 909)
+} // namespace
+
+ColumnarDatasetReader
+collectProxyDatasetColumnar(const std::string &directory,
+                            std::size_t runs_per_agent,
+                            std::size_t samples_per_run)
+{
+    const std::string stem = (fs::path(directory) / "columnar").string();
+    if (!fs::exists(ColumnarDatasetWriter::indexPath(stem))) {
+        fs::remove_all(directory);
+        fs::create_directories(directory);
+        runStreamedCollection(directory, runs_per_agent,
+                              samples_per_run);
+        const DramGymEnv env = makeProxyEnv();
+        writeColumnarFromCsvDirectory(directory, stem, env.actionSpace(),
+                                      env.metricNames());
+    }
+    return ColumnarDatasetReader::open(stem);
+}
+
+Dataset
+collectProxyDatasetStreamed(const std::string &directory,
+                            std::size_t runs_per_agent,
+                            std::size_t samples_per_run)
+{
+    fs::remove_all(directory);
+    return collectProxyDatasetColumnar(directory, runs_per_agent,
+                                       samples_per_run)
+        .toDataset();
+}
+
+std::vector<Transition>
+makeHeldOutSet(Environment &env, std::size_t n, std::uint64_t seed)
 {
     std::vector<Transition> test;
     Rng rng(seed);
@@ -140,6 +142,4 @@ makeHeldOutSet(DramGymEnv &env, std::size_t n, std::uint64_t seed = 909)
     return test;
 }
 
-} // namespace archgym::bench
-
-#endif // ARCHGYM_BENCH_PROXY_COMMON_H
+} // namespace archgym

@@ -1,7 +1,10 @@
 #include "proxy_model.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <limits>
 #include <sstream>
 
 #include "mathutil/stats.h"
@@ -11,7 +14,27 @@ namespace archgym {
 double
 ProxyAccuracy::meanRelativeRmse() const
 {
-    return mean(relativeRmse);
+    double s = 0.0;
+    std::size_t n = 0;
+    for (double v : relativeRmse) {
+        if (std::isnan(v))
+            continue;
+        s += v;
+        ++n;
+    }
+    if (n == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return s / static_cast<double>(n);
+}
+
+std::string
+ProxyAccuracy::renderValue(double v)
+{
+    if (std::isnan(v))
+        return "n/a";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+    return buf;
 }
 
 ProxyCostModel::ProxyCostModel(const ParamSpace &space,
@@ -69,27 +92,60 @@ ProxyCostModel::predict(const Action &action) const
     return out;
 }
 
+std::vector<double>
+ProxyCostModel::predictBatch(const std::vector<Action> &actions) const
+{
+    assert(trained());
+    const std::size_t rows = actions.size();
+    std::vector<double> out(rows * forests_.size(), 0.0);
+    if (rows == 0)
+        return out;
+
+    const std::size_t dims = space_.size();
+    std::vector<double> features(rows * dims);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto unit = featurize(actions[r]);
+        assert(unit.size() == dims);
+        std::copy(unit.begin(), unit.end(), features.begin() + r * dims);
+    }
+    for (std::size_t m = 0; m < forests_.size(); ++m)
+        forests_[m].predictBatchInto(features.data(), rows, dims,
+                                     out.data() + m * rows);
+    return out;
+}
+
 ProxyAccuracy
 ProxyCostModel::evaluate(const std::vector<Transition> &test) const
 {
     ProxyAccuracy acc;
     acc.metricNames = metricNames_;
+
+    // One batched pass over all forests; each metric's predictions then
+    // live in one contiguous column instead of a Metrics vector per row.
+    std::vector<Action> actions;
+    actions.reserve(test.size());
+    for (const auto &t : test)
+        actions.push_back(t.action);
+    const std::vector<double> predictedAll = predictBatch(actions);
+
+    const std::size_t rows = test.size();
+    std::vector<double> actual(rows), predicted(rows);
     for (std::size_t m = 0; m < metricNames_.size(); ++m) {
-        std::vector<double> actual, predicted;
-        actual.reserve(test.size());
-        predicted.reserve(test.size());
-        for (const auto &t : test) {
-            actual.push_back(t.observation[m]);
-            predicted.push_back(predict(t.action)[m]);
+        for (std::size_t r = 0; r < rows; ++r) {
+            actual[r] = test[r].observation[m];
+            predicted[r] = predictedAll[m * rows + r];
         }
         const double e = rmse(predicted, actual);
         double meanAbs = 0.0;
         for (double a : actual)
             meanAbs += std::abs(a);
-        meanAbs /= actual.empty() ? 1.0
-                                  : static_cast<double>(actual.size());
+        meanAbs /= rows == 0 ? 1.0 : static_cast<double>(rows);
         acc.rmse.push_back(e);
-        acc.relativeRmse.push_back(meanAbs > 0.0 ? e / meanAbs : 0.0);
+        // Zero-mean-|actual| targets have no defined relative error:
+        // NaN sentinel, not a lying 0 (rendered "n/a").
+        acc.relativeRmse.push_back(
+            meanAbs > 0.0 ? e / meanAbs
+                          : std::numeric_limits<double>::quiet_NaN());
         acc.correlation.push_back(pearson(actual, predicted));
     }
     return acc;

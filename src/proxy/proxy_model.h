@@ -8,6 +8,10 @@
  * dataset-composition experiment helpers of §7.1: assembling single-
  * source vs. diverse datasets at controlled sizes and measuring held-out
  * RMSE per target.
+ *
+ * Serving path (columnar datasets, the struct-of-arrays forest arena
+ * behind predictBatch, and the screen-then-simulate sweep protocol) is
+ * documented in docs/proxy_serving.md.
  */
 
 #ifndef ARCHGYM_PROXY_PROXY_MODEL_H
@@ -22,7 +26,15 @@
 
 namespace archgym {
 
-/** Per-metric accuracy of a trained proxy. */
+/**
+ * Per-metric accuracy of a trained proxy.
+ *
+ * Degenerate held-out sets have no defined value for some entries and
+ * hold NaN sentinels instead of fabricated numbers: relativeRmse when
+ * mean(|actual|) is zero, correlation when either side is constant or
+ * the set has fewer than two rows. Render NaNs via renderValue()
+ * ("n/a"), mirroring Summary::relativeSpread.
+ */
 struct ProxyAccuracy
 {
     std::vector<std::string> metricNames;
@@ -30,7 +42,11 @@ struct ProxyAccuracy
     std::vector<double> relativeRmse;  ///< RMSE / mean(|actual|)
     std::vector<double> correlation;   ///< Pearson actual vs predicted
 
+    /** Mean over the *defined* (non-NaN) entries; NaN if none are. */
     double meanRelativeRmse() const;
+
+    /** "%.4f" rendering of one entry, or "n/a" for NaN sentinels. */
+    static std::string renderValue(double v);
 };
 
 /** Random-forest proxy for an environment's full observation vector. */
@@ -50,10 +66,20 @@ class ProxyCostModel
 
     bool trained() const;
 
-    /** Predicted observation vector for an action. */
+    /** Predicted observation vector for an action (scalar oracle). */
     Metrics predict(const Action &action) const;
 
-    /** Accuracy on a held-out transition set. */
+    /**
+     * Batched predictions for a candidate cohort, returned as a
+     * column-major metrics matrix: entry [m * actions.size() + r] is
+     * metric m of row r, so each forest's batch kernel writes one
+     * contiguous column and callers consume whole metric columns
+     * without a Metrics allocation per row. Bit-identical to calling
+     * predict() on every action.
+     */
+    std::vector<double> predictBatch(const std::vector<Action> &actions) const;
+
+    /** Accuracy on a held-out transition set (see ProxyAccuracy). */
     ProxyAccuracy evaluate(const std::vector<Transition> &test) const;
 
     std::size_t metricCount() const { return metricNames_.size(); }

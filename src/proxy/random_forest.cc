@@ -33,6 +33,18 @@ sseOf(const std::vector<double> &ys, const std::vector<std::size_t> &idx,
 
 } // namespace
 
+void
+ForestArena::clear()
+{
+    feature.clear();
+    threshold.clear();
+    left.clear();
+    right.clear();
+    value.clear();
+    root.clear();
+    depth.clear();
+}
+
 std::size_t
 DecisionTree::build(const std::vector<std::vector<double>> &xs,
                     const std::vector<double> &ys,
@@ -166,6 +178,56 @@ DecisionTree::predict(const std::vector<double> &x) const
     return nodes_[n].value;
 }
 
+void
+DecisionTree::flattenInto(ForestArena &arena) const
+{
+    assert(!nodes_.empty());
+    const std::int32_t base = static_cast<std::int32_t>(arena.nodeCount());
+    arena.root.push_back(base);
+    arena.depth.push_back(static_cast<std::int32_t>(depth_));
+
+    // Breadth-first, sibling-adjacent remap: a node's children land in
+    // consecutive arena slots, so the batched kernel derives the right
+    // child as left + 1 and drops one load from the per-step chase;
+    // BFS order also keeps the hot top levels of the tree on adjacent
+    // cache lines. Processing the queue in FIFO order makes the new
+    // index of order[q] exactly q.
+    std::vector<std::int32_t> remap(nodes_.size(), -1);
+    std::vector<std::size_t> order;
+    order.reserve(nodes_.size());
+    remap[0] = 0;
+    order.push_back(0);
+    std::int32_t next = 1;
+    for (std::size_t q = 0; q < order.size(); ++q) {
+        const Node &n = nodes_[order[q]];
+        if (!n.leaf) {
+            remap[n.left] = next;
+            remap[n.right] = next + 1;
+            next += 2;
+            order.push_back(n.left);
+            order.push_back(n.right);
+        }
+    }
+
+    for (std::size_t q = 0; q < order.size(); ++q) {
+        const Node &n = nodes_[order[q]];
+        const std::int32_t self = base + static_cast<std::int32_t>(q);
+        if (n.leaf) {
+            arena.feature.push_back(0);
+            arena.threshold.push_back(
+                std::numeric_limits<double>::infinity());
+            arena.left.push_back(self);
+            arena.right.push_back(self);
+        } else {
+            arena.feature.push_back(static_cast<std::int32_t>(n.feature));
+            arena.threshold.push_back(n.threshold);
+            arena.left.push_back(base + remap[n.left]);
+            arena.right.push_back(base + remap[n.right]);
+        }
+        arena.value.push_back(n.value);
+    }
+}
+
 RandomForest::RandomForest(ForestConfig config) : config_(config) {}
 
 void
@@ -187,6 +249,10 @@ RandomForest::fit(const std::vector<std::vector<double>> &xs,
         tree.fit(xs, ys, indices, config_, rng);
         trees_.push_back(std::move(tree));
     }
+
+    arena_.clear();
+    for (const auto &tree : trees_)
+        tree.flattenInto(arena_);
 }
 
 double
@@ -199,13 +265,125 @@ RandomForest::predict(const std::vector<double> &x) const
     return s / static_cast<double>(trees_.size());
 }
 
+namespace {
+
+/**
+ * Rows per kernel block: 1024 rows x 8-16 features keeps the feature
+ * slab plus the int32 cursor array L2-resident while every tree's nodes
+ * are re-walked against it.
+ */
+constexpr std::size_t kRowBlock = 1024;
+
+} // namespace
+
+void
+RandomForest::predictBatchInto(const double *xs, std::size_t rows,
+                               std::size_t dims, double *out) const
+{
+    assert(fitted());
+    const std::int32_t *feat = arena_.feature.data();
+    const double *thr = arena_.threshold.data();
+    const std::int32_t *lch = arena_.left.data();
+    const double *val = arena_.value.data();
+
+    std::vector<std::int32_t> cursor(std::min(rows, kRowBlock));
+
+    for (std::size_t b = 0; b < rows; b += kRowBlock) {
+        const std::size_t br = std::min(kRowBlock, rows - b);
+        double *o = out + b;
+        const double *x = xs + b * dims;
+        for (std::size_t r = 0; r < br; ++r)
+            o[r] = 0.0;
+
+        for (std::size_t t = 0; t < trees_.size(); ++t) {
+            const std::int32_t root = arena_.root[t];
+            const std::int32_t steps = arena_.depth[t];
+            std::int32_t *cur = cursor.data();
+
+            // Eight independent walkers hide the dependent-load latency
+            // of the node chase. Each advance is branch-free: siblings
+            // are adjacent in the arena (right == left + 1), so the
+            // comparison outcome is just added to the left-child index,
+            // and the self-loop leaf encoding (left == self, threshold
+            // +inf) makes parked rows advance to themselves. The group
+            // breaks out as soon as all eight rows are parked, so a
+            // group costs its deepest leaf, not the tree's max depth.
+            std::size_t r = 0;
+            for (; r + 8 <= br; r += 8) {
+                const double *x0 = x + (r + 0) * dims;
+                const double *x1 = x + (r + 1) * dims;
+                const double *x2 = x + (r + 2) * dims;
+                const double *x3 = x + (r + 3) * dims;
+                const double *x4 = x + (r + 4) * dims;
+                const double *x5 = x + (r + 5) * dims;
+                const double *x6 = x + (r + 6) * dims;
+                const double *x7 = x + (r + 7) * dims;
+                std::int32_t n0 = root, n1 = root, n2 = root, n3 = root;
+                std::int32_t n4 = root, n5 = root, n6 = root, n7 = root;
+                for (std::int32_t s = 0; s < steps; ++s) {
+                    const std::int32_t p0 = n0, p1 = n1, p2 = n2,
+                                       p3 = n3, p4 = n4, p5 = n5,
+                                       p6 = n6, p7 = n7;
+                    n0 = lch[n0] + (x0[feat[n0]] > thr[n0]);
+                    n1 = lch[n1] + (x1[feat[n1]] > thr[n1]);
+                    n2 = lch[n2] + (x2[feat[n2]] > thr[n2]);
+                    n3 = lch[n3] + (x3[feat[n3]] > thr[n3]);
+                    n4 = lch[n4] + (x4[feat[n4]] > thr[n4]);
+                    n5 = lch[n5] + (x5[feat[n5]] > thr[n5]);
+                    n6 = lch[n6] + (x6[feat[n6]] > thr[n6]);
+                    n7 = lch[n7] + (x7[feat[n7]] > thr[n7]);
+                    if (((n0 ^ p0) | (n1 ^ p1) | (n2 ^ p2) | (n3 ^ p3) |
+                         (n4 ^ p4) | (n5 ^ p5) | (n6 ^ p6) |
+                         (n7 ^ p7)) == 0)
+                        break;
+                }
+                cur[r + 0] = n0;
+                cur[r + 1] = n1;
+                cur[r + 2] = n2;
+                cur[r + 3] = n3;
+                cur[r + 4] = n4;
+                cur[r + 5] = n5;
+                cur[r + 6] = n6;
+                cur[r + 7] = n7;
+            }
+            for (; r < br; ++r) {
+                const double *xr = x + r * dims;
+                std::int32_t n = root;
+                for (std::int32_t s = 0; s < steps; ++s) {
+                    const std::int32_t p = n;
+                    n = lch[n] + (xr[feat[n]] > thr[n]);
+                    if (n == p)
+                        break;
+                }
+                cur[r] = n;
+            }
+            // Tree-order accumulation: identical addition order to the
+            // scalar predict() sum, which is the bit-identity contract.
+            for (std::size_t i = 0; i < br; ++i)
+                o[i] += val[cur[i]];
+        }
+
+        const double denom = static_cast<double>(trees_.size());
+        for (std::size_t r = 0; r < br; ++r)
+            o[r] /= denom;
+    }
+}
+
 std::vector<double>
 RandomForest::predictBatch(const std::vector<std::vector<double>> &xs) const
 {
-    std::vector<double> out;
-    out.reserve(xs.size());
-    for (const auto &x : xs)
-        out.push_back(predict(x));
+    std::vector<double> out(xs.size(), 0.0);
+    if (xs.empty())
+        return out;
+    assert(fitted());
+    const std::size_t dims = xs.front().size();
+    std::vector<double> flat;
+    flat.resize(xs.size() * dims);
+    for (std::size_t r = 0; r < xs.size(); ++r) {
+        assert(xs[r].size() == dims);
+        std::copy(xs[r].begin(), xs[r].end(), flat.begin() + r * dims);
+    }
+    predictBatchInto(flat.data(), xs.size(), dims, out.data());
     return out;
 }
 

@@ -7,6 +7,14 @@
  * The paper trains one random forest per target metric (latency, power,
  * energy) on ArchGym exploration datasets and shows the resulting proxy
  * is ~2000x faster than the cycle-accurate simulator at <1% RMSE.
+ *
+ * Serving path: after fit() the forest is additionally flattened into a
+ * single struct-of-arrays ForestArena (features / thresholds / children /
+ * leaf values in separate cache-aligned vectors, all trees concatenated)
+ * and multi-row queries go through the blocked, branch-free
+ * predictBatch kernel. The per-tree node walk in predict() stays as the
+ * scalar oracle; predictBatch is bit-identical to it (same per-row tree
+ * accumulation order, same final division). See docs/proxy_serving.md.
  */
 
 #ifndef ARCHGYM_PROXY_RANDOM_FOREST_H
@@ -15,9 +23,46 @@
 #include <cstdint>
 #include <vector>
 
+#include "mathutil/matrix.h"
 #include "mathutil/rng.h"
 
 namespace archgym {
+
+/**
+ * All trees of one forest flattened into struct-of-arrays node storage.
+ *
+ * Nodes are laid out breadth-first with siblings adjacent, so for every
+ * split node right[i] == left[i] + 1 (the `right` column is kept for
+ * inspection; the kernel derives it). Node encoding (index i):
+ *  - split node: feature[i]/threshold[i] route to child left[i] (when
+ *    x[feature[i]] <= threshold[i]) or left[i] + 1 (absolute arena
+ *    indices).
+ *  - leaf: left[i] == right[i] == i (self-loop) and threshold[i] = +inf,
+ *    so the branch-free advance `n = L + (x[f] > thr)` parks on the
+ *    leaf; value[i] is the leaf mean (split nodes also store their node
+ *    mean, matching DecisionTree::Node).
+ *
+ * The self-loop lets the batch kernel advance rows with no per-row
+ * branching — a walker group stops once every member is parked, at its
+ * deepest leaf rather than the tree-wide max depth.
+ */
+struct ForestArena
+{
+    template <typename T>
+    using Aligned = std::vector<T, AlignedAllocator<T, 64>>;
+
+    Aligned<std::int32_t> feature;
+    AlignedVector threshold;
+    Aligned<std::int32_t> left;
+    Aligned<std::int32_t> right;
+    AlignedVector value;
+    std::vector<std::int32_t> root;   ///< root node index per tree
+    std::vector<std::int32_t> depth;  ///< max depth (walk steps) per tree
+
+    std::size_t nodeCount() const { return feature.size(); }
+    std::size_t treeCount() const { return root.size(); }
+    void clear();
+};
 
 /** Forest training configuration. */
 struct ForestConfig
@@ -49,6 +94,9 @@ class DecisionTree
              const ForestConfig &config, Rng &rng);
 
     double predict(const std::vector<double> &x) const;
+
+    /** Append this tree's nodes (rebased) + root/depth to the arena. */
+    void flattenInto(ForestArena &arena) const;
 
     std::size_t nodeCount() const { return nodes_.size(); }
     std::size_t depth() const { return depth_; }
@@ -86,15 +134,34 @@ class RandomForest
     bool fitted() const { return !trees_.empty(); }
     std::size_t treeCount() const { return trees_.size(); }
 
+    /** Scalar oracle: per-tree node walks, averaged in tree order. */
     double predict(const std::vector<double> &x) const;
+
+    /**
+     * Batched inference over a candidate cohort through the SoA arena:
+     * rows are processed in L2-sized blocks, trees tree-major within a
+     * block, each row advanced branch-free for the tree's depth. Output
+     * is bit-identical to calling predict() per row (same tree
+     * accumulation order, same division). Empty cohorts are fine.
+     */
     std::vector<double>
     predictBatch(const std::vector<std::vector<double>> &xs) const;
 
+    /**
+     * Raw-buffer form of predictBatch for callers that already hold a
+     * row-major feature arena: xs is rows x dims contiguous, out has
+     * room for rows doubles. @pre fitted() and dims matches training.
+     */
+    void predictBatchInto(const double *xs, std::size_t rows,
+                          std::size_t dims, double *out) const;
+
     const ForestConfig &config() const { return config_; }
+    const ForestArena &arena() const { return arena_; }
 
   private:
     ForestConfig config_;
     std::vector<DecisionTree> trees_;
+    ForestArena arena_;  ///< rebuilt by fit(); serves predictBatch
 };
 
 } // namespace archgym

@@ -252,7 +252,16 @@ TEST(Stats, PearsonPerfectAndAnti)
     std::reverse(down.begin(), down.end());
     EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
     EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
-    EXPECT_DOUBLE_EQ(pearson(xs, {1.0, 1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, PearsonDegenerateInputsAreNaN)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    // Constant vectors have no defined correlation: NaN, not a lying 0.
+    EXPECT_TRUE(std::isnan(pearson(xs, {1.0, 1.0, 1.0, 1.0})));
+    EXPECT_TRUE(std::isnan(pearson({5.0, 5.0, 5.0, 5.0}, xs)));
+    EXPECT_TRUE(std::isnan(pearson({1.0}, {2.0})));
+    EXPECT_TRUE(std::isnan(pearson(xs, {1.0, 2.0})));
 }
 
 TEST(Stats, MinMaxNormalize)
