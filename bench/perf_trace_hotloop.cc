@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Perf tracking for the trace profiling / streamed generation hot
+ * loops (ROADMAP item 3):
+ *
+ *  - profile: StackDistanceProfiler requests/sec over a materialized
+ *    cloud-2 trace (the Fenwick fast path);
+ *  - generate: requests/sec for the chunk-pull sources — the legacy
+ *    cloud-2 pattern, the CDF-driven sd source (streamed and one-shot
+ *    materialized), and the embedding-gather source;
+ *  - streamed: DramGymEnv steps/sec in streamed mode at 100x the
+ *    default trace length, plus the memory-flatness evidence: the peak
+ *    chunk-buffer bytes at 1x and 100x must match exactly (the whole
+ *    point of streaming), and stay within 2x of one chunk's worth of
+ *    requests. Violations exit non-zero so CI catches regressions even
+ *    before the baseline gate runs.
+ *
+ * Emits a machine-readable line prefixed "BENCH_trace.json " on stdout
+ * and writes the same JSON to BENCH_trace.json in the working
+ * directory, so the perf trajectory can be tracked across PRs
+ * (scripts/check_bench_regression.py gates the *PerSec leaves).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dramsys/trace_gen.h"
+#include "dramsys/trace_profile.h"
+#include "envs/dram_gym_env.h"
+#include "mathutil/rng.h"
+
+using namespace archgym;
+using namespace archgym::dram;
+
+namespace {
+
+constexpr std::size_t kProfileLen = 100000;
+constexpr std::size_t kGenLen = 100000;
+constexpr std::size_t kChunk = 4096;
+constexpr std::size_t kEnvTraceLen = 25600;  ///< 100x the CLI's 256
+constexpr double kMinSeconds = 0.4;
+constexpr std::size_t kMaxReps = 400;
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+/** Run fn repeatedly until the time budget is hit; returns runs/sec. */
+template <typename Fn>
+double
+stepsPerSecond(Fn &&fn)
+{
+    fn();  // warmup (first-run allocations excluded, as in steady state)
+    std::size_t reps = 0;
+    const auto start = std::chrono::steady_clock::now();
+    auto now = start;
+    while (seconds(start, now) < kMinSeconds && reps < kMaxReps) {
+        fn();
+        ++reps;
+        now = std::chrono::steady_clock::now();
+    }
+    return static_cast<double>(reps) / seconds(start, now);
+}
+
+/** Pull `total` requests in chunks through a reused buffer; returns the
+ *  peak buffer footprint in bytes (the streaming working set). */
+std::size_t
+streamAll(SyntheticTraceSource &source, std::size_t total)
+{
+    std::vector<MemoryRequest> chunk;
+    std::size_t peak = 0;
+    std::size_t remaining = total;
+    while (remaining > 0) {
+        const std::size_t n = remaining < kChunk ? remaining : kChunk;
+        chunk.clear();
+        source.next(n, chunk);
+        peak = std::max(peak, chunk.capacity() * sizeof(MemoryRequest));
+        remaining -= n;
+    }
+    return peak;
+}
+
+} // namespace
+
+int
+main()
+{
+    // --- profile: Fenwick stack-distance profiling throughput --------
+    TraceConfig tc;
+    tc.pattern = TracePattern::Cloud2;
+    tc.numRequests = kProfileLen;
+    tc.seed = 3;
+    const std::vector<MemoryRequest> trace = generateTrace(tc);
+
+    const double profileSteps = stepsPerSecond([&] {
+        StackDistanceProfiler profiler;
+        for (const auto &r : trace)
+            profiler.observe(r);
+        if (profiler.cdf().totalAccesses != trace.size())
+            std::exit(1);
+    });
+    const double profileReqs =
+        profileSteps * static_cast<double>(trace.size());
+
+    const StackDistanceCdf cdf = profileTrace(trace);
+
+    // --- generate: chunk-pull source throughput ----------------------
+    struct GenPoint
+    {
+        std::string name;
+        double requestsPerSec;
+    };
+    std::vector<GenPoint> gens;
+
+    const auto measureStreamed = [&](const std::string &name,
+                                     SyntheticTraceSource &source) {
+        const double steps = stepsPerSecond([&] {
+            source.reset();
+            streamAll(source, kGenLen);
+        });
+        gens.push_back({name, steps * static_cast<double>(kGenLen)});
+    };
+
+    const auto cloud2 = makePatternSource(tc);
+    measureStreamed("cloud2-streamed", *cloud2);
+
+    const auto sd = makeSdSource(cdf, SdSourceConfig{});
+    measureStreamed("sd-streamed", *sd);
+
+    {
+        const double steps = stepsPerSecond([&] {
+            sd->reset();
+            const auto all = materialize(*sd, kGenLen);
+            if (all.size() != kGenLen)
+                std::exit(1);
+        });
+        gens.push_back(
+            {"sd-materialized", steps * static_cast<double>(kGenLen)});
+    }
+
+    const auto emb = makeEmbSource(EmbSourceConfig{});
+    measureStreamed("emb-streamed", *emb);
+
+    std::printf("trace hot-loop throughput\n");
+    std::printf("  %-18s %14.3g reqs/s\n", "profile(cloud2)", profileReqs);
+    for (const auto &g : gens)
+        std::printf("  %-18s %14.3g reqs/s\n", g.name.c_str(),
+                    g.requestsPerSec);
+
+    // --- streamed: 100x env steps at flat memory ---------------------
+    const auto makeStreamedEnv = [](std::size_t requests) {
+        DramGymEnv::Options o;
+        o.pattern = dram::TracePattern::Cloud2;
+        o.objective = DramObjective::LatencyAndPower;
+        o.latencyTargetNs = 150.0;
+        o.trace.source = "cloud2";
+        o.trace.numRequests = requests;
+        o.trace.streamed = true;
+        o.trace.chunkRequests = kChunk;
+        return DramGymEnv(o);
+    };
+
+    // The streaming working set is one chunk buffer regardless of total
+    // length: measure it straight off the env's own source factory.
+    DramGymEnv env1x = makeStreamedEnv(256);
+    DramGymEnv env100x = makeStreamedEnv(kEnvTraceLen);
+    const std::size_t peak1x =
+        streamAll(*TraceSourceFactory(env1x.traceSpec()).make(), 256);
+    const std::size_t peak100x = streamAll(
+        *TraceSourceFactory(env100x.traceSpec()).make(), kEnvTraceLen);
+    const std::size_t materializedBytes =
+        kEnvTraceLen * sizeof(MemoryRequest);
+    const std::size_t flatBudget = 2 * kChunk * sizeof(MemoryRequest);
+
+    bool flat = true;
+    if (peak100x > flatBudget) {
+        std::fprintf(stderr,
+                     "FAIL: streamed buffer peak %zu B exceeds 2x chunk "
+                     "budget %zu B\n",
+                     peak100x, flatBudget);
+        flat = false;
+    }
+    if (peak100x > std::max(peak1x, kChunk * sizeof(MemoryRequest))) {
+        std::fprintf(stderr,
+                     "FAIL: streamed buffer peak grew with trace length "
+                     "(1x %zu B -> 100x %zu B)\n",
+                     peak1x, peak100x);
+        flat = false;
+    }
+    if (!env100x.trace().empty()) {
+        std::fprintf(stderr,
+                     "FAIL: streamed env materialized %zu requests\n",
+                     env100x.trace().size());
+        flat = false;
+    }
+
+    Rng rng(11);
+    const Action action = env100x.actionSpace().sample(rng);
+    const double envSteps = stepsPerSecond([&] {
+        if (env100x.step(action).observation.empty())
+            std::exit(1);
+    });
+
+    std::printf("  %-18s %14.3g steps/s (%zu reqs streamed, buffer "
+                "%zu B vs %zu B materialized)\n",
+                "env-100x-streamed", envSteps, kEnvTraceLen, peak100x,
+                materializedBytes);
+
+    std::ostringstream json;
+    json << "{\"bench\":\"trace_hotloop\",\"profile\":{\"requests\":"
+         << trace.size() << ",\"requestsPerSec\":" << profileReqs
+         << "},\"generate\":[";
+    for (std::size_t i = 0; i < gens.size(); ++i) {
+        if (i)
+            json << ",";
+        json << "{\"config\":\"" << gens[i].name
+             << "\",\"requestsPerSec\":" << gens[i].requestsPerSec << "}";
+    }
+    json << "],\"streamed\":{\"config\":\"dram-cloud2-100x\","
+         << "\"requests\":" << kEnvTraceLen
+         << ",\"chunkRequests\":" << kChunk
+         << ",\"envStepsPerSec\":" << envSteps
+         << ",\"bufferPeakBytes\":" << peak100x
+         << ",\"materializedBytes\":" << materializedBytes
+         << ",\"memoryFlat\":" << (flat ? "true" : "false") << "}}";
+
+    std::printf("BENCH_trace.json %s\n", json.str().c_str());
+    std::ofstream out("BENCH_trace.json");
+    out << json.str() << "\n";
+    return flat ? 0 : 1;
+}

@@ -65,6 +65,22 @@
  *   --columnar         serve datasets through the columnar row-group
  *                      reader (proxy training data in screen mode, the
  *                      summary/pareto dataset in plain sweep mode)
+ *
+ * Trace tooling (docs/trace_workloads.md):
+ *
+ *   --trace-profile F  standalone: profile the "cycle: R|W addr" trace
+ *                      in F into a stack-distance CDF; write the JSON
+ *                      to --trace-out (or stdout) and exit
+ *   --trace-pattern S  a trace source name: streaming | random |
+ *                      cloud1 | cloud2 | sd:<cdf.json> | emb.
+ *                      With --trace-out: standalone, stream --trace-len
+ *                      requests (seeded by --seed) to the file in
+ *                      chunks and exit. Without: override the trace
+ *                      workload of a dram-* environment.
+ *   --trace-out F      output file for the two standalone modes above
+ *   --trace-len N      requests to generate / env trace length
+ *   --trace-streamed   evaluate the dram-* env by chunk-pull streaming
+ *                      (flat memory at any --trace-len)
  */
 
 #include <cstdio>
@@ -72,6 +88,7 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -91,7 +108,8 @@ namespace {
 using namespace archgym;
 
 std::unique_ptr<Environment>
-makeEnv(const std::string &name)
+makeEnv(const std::string &name,
+        const dram::TraceSpec *trace_override = nullptr)
 {
     if (name.rfind("dram-", 0) == 0) {
         DramGymEnv::Options o;
@@ -110,6 +128,13 @@ makeEnv(const std::string &name)
         o.latencyTargetNs =
             o.pattern == dram::TracePattern::Random ? 30.0 : 150.0;
         o.traceLength = 256;
+        if (trace_override) {
+            o.trace = *trace_override;
+            // An override with no source keeps the env-name pattern;
+            // the env's legacy resolution then reads traceLength.
+            if (o.trace.source.empty())
+                o.traceLength = o.trace.numRequests;
+        }
         return std::make_unique<DramGymEnv>(o);
     }
     if (name.rfind("timeloop-", 0) == 0) {
@@ -241,6 +266,11 @@ main(int argc, char **argv)
     std::size_t screenTopK = 8;
     std::size_t pilotConfigs = 16;
     bool columnar = false;
+    std::string traceProfilePath;
+    std::string tracePattern;
+    std::string traceOut;
+    std::size_t traceLen = 0;  ///< 0 = mode-dependent default
+    bool traceStreamed = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -289,6 +319,16 @@ main(int argc, char **argv)
             pilotConfigs = std::stoul(next());
         else if (arg == "--columnar")
             columnar = true;
+        else if (arg == "--trace-profile")
+            traceProfilePath = next();
+        else if (arg == "--trace-pattern")
+            tracePattern = next();
+        else if (arg == "--trace-out")
+            traceOut = next();
+        else if (arg == "--trace-len")
+            traceLen = std::stoul(next());
+        else if (arg == "--trace-streamed")
+            traceStreamed = true;
         else {
             std::fprintf(stderr,
                          "unknown option %s (see file header for usage)\n",
@@ -297,7 +337,101 @@ main(int argc, char **argv)
         }
     }
 
-    auto env = makeEnv(envName);
+    if (!traceProfilePath.empty()) {
+        // Standalone profile mode: trace file -> stack-distance CDF.
+        std::ifstream in(traceProfilePath);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         traceProfilePath.c_str());
+            return 1;
+        }
+        try {
+            const auto trace = dram::parseTrace(in);
+            const auto cdf = dram::profileTrace(trace);
+            if (traceOut.empty()) {
+                std::printf("%s\n", cdf.toJson().c_str());
+            } else {
+                cdf.save(traceOut);
+                std::printf("profiled %llu accesses (%.1f%% cold, "
+                            "%.1f%% overflow) -> %s\n",
+                            static_cast<unsigned long long>(
+                                cdf.totalAccesses),
+                            100.0 * static_cast<double>(cdf.coldAccesses) /
+                                static_cast<double>(cdf.totalAccesses),
+                            100.0 *
+                                static_cast<double>(cdf.overflowAccesses) /
+                                static_cast<double>(cdf.totalAccesses),
+                            traceOut.c_str());
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+
+    if (!tracePattern.empty() && !traceOut.empty()) {
+        // Standalone generate mode: stream a synthetic trace to a file
+        // in bounded chunks (flat memory at any length).
+        dram::TraceSpec spec;
+        spec.source = tracePattern;
+        spec.numRequests = traceLen ? traceLen : 20000;
+        spec.seed = seed;
+        try {
+            const auto source = dram::makeTraceSource(spec);
+            std::ofstream out(traceOut);
+            if (!out) {
+                std::fprintf(stderr, "cannot open %s\n", traceOut.c_str());
+                return 1;
+            }
+            std::vector<dram::MemoryRequest> chunk;
+            std::size_t remaining = spec.numRequests;
+            bool first = true;
+            while (remaining > 0) {
+                const std::size_t n =
+                    remaining < spec.chunkRequests ? remaining
+                                                   : spec.chunkRequests;
+                chunk.clear();
+                source->next(n, chunk);
+                dram::writeTrace(out, chunk, first);
+                first = false;
+                remaining -= n;
+            }
+            std::printf("generated %zu '%s' requests -> %s\n",
+                        spec.numRequests, tracePattern.c_str(),
+                        traceOut.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
+
+    std::optional<dram::TraceSpec> traceOverride;
+    if (!tracePattern.empty() || traceStreamed || traceLen > 0) {
+        dram::TraceSpec spec;
+        spec.source = tracePattern;  // empty = keep the env-name pattern
+        spec.numRequests = traceLen ? traceLen : 256;
+        spec.streamed = traceStreamed;
+        traceOverride = spec;
+        if (envName.rfind("dram-", 0) != 0) {
+            std::fprintf(stderr,
+                         "--trace-pattern/--trace-streamed/--trace-len "
+                         "apply to dram-* environments (or add "
+                         "--trace-out for standalone generation)\n");
+            return 2;
+        }
+    }
+    const dram::TraceSpec *tracePtr =
+        traceOverride ? &*traceOverride : nullptr;
+
+    std::unique_ptr<Environment> env;
+    try {
+        env = makeEnv(envName, tracePtr);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
     if (!env) {
         std::fprintf(stderr, "unknown environment '%s'\n",
                      envName.c_str());
@@ -331,7 +465,9 @@ main(int argc, char **argv)
                          std::uint64_t s) {
                 return makeAgent(agentName, space, h, s);
             };
-        const EnvFactory factory = [&envName] { return makeEnv(envName); };
+        const EnvFactory factory = [&envName, tracePtr] {
+            return makeEnv(envName, tracePtr);
+        };
 
         RunConfig cfg;
         cfg.maxSamples = samples;

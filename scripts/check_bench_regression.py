@@ -4,7 +4,8 @@
 Compares freshly produced bench JSON (perf_dram_hotloop ->
 BENCH_dram.json, perf_env_hotloop -> BENCH_envs.json, perf_bo_hotloop ->
 BENCH_bo.json, perf_sweep_hotloop -> BENCH_sweep.json,
-perf_proxy_hotloop -> BENCH_proxy.json) against the
+perf_proxy_hotloop -> BENCH_proxy.json, perf_trace_hotloop ->
+BENCH_trace.json) against the
 committed baselines in bench/baselines/ and fails when any throughput
 metric drops by more than the threshold (default 25%).
 
@@ -29,9 +30,9 @@ Refresh the baselines (after an intentional perf change, on the
 reference machine):
     ./build/perf_dram_hotloop && ./build/perf_env_hotloop && \
         ./build/perf_bo_hotloop && ./build/perf_sweep_hotloop && \
-        ./build/perf_proxy_hotloop
+        ./build/perf_proxy_hotloop && ./build/perf_trace_hotloop
     cp BENCH_dram.json BENCH_envs.json BENCH_bo.json BENCH_sweep.json \
-        BENCH_proxy.json bench/baselines/
+        BENCH_proxy.json BENCH_trace.json bench/baselines/
 """
 
 import argparse

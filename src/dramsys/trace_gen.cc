@@ -1,7 +1,6 @@
 #include "trace_gen.h"
 
-#include <algorithm>
-#include <cmath>
+#include <charconv>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -21,174 +20,327 @@ toString(TracePattern p)
     return "?";
 }
 
+void
+validateTraceConfig(const TraceConfig &config)
+{
+    if (config.addressSpaceBytes % kTraceCacheLine != 0) {
+        throw std::invalid_argument(
+            "TraceConfig.addressSpaceBytes must be a multiple of the "
+            "64-byte cache line, got " +
+            std::to_string(config.addressSpaceBytes));
+    }
+    // streamingTrace draws rng.below(addressSpaceBytes / 4), whose
+    // precondition is a strictly positive argument; 4 cache lines is
+    // the smallest footprint every pattern can generate into.
+    if (config.addressSpaceBytes < 4 * kTraceCacheLine) {
+        throw std::invalid_argument(
+            "TraceConfig.addressSpaceBytes must be at least " +
+            std::to_string(4 * kTraceCacheLine) + " bytes, got " +
+            std::to_string(config.addressSpaceBytes));
+    }
+}
+
 namespace {
 
-constexpr std::uint64_t kCacheLine = 64;
+constexpr std::uint64_t kCacheLine = kTraceCacheLine;
 
-std::vector<MemoryRequest>
-streamingTrace(const TraceConfig &config, Rng &rng)
+/**
+ * Common scaffolding for the four legacy patterns: seeding, sequential
+ * id assignment, and the chunk loop. Concrete sources implement emit()
+ * as a resumable state machine whose Rng draw order matches the
+ * original one-shot generators exactly, so materializing N requests in
+ * chunks of any size reproduces the historical generateTrace() output
+ * bit for bit.
+ */
+class PatternSourceBase : public SyntheticTraceSource
 {
-    std::vector<MemoryRequest> trace;
-    trace.reserve(config.numRequests);
-    std::uint64_t cycle = 0;
-    std::uint64_t readPtr = rng.below(config.addressSpaceBytes / 2) &
-                            ~(kCacheLine - 1);
-    std::uint64_t writePtr = (config.addressSpaceBytes / 2 +
-                              rng.below(config.addressSpaceBytes / 4)) &
-                             ~(kCacheLine - 1);
-    std::size_t i = 0;
-    while (i < config.numRequests) {
-        // A read burst followed by a shorter write-back burst.
-        const std::size_t burst = 24 + rng.below(24);
-        for (std::size_t b = 0; b < burst && i < config.numRequests;
-             ++b, ++i) {
-            MemoryRequest r;
-            r.address = readPtr;
-            r.isWrite = false;
-            r.arrivalCycle = cycle;
-            trace.push_back(r);
-            readPtr = (readPtr + kCacheLine) % config.addressSpaceBytes;
-            cycle += 2;  // near back-to-back
-        }
-        const std::size_t wb = burst / 4;
-        for (std::size_t b = 0; b < wb && i < config.numRequests;
-             ++b, ++i) {
-            MemoryRequest r;
-            r.address = writePtr;
-            r.isWrite = true;
-            r.arrivalCycle = cycle;
-            trace.push_back(r);
-            writePtr = (writePtr + kCacheLine) % config.addressSpaceBytes;
-            cycle += 2;
+  public:
+    explicit PatternSourceBase(const TraceConfig &config)
+        : config_(config)
+    {
+    }
+
+    void
+    next(std::size_t n, std::vector<MemoryRequest> &out) override
+    {
+        for (std::size_t k = 0; k < n; ++k) {
+            MemoryRequest r = emit();
+            r.id = nextId_++;
+            out.push_back(r);
         }
     }
-    return trace;
-}
 
-std::vector<MemoryRequest>
-randomTrace(const TraceConfig &config, Rng &rng)
+    void
+    reset() override
+    {
+        nextId_ = 0;
+        cycle_ = 0;
+        rng_ = Rng(config_.seed ^
+                   (static_cast<std::uint64_t>(config_.pattern) << 32));
+        restart();
+    }
+
+  protected:
+    virtual MemoryRequest emit() = 0;
+    /** Re-draw any per-stream initial state (hot bases, pointers). */
+    virtual void restart() = 0;
+
+    TraceConfig config_;
+    Rng rng_{0};
+    std::uint64_t cycle_ = 0;
+
+  private:
+    std::uint64_t nextId_ = 0;
+};
+
+/** Long unit-stride read bursts with periodic write-back streams. */
+class StreamingSource final : public PatternSourceBase
 {
-    // Pointer-chasing style: dependent reads, widely spaced, no locality.
-    std::vector<MemoryRequest> trace;
-    trace.reserve(config.numRequests);
-    std::uint64_t cycle = 0;
-    for (std::size_t i = 0; i < config.numRequests; ++i) {
-        MemoryRequest r;
-        r.address = rng.below(config.addressSpaceBytes) &
+  public:
+    using PatternSourceBase::PatternSourceBase;
+
+  protected:
+    void
+    restart() override
+    {
+        readPtr_ = rng_.below(config_.addressSpaceBytes / 2) &
+                   ~(kCacheLine - 1);
+        writePtr_ = (config_.addressSpaceBytes / 2 +
+                     rng_.below(config_.addressSpaceBytes / 4)) &
                     ~(kCacheLine - 1);
-        r.isWrite = rng.chance(0.05);
-        r.arrivalCycle = cycle;
-        trace.push_back(r);
+        readsLeft_ = 0;
+        writesLeft_ = 0;
+    }
+
+    MemoryRequest
+    emit() override
+    {
+        if (readsLeft_ == 0 && writesLeft_ == 0) {
+            // A read burst followed by a shorter write-back burst.
+            const std::size_t burst = 24 + rng_.below(24);
+            readsLeft_ = burst;
+            writesLeft_ = burst / 4;
+        }
+        MemoryRequest r;
+        r.arrivalCycle = cycle_;
+        if (readsLeft_ > 0) {
+            --readsLeft_;
+            r.address = readPtr_;
+            r.isWrite = false;
+            readPtr_ = (readPtr_ + kCacheLine) % config_.addressSpaceBytes;
+        } else {
+            --writesLeft_;
+            r.address = writePtr_;
+            r.isWrite = true;
+            writePtr_ =
+                (writePtr_ + kCacheLine) % config_.addressSpaceBytes;
+        }
+        cycle_ += 2;  // near back-to-back
+        return r;
+    }
+
+  private:
+    std::uint64_t readPtr_ = 0;
+    std::uint64_t writePtr_ = 0;
+    std::size_t readsLeft_ = 0;
+    std::size_t writesLeft_ = 0;
+};
+
+/** Pointer-chasing style: dependent reads, widely spaced, no locality. */
+class RandomSource final : public PatternSourceBase
+{
+  public:
+    using PatternSourceBase::PatternSourceBase;
+
+  protected:
+    void restart() override {}
+
+    MemoryRequest
+    emit() override
+    {
+        MemoryRequest r;
+        r.address = rng_.below(config_.addressSpaceBytes) &
+                    ~(kCacheLine - 1);
+        r.isWrite = rng_.chance(0.05);
+        r.arrivalCycle = cycle_;
         // The next pointer dereference waits for roughly a full DRAM
         // round trip.
-        cycle += 40 + rng.below(40);
+        cycle_ += 40 + rng_.below(40);
+        return r;
     }
-    return trace;
-}
+};
 
-std::vector<MemoryRequest>
-cloud1Trace(const TraceConfig &config, Rng &rng)
+/** Bursty mixture of short sequential runs and random accesses. */
+class Cloud1Source final : public PatternSourceBase
 {
-    // Bursty mixture of short sequential runs and random accesses.
-    std::vector<MemoryRequest> trace;
-    trace.reserve(config.numRequests);
-    std::uint64_t cycle = 0;
-    std::size_t i = 0;
-    while (i < config.numRequests) {
-        if (rng.chance(0.6)) {
-            // Short sequential run.
-            std::uint64_t ptr = rng.below(config.addressSpaceBytes) &
-                                ~(kCacheLine - 1);
-            const std::size_t run = 4 + rng.below(12);
-            const bool isWrite = rng.chance(0.3);
-            for (std::size_t b = 0; b < run && i < config.numRequests;
-                 ++b, ++i) {
-                MemoryRequest r;
-                r.address = ptr;
-                r.isWrite = isWrite;
-                r.arrivalCycle = cycle;
-                trace.push_back(r);
-                ptr = (ptr + kCacheLine) % config.addressSpaceBytes;
-                cycle += 3 + rng.below(4);
+  public:
+    using PatternSourceBase::PatternSourceBase;
+
+  protected:
+    void
+    restart() override
+    {
+        runLeft_ = 0;
+        idlePending_ = false;
+    }
+
+    MemoryRequest
+    emit() override
+    {
+        if (runLeft_ == 0) {
+            // Occasional idle gap between request bursts (drawn after
+            // the previous burst finished, before the next begins).
+            if (idlePending_) {
+                if (rng_.chance(0.05))
+                    cycle_ += 500 + rng_.below(1500);
+                idlePending_ = false;
             }
-        } else {
-            MemoryRequest r;
-            r.address = rng.below(config.addressSpaceBytes) &
-                        ~(kCacheLine - 1);
-            r.isWrite = rng.chance(0.3);
-            r.arrivalCycle = cycle;
-            trace.push_back(r);
-            ++i;
-            cycle += 8 + rng.below(24);
+            if (rng_.chance(0.6)) {
+                // Short sequential run.
+                runPtr_ = rng_.below(config_.addressSpaceBytes) &
+                          ~(kCacheLine - 1);
+                runLeft_ = 4 + rng_.below(12);
+                runIsWrite_ = rng_.chance(0.3);
+            } else {
+                MemoryRequest r;
+                r.address = rng_.below(config_.addressSpaceBytes) &
+                            ~(kCacheLine - 1);
+                r.isWrite = rng_.chance(0.3);
+                r.arrivalCycle = cycle_;
+                cycle_ += 8 + rng_.below(24);
+                idlePending_ = true;
+                return r;
+            }
         }
-        // Occasional idle gap between request bursts.
-        if (rng.chance(0.05))
-            cycle += 500 + rng.below(1500);
-    }
-    return trace;
-}
-
-std::vector<MemoryRequest>
-cloud2Trace(const TraceConfig &config, Rng &rng)
-{
-    // Hot-spotted row reuse: a small set of hot regions absorbs most
-    // accesses with an approximately Zipfian popularity profile.
-    constexpr std::size_t kHotRegions = 32;
-    std::vector<std::uint64_t> hotBase(kHotRegions);
-    for (auto &b : hotBase)
-        b = rng.below(config.addressSpaceBytes) & ~(kCacheLine - 1);
-    std::vector<double> popularity(kHotRegions);
-    for (std::size_t k = 0; k < kHotRegions; ++k)
-        popularity[k] = 1.0 / static_cast<double>(k + 1);  // Zipf s=1
-
-    std::vector<MemoryRequest> trace;
-    trace.reserve(config.numRequests);
-    std::uint64_t cycle = 0;
-    for (std::size_t i = 0; i < config.numRequests; ++i) {
         MemoryRequest r;
-        if (rng.chance(0.85)) {
-            const std::size_t region = rng.weightedIndex(popularity);
-            // 8 KiB hot region: multiple columns of the same row.
-            r.address = hotBase[region] + (rng.below(128) * kCacheLine);
+        r.address = runPtr_;
+        r.isWrite = runIsWrite_;
+        r.arrivalCycle = cycle_;
+        runPtr_ = (runPtr_ + kCacheLine) % config_.addressSpaceBytes;
+        cycle_ += 3 + rng_.below(4);
+        if (--runLeft_ == 0)
+            idlePending_ = true;
+        return r;
+    }
+
+  private:
+    std::uint64_t runPtr_ = 0;
+    std::size_t runLeft_ = 0;
+    bool runIsWrite_ = false;
+    bool idlePending_ = false;
+};
+
+/**
+ * Hot-spotted row reuse: a small set of hot regions absorbs most
+ * accesses with an approximately Zipfian popularity profile.
+ */
+class Cloud2Source final : public PatternSourceBase
+{
+  public:
+    explicit Cloud2Source(const TraceConfig &config)
+        : PatternSourceBase(config)
+    {
+        popularity_.resize(kHotRegions);
+        for (std::size_t k = 0; k < kHotRegions; ++k)
+            popularity_[k] = 1.0 / static_cast<double>(k + 1);  // Zipf s=1
+    }
+
+  protected:
+    void
+    restart() override
+    {
+        hotBase_.resize(kHotRegions);
+        for (auto &b : hotBase_)
+            b = rng_.below(config_.addressSpaceBytes) & ~(kCacheLine - 1);
+    }
+
+    MemoryRequest
+    emit() override
+    {
+        MemoryRequest r;
+        if (rng_.chance(0.85)) {
+            const std::size_t region = rng_.weightedIndex(popularity_);
+            // 8 KiB hot region: multiple columns of the same row. A hot
+            // base drawn near the top of the footprint wraps back in,
+            // keeping every address inside [0, addressSpaceBytes).
+            r.address = (hotBase_[region] + rng_.below(128) * kCacheLine) %
+                        config_.addressSpaceBytes;
         } else {
-            r.address = rng.below(config.addressSpaceBytes) &
+            r.address = rng_.below(config_.addressSpaceBytes) &
                         ~(kCacheLine - 1);
         }
-        r.isWrite = rng.chance(0.5);
-        r.arrivalCycle = cycle;
-        trace.push_back(r);
-        cycle += 4 + rng.below(12);
+        r.isWrite = rng_.chance(0.5);
+        r.arrivalCycle = cycle_;
+        cycle_ += 4 + rng_.below(12);
+        return r;
     }
-    return trace;
+
+  private:
+    static constexpr std::size_t kHotRegions = 32;
+    std::vector<std::uint64_t> hotBase_;
+    std::vector<double> popularity_;
+};
+
+/** Parse one full token as an unsigned integer ("0x" prefix = hex). */
+std::uint64_t
+parseTraceUint(const std::string &token, std::size_t line_no,
+               const char *what)
+{
+    const char *begin = token.data();
+    const char *end = token.data() + token.size();
+    int base = 10;
+    if (token.size() > 2 && token[0] == '0' &&
+        (token[1] == 'x' || token[1] == 'X')) {
+        begin += 2;
+        base = 16;
+    }
+    std::uint64_t value = 0;
+    const auto res = std::from_chars(begin, end, value, base);
+    if (res.ec == std::errc::result_out_of_range) {
+        throw std::runtime_error("trace parse error at line " +
+                                 std::to_string(line_no) + ": " + what +
+                                 " out of range '" + token + "'");
+    }
+    if (res.ec != std::errc{} || res.ptr != end) {
+        throw std::runtime_error("trace parse error at line " +
+                                 std::to_string(line_no) + ": bad " +
+                                 what + " '" + token + "'");
+    }
+    return value;
 }
 
 } // namespace
 
+std::unique_ptr<SyntheticTraceSource>
+makePatternSource(const TraceConfig &config)
+{
+    validateTraceConfig(config);
+    std::unique_ptr<PatternSourceBase> src;
+    switch (config.pattern) {
+      case TracePattern::Streaming:
+        src = std::make_unique<StreamingSource>(config);
+        break;
+      case TracePattern::Random:
+        src = std::make_unique<RandomSource>(config);
+        break;
+      case TracePattern::Cloud1:
+        src = std::make_unique<Cloud1Source>(config);
+        break;
+      case TracePattern::Cloud2:
+        src = std::make_unique<Cloud2Source>(config);
+        break;
+    }
+    src->reset();
+    return src;
+}
+
 std::vector<MemoryRequest>
 generateTrace(const TraceConfig &config)
 {
-    Rng rng(config.seed ^ (static_cast<std::uint64_t>(config.pattern) << 32));
+    const auto source = makePatternSource(config);
     std::vector<MemoryRequest> trace;
-    switch (config.pattern) {
-      case TracePattern::Streaming:
-        trace = streamingTrace(config, rng);
-        break;
-      case TracePattern::Random:
-        trace = randomTrace(config, rng);
-        break;
-      case TracePattern::Cloud1:
-        trace = cloud1Trace(config, rng);
-        break;
-      case TracePattern::Cloud2:
-        trace = cloud2Trace(config, rng);
-        break;
-    }
-    std::stable_sort(trace.begin(), trace.end(),
-                     [](const MemoryRequest &a, const MemoryRequest &b) {
-                         return a.arrivalCycle < b.arrivalCycle;
-                     });
-    for (std::size_t i = 0; i < trace.size(); ++i)
-        trace[i].id = i;
+    trace.reserve(config.numRequests);
+    source->next(config.numRequests, trace);
     return trace;
 }
 
@@ -200,6 +352,8 @@ parseTrace(std::istream &is)
     std::size_t lineNo = 0;
     while (std::getline(is, line)) {
         ++lineNo;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();  // tolerate CRLF files
         if (line.empty() || line[0] == '#')
             continue;
         std::istringstream ss(line);
@@ -208,11 +362,17 @@ parseTrace(std::istream &is)
             throw std::runtime_error("trace parse error at line " +
                                      std::to_string(lineNo));
         }
+        std::string junk;
+        if (ss >> junk) {
+            throw std::runtime_error("trace parse error at line " +
+                                     std::to_string(lineNo) +
+                                     ": trailing junk '" + junk + "'");
+        }
         if (!cycleTok.empty() && cycleTok.back() == ':')
             cycleTok.pop_back();
         MemoryRequest r;
         r.id = trace.size();
-        r.arrivalCycle = std::stoull(cycleTok);
+        r.arrivalCycle = parseTraceUint(cycleTok, lineNo, "cycle");
         if (opTok == "R" || opTok == "r" || opTok == "read")
             r.isWrite = false;
         else if (opTok == "W" || opTok == "w" || opTok == "write")
@@ -221,16 +381,18 @@ parseTrace(std::istream &is)
             throw std::runtime_error("trace parse error at line " +
                                      std::to_string(lineNo) +
                                      ": bad op '" + opTok + "'");
-        r.address = std::stoull(addrTok, nullptr, 0);
+        r.address = parseTraceUint(addrTok, lineNo, "address");
         trace.push_back(r);
     }
     return trace;
 }
 
 void
-writeTrace(std::ostream &os, const std::vector<MemoryRequest> &trace)
+writeTrace(std::ostream &os, const std::vector<MemoryRequest> &trace,
+           bool with_header)
 {
-    os << "# cycle: R|W address\n";
+    if (with_header)
+        os << "# cycle: R|W address\n";
     for (const auto &r : trace) {
         os << r.arrivalCycle << ": " << (r.isWrite ? 'W' : 'R') << " 0x"
            << std::hex << r.address << std::dec << "\n";

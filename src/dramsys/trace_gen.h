@@ -17,6 +17,14 @@
  *  - Cloud-2: hot-spotted (approximately Zipfian) row reuse, 50/50
  *    read/write — cache-filtered datacenter traffic.
  *
+ * All four patterns are implemented as resumable one-request-at-a-time
+ * state machines behind the chunk-pull SyntheticTraceSource interface,
+ * so arbitrarily long traces can be streamed at flat memory;
+ * generateTrace() is a thin materializing wrapper over the same
+ * machines (chunked and one-shot generation are bit-identical).
+ * Profile-driven and recommendation-style sources live in
+ * dramsys/trace_profile.h and share this interface.
+ *
  * A simple "cycle: R|W address" text parser is provided for users with
  * real traces.
  */
@@ -25,6 +33,7 @@
 #define ARCHGYM_DRAMSYS_TRACE_GEN_H
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +41,9 @@
 #include "mathutil/rng.h"
 
 namespace archgym::dram {
+
+/** Cache-line granularity shared by every trace source. */
+inline constexpr std::uint64_t kTraceCacheLine = 64;
 
 /** The four DRAMGym workload patterns. */
 enum class TracePattern { Streaming, Random, Cloud1, Cloud2 };
@@ -47,18 +59,69 @@ struct TraceConfig
     std::uint64_t seed = 7;
 };
 
-/** Generate a synthetic trace. Requests are sorted by arrival cycle. */
+/**
+ * Reject degenerate configurations before any generator touches them:
+ * the footprint must be cache-line aligned and large enough that every
+ * internal Rng::below() argument stays positive (streamingTrace draws
+ * rng.below(addressSpaceBytes / 4)).
+ * @throws std::invalid_argument naming the offending field.
+ */
+void validateTraceConfig(const TraceConfig &config);
+
+/**
+ * Chunk-pull interface over an infinite synthetic request stream.
+ *
+ * Contract (relied upon by DramController and DramGymEnv):
+ *  - next(n) appends exactly the next n requests of the stream; pulling
+ *    the same stream in chunks of any size yields bit-identical
+ *    requests (ids, addresses, kinds, arrival cycles) to one shot;
+ *  - requests carry sequential ids and non-decreasing arrival cycles;
+ *  - addresses are cache-line aligned and inside the configured
+ *    footprint;
+ *  - the stream is a pure function of the construction parameters:
+ *    reset() rewinds to the first request.
+ */
+class SyntheticTraceSource
+{
+  public:
+    virtual ~SyntheticTraceSource() = default;
+
+    /** Append the next n requests of the stream to out. */
+    virtual void next(std::size_t n, std::vector<MemoryRequest> &out) = 0;
+
+    /** Rewind to the beginning of the (deterministic) stream. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Streaming source for one of the four legacy patterns. Ignores
+ * config.numRequests — the stream is unbounded; the caller decides how
+ * much to pull. @throws std::invalid_argument via validateTraceConfig.
+ */
+std::unique_ptr<SyntheticTraceSource>
+makePatternSource(const TraceConfig &config);
+
+/**
+ * Generate a synthetic trace: materialize config.numRequests requests
+ * from makePatternSource. Requests are sorted by arrival cycle with
+ * sequential ids (the sources emit them that way).
+ */
 std::vector<MemoryRequest> generateTrace(const TraceConfig &config);
 
 /**
  * Parse a "cycle: R|W 0xADDRESS" text trace (comments start with '#').
- * @throws std::runtime_error on malformed lines.
+ * Numbers are parsed full-token with std::from_chars: garbage, signs,
+ * overflow, and trailing junk all throw line-numbered errors.
+ * @throws std::runtime_error naming the line on malformed input.
  */
 std::vector<MemoryRequest> parseTrace(std::istream &is);
 
-/** Serialize a trace in the format parseTrace() accepts. */
+/** Serialize a trace in the format parseTrace() accepts. Set
+ *  with_header = false when appending chunks to an already-started
+ *  file. */
 void writeTrace(std::ostream &os,
-                const std::vector<MemoryRequest> &trace);
+                const std::vector<MemoryRequest> &trace,
+                bool with_header = true);
 
 } // namespace archgym::dram
 

@@ -19,12 +19,20 @@ DramGymEnv::DramGymEnv(Options options)
 {
     buildSpace();
     buildObjective();
-    dram::TraceConfig tc;
-    tc.pattern = options_.pattern;
-    tc.numRequests = options_.traceLength;
-    tc.seed = options_.traceSeed;
-    trace_ = dram::generateTrace(tc);
-    decoded_.assign(options_.spec, trace_);
+    traceSpec_ = options_.trace;
+    if (traceSpec_.source.empty()) {
+        // Legacy field resolution: pattern/traceLength/traceSeed keep
+        // producing byte-identical traces to the pre-TraceSpec ctor.
+        traceSpec_.source = dram::toString(options_.pattern);
+        traceSpec_.numRequests = options_.traceLength;
+        traceSpec_.seed = options_.traceSeed;
+    }
+    traceFactory_ = std::make_unique<dram::TraceSourceFactory>(traceSpec_);
+    if (!traceSpec_.streamed) {
+        const auto source = traceFactory_->make();
+        trace_ = dram::materialize(*source, traceSpec_.numRequests);
+        decoded_.assign(options_.spec, trace_);
+    }
 }
 
 void
@@ -84,6 +92,12 @@ dram::SimResult
 DramGymEnv::simulate(const Action &action)
 {
     controller_.setConfig(decodeAction(action));
+    if (traceSpec_.streamed) {
+        const auto source = traceFactory_->make();
+        return dram::runStreamed(controller_, options_.spec, *source,
+                                 traceSpec_.numRequests,
+                                 traceSpec_.chunkRequests);
+    }
     return controller_.run(decoded_);
 }
 
@@ -92,7 +106,18 @@ DramGymEnv::evaluate(dram::DramController &controller,
                      const Action &action) const
 {
     controller.setConfig(decodeAction(action));
-    const dram::SimResult sim = controller.run(decoded_);
+    dram::SimResult sim;
+    if (traceSpec_.streamed) {
+        // Fresh source per evaluation: the stream is deterministic, so
+        // every step (and every stepBatch worker slot) sees the exact
+        // same workload while memory stays bounded by one chunk.
+        const auto source = traceFactory_->make();
+        sim = dram::runStreamed(controller, options_.spec, *source,
+                                traceSpec_.numRequests,
+                                traceSpec_.chunkRequests);
+    } else {
+        sim = controller.run(decoded_);
+    }
     StepResult sr;
     sr.observation = {sim.avgLatencyNs, sim.power.avgPowerW,
                       sim.totalEnergyPj() / 1e6};

@@ -14,6 +14,14 @@
  * immutable DecodedTrace — no trace copies, no controller
  * reconstruction, and (after the first step) no queue allocations.
  *
+ * Streamed mode (Options::trace.streamed): instead of materializing the
+ * trace, each evaluation pulls a fresh deterministic stream from a
+ * TraceSourceFactory and runs it through the controller in bounded
+ * chunks (dram::runStreamed) — memory stays flat at any trace length,
+ * so 100x-longer workloads cost no extra resident bytes. The factory
+ * resolves the trace source once (sd: CDF files are read at
+ * construction); streams are identical across steps and worker slots.
+ *
  * stepBatch() fans the same evaluation out over the shared worker
  * pool: the decoded trace, parameter space, and objective are shared
  * read-only, and each worker slot owns one lazily-built persistent
@@ -31,6 +39,7 @@
 #include "core/objective.h"
 #include "dramsys/controller.h"
 #include "dramsys/trace_gen.h"
+#include "dramsys/trace_profile.h"
 
 namespace archgym {
 
@@ -51,6 +60,11 @@ class DramGymEnv : public Environment
         double powerTargetW = 1.0;     ///< §6.3 design goal
         double latencyTargetNs = 30.0;
         dram::MemSpec spec = {};
+        /** Full trace workload spec. When trace.source is empty, the
+         *  legacy pattern/traceLength/traceSeed fields above fill it in
+         *  (byte-identical behavior); set it to use "sd:<cdf.json>" /
+         *  "emb" sources or streamed chunk-pull evaluation. */
+        dram::TraceSpec trace = {.source = ""};
     };
 
     DramGymEnv() : DramGymEnv(Options{}) {}
@@ -75,7 +89,10 @@ class DramGymEnv : public Environment
 
     const Options &options() const { return options_; }
     const Objective &objective() const { return *objective_; }
-    /** The raw generated trace (serialization, inspection). */
+    /** The trace spec after legacy-field resolution. */
+    const dram::TraceSpec &traceSpec() const { return traceSpec_; }
+    /** The raw generated trace (serialization, inspection). Empty in
+     *  streamed mode — nothing is materialized there. */
     const std::vector<dram::MemoryRequest> &trace() const
     {
         return trace_;
@@ -96,6 +113,10 @@ class DramGymEnv : public Environment
     Options options_;
     ParamSpace space_;
     std::unique_ptr<Objective> objective_;
+    dram::TraceSpec traceSpec_;  ///< options_.trace with legacy defaults
+    /** Resolved trace-source factory; in streamed mode every evaluation
+     *  pulls a fresh (identical) stream from it. */
+    std::unique_ptr<dram::TraceSourceFactory> traceFactory_;
     std::vector<dram::MemoryRequest> trace_;
     dram::DecodedTrace decoded_;      ///< decoded once, shared by steps
     dram::DramController controller_; ///< reused across steps

@@ -103,6 +103,53 @@ TEST(TraceGen, AddressesAreCacheLineAligned)
     }
 }
 
+TEST(TraceGen, AddressesStayInsideRandomizedFootprints)
+{
+    // Regression for the cloud-2 hot-base overflow: a hot region drawn
+    // near the top of the footprint used to emit addresses past
+    // addressSpaceBytes. Sweep all patterns over randomized (including
+    // very small) footprints and seeds.
+    const std::uint64_t spaces[] = {256, 8192, 1 << 16, (1 << 20) + 64,
+                                    1ULL << 30};
+    for (auto p : {TracePattern::Streaming, TracePattern::Random,
+                   TracePattern::Cloud1, TracePattern::Cloud2}) {
+        for (const std::uint64_t space : spaces) {
+            for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+                TraceConfig cfg;
+                cfg.pattern = p;
+                cfg.numRequests = 400;
+                cfg.addressSpaceBytes = space;
+                cfg.seed = seed;
+                for (const auto &r : generateTrace(cfg)) {
+                    ASSERT_LT(r.address, space)
+                        << toString(p) << " space " << space << " seed "
+                        << seed;
+                    ASSERT_EQ(r.address % 64, 0u);
+                }
+            }
+        }
+    }
+}
+
+TEST(TraceGen, RejectsDegenerateConfig)
+{
+    for (const std::uint64_t space : {0ULL, 64ULL, 128ULL, 255ULL}) {
+        TraceConfig cfg;
+        cfg.addressSpaceBytes = space;
+        try {
+            validateTraceConfig(cfg);
+            FAIL() << "space " << space << " should be rejected";
+        } catch (const std::invalid_argument &e) {
+            EXPECT_NE(std::string(e.what()).find("addressSpaceBytes"),
+                      std::string::npos);
+        }
+        EXPECT_THROW(generateTrace(cfg), std::invalid_argument);
+    }
+    TraceConfig ok;
+    ok.addressSpaceBytes = 256;  // the documented minimum
+    EXPECT_NO_THROW(generateTrace(ok));
+}
+
 TEST(TraceParse, ReadsWellFormedTrace)
 {
     std::stringstream ss;
@@ -124,6 +171,46 @@ TEST(TraceParse, RejectsMalformedOp)
     EXPECT_THROW(parseTrace(ss), std::runtime_error);
 }
 
+/** Expect parseTrace to throw a runtime_error naming line `line_no`. */
+void
+expectParseErrorAtLine(const std::string &text, std::size_t line_no)
+{
+    std::stringstream ss(text);
+    try {
+        parseTrace(ss);
+        FAIL() << "expected parse error for: " << text;
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "line " + std::to_string(line_no)),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceParse, RejectsGarbageCycleWithLineNumber)
+{
+    expectParseErrorAtLine("# header\nabc: R 0x10\n", 2);
+}
+
+TEST(TraceParse, RejectsOverflowAddressWithLineNumber)
+{
+    // 2^68 does not fit a uint64_t; stoull would also have thrown, but
+    // only from_chars distinguishes out-of-range from garbage.
+    expectParseErrorAtLine("0: R 0xFFFFFFFFFFFFFFFFF\n", 1);
+}
+
+TEST(TraceParse, RejectsNegativeCycle)
+{
+    // stoull silently wrapped "-5" to 2^64-5; from_chars rejects it.
+    expectParseErrorAtLine("-5: R 0x40\n", 1);
+}
+
+TEST(TraceParse, RejectsTrailingJunk)
+{
+    expectParseErrorAtLine("5: R 0x40 junk\n", 1);
+    expectParseErrorAtLine("0: R 0x40\n5: R 0x4zz\n", 2);
+}
+
 TEST(TraceWrite, RoundTripsThroughParser)
 {
     const auto original = makeTrace(TracePattern::Cloud1, 120);
@@ -136,6 +223,46 @@ TEST(TraceWrite, RoundTripsThroughParser)
         EXPECT_EQ(back[i].isWrite, original[i].isWrite);
         EXPECT_EQ(back[i].arrivalCycle, original[i].arrivalCycle);
     }
+}
+
+TEST(TraceWrite, RandomizedRoundTripIsBitIdentical)
+{
+    // Property test over all patterns and randomized configs: text
+    // serialization survives a write -> parse cycle bit-identically
+    // (ids are positional in both directions).
+    for (auto p : {TracePattern::Streaming, TracePattern::Random,
+                   TracePattern::Cloud1, TracePattern::Cloud2}) {
+        for (std::uint64_t seed = 40; seed < 44; ++seed) {
+            TraceConfig cfg;
+            cfg.pattern = p;
+            cfg.numRequests = 250;
+            cfg.addressSpaceBytes = seed % 2 ? 8192 : 1ULL << 28;
+            cfg.seed = seed;
+            const auto original = generateTrace(cfg);
+            std::stringstream ss;
+            writeTrace(ss, original);
+            const auto back = parseTrace(ss);
+            ASSERT_EQ(back.size(), original.size()) << toString(p);
+            for (std::size_t i = 0; i < original.size(); ++i) {
+                ASSERT_EQ(back[i].address, original[i].address);
+                ASSERT_EQ(back[i].isWrite, original[i].isWrite);
+                ASSERT_EQ(back[i].arrivalCycle, original[i].arrivalCycle);
+                ASSERT_EQ(back[i].id, original[i].id);
+            }
+        }
+    }
+}
+
+TEST(TraceWrite, HeaderlessChunksConcatenateCleanly)
+{
+    const auto trace = makeTrace(TracePattern::Cloud2, 100);
+    std::stringstream ss;
+    writeTrace(ss, {trace.begin(), trace.begin() + 50}, true);
+    writeTrace(ss, {trace.begin() + 50, trace.end()}, false);
+    const auto back = parseTrace(ss);
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(back[i].address, trace[i].address);
 }
 
 // --------------------------------------------------------------------
