@@ -22,6 +22,11 @@
  *    runs/sec, and the end-to-end overhead fraction of a worker kill
  *    mid-shard followed by a stale-lease steal + run-granular repair,
  *    vs one uninterrupted run.
+ *  - resilience: fault-isolation costs — configs/sec with the
+ *    isolation machinery armed (retry budget + quarantine) but no
+ *    faults, i.e. the pure safety-net tax, and configs/sec of a sweep
+ *    where ~6% of configs are deterministic poison that exhausts a
+ *    3-attempt budget and lands in quarantine.
  *  - pareto: fronts/sec of the O(N log N) 3-metric skyline vs the
  *    all-pairs paretoFrontNaive oracle on a 100k-transition cloud —
  *    the frontier-extraction cost at streamed-lottery scale.
@@ -289,6 +294,65 @@ main()
                 killRepair / 3.0, uninterrupted / 3.0,
                 killRepairOverhead * 100.0);
 
+    // --- Fault isolation: quarantine overhead ------------------------
+    // Isolation armed (3 attempts, quarantine on) but fault-free: what
+    // a healthy lottery pays for the safety net — per-run cancel
+    // scopes, checkpoint polling in the simulator hot loops, and the
+    // attempt accounting.
+    RunAttemptPolicy isoPol;
+    isoPol.maxAttempts = 3;
+    isoPol.backoffBaseMs = 0;  // deterministic poison: never sleep
+    isoPol.quarantine = true;
+    auto isoOpts = makeOpts(1);
+    isoOpts.attempts = isoPol;
+    const double isolationCleanConfigsPerSec =
+        callsPerSecond([&] {
+            fs::remove_all(dir);
+            guard += runSweepSharded(factory, "RW", builder, configs,
+                                     runCfg, isoOpts, 5)
+                         .bestRewards.at(1);
+        }) *
+        static_cast<double>(kConfigs);
+    const double isolationOverhead =
+        isolationCleanConfigsPerSec > 0.0
+            ? sweepPoints.front().configsPerSec /
+                      isolationCleanConfigsPerSec -
+                  1.0
+            : 0.0;
+
+    // Poison sweep: every 16th config (6.25%) throws on every attempt,
+    // so each poison config burns the full 3-attempt budget, appends
+    // three ledger records, and finishes as a gap record in the
+    // finals. Healthy configs pay nothing beyond the armed machinery.
+    constexpr std::size_t kPoisonStride = 16;
+    faultHooks().beforeRun = [](const std::string &, std::size_t,
+                                std::size_t config) {
+        if (config % kPoisonStride == 0)
+            throw std::runtime_error("bench poison config");
+    };
+    std::size_t quarantinedPerSweep = 0;
+    const double poisonSweepConfigsPerSec =
+        callsPerSecond([&] {
+            fs::remove_all(dir);
+            const auto sweep = runSweepSharded(
+                factory, "RW", builder, configs, runCfg, isoOpts, 5);
+            quarantinedPerSweep = sweep.runsQuarantined;
+            guard += sweep.bestRewards.at(1);
+        }) *
+        static_cast<double>(kConfigs);
+    faultHooks().clear();
+    const double poisonOverhead =
+        poisonSweepConfigsPerSec > 0.0
+            ? isolationCleanConfigsPerSec / poisonSweepConfigsPerSec -
+                  1.0
+            : 0.0;
+    std::printf("\nfault isolation: armed fault-free %.1f configs/s "
+                "(%.1f%% vs plain), %zu/%zu poison %.1f configs/s "
+                "(%.1f%% vs armed fault-free)\n",
+                isolationCleanConfigsPerSec, isolationOverhead * 100.0,
+                quarantinedPerSweep, kConfigs, poisonSweepConfigsPerSec,
+                poisonOverhead * 100.0);
+
     // --- 3-metric Pareto skyline at lottery scale --------------------
     const std::size_t kPoints = 100000;
     std::vector<Transition> cloud(kPoints);
@@ -348,6 +412,14 @@ main()
          << ",\"partialAppendsPerSec\":" << partialAppendsPerSec
          << ",\"repairReingestRunsPerSec\":" << repairReingestRunsPerSec
          << ",\"killRepairResumeOverheadFraction\":" << killRepairOverhead
+         << "},\"resilience\":{\"maxAttempts\":3,\"poisonStride\":"
+         << kPoisonStride
+         << ",\"quarantinedPerSweep\":" << quarantinedPerSweep
+         << ",\"isolationCleanConfigsPerSec\":"
+         << isolationCleanConfigsPerSec
+         << ",\"isolationOverheadFraction\":" << isolationOverhead
+         << ",\"poisonSweepConfigsPerSec\":" << poisonSweepConfigsPerSec
+         << ",\"poisonOverheadFraction\":" << poisonOverhead
          << "},\"pareto\":{\"transitions\":" << kPoints
          << ",\"metrics\":3,\"frontSize\":" << frontSize
          << ",\"skylineFrontsPerSec\":" << skylinePerSec

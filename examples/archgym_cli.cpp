@@ -50,6 +50,20 @@
  *   --lease-ttl MS   heartbeat age peers treat as dead (default 10000)
  *   --heartbeat MS   heartbeat refresh cadence  (default lease-ttl/4)
  *
+ * Fault isolation (sweep modes; see docs/sweep_service.md):
+ *
+ *   --max-attempts N   attempts per config before giving up (default 1)
+ *   --run-deadline MS  per-run wall-clock deadline; a run past it is
+ *                      cancelled at its next cooperative checkpoint
+ *                      (default 0 = none)
+ *   --quarantine       on exhausted attempts, record the config in the
+ *                      shard's quarantine ledger and keep sweeping
+ *                      instead of failing the sweep; quarantined runs
+ *                      appear as explicit gap records in the results
+ *
+ * Exit codes: 0 success, 1 runtime error / incomplete worker sweep,
+ * 2 usage error, 3 sweep complete but with quarantined configs.
+ *
  * Proxy-screened mode (--proxy-screen, with --sweep N): simulate only a
  * pilot slice of the lottery for real, train a random-forest proxy on
  * the pilot trajectories, rank the remaining configurations through
@@ -262,6 +276,7 @@ main(int argc, char **argv)
     std::string workerId;
     std::uint64_t leaseTtl = 10000;
     std::uint64_t heartbeat = 0;
+    RunAttemptPolicy attempts;
     bool proxyScreen = false;
     std::size_t screenTopK = 8;
     std::size_t pilotConfigs = 16;
@@ -311,6 +326,12 @@ main(int argc, char **argv)
             leaseTtl = std::stoull(next());
         else if (arg == "--heartbeat")
             heartbeat = std::stoull(next());
+        else if (arg == "--max-attempts")
+            attempts.maxAttempts = std::stoul(next());
+        else if (arg == "--run-deadline")
+            attempts.runDeadlineMs = std::stoull(next());
+        else if (arg == "--quarantine")
+            attempts.quarantine = true;
         else if (arg == "--proxy-screen")
             proxyScreen = true;
         else if (arg == "--screen-top-k")
@@ -545,6 +566,7 @@ main(int argc, char **argv)
         opts.workerId = workerId;
         opts.leaseTtlMs = leaseTtl;
         opts.heartbeatMs = heartbeat;
+        opts.attempts = attempts;
 
         std::printf("sharded lottery: env=%s agent=%s configs=%zu "
                     "samples=%zu shard-size=%zu dir=%s%s%s\n",
@@ -565,6 +587,12 @@ main(int argc, char **argv)
         std::printf("shards: %zu total, %zu resumed from disk, %zu run\n",
                     sweep.shardCount, sweep.shardsSkipped,
                     sweep.shardsRun);
+        if (sweep.runsQuarantined > 0)
+            std::printf("quarantined: %zu of %zu configs gave up after "
+                        "repeated failures (see shard_*.quarantine.jsonl "
+                        "under %s)\n",
+                        sweep.runsQuarantined, sweep.configs.size(),
+                        sweepDir.c_str());
         if (sweepWorker) {
             // Worker-centric exit report; the fleet-level dataset
             // summary is for whoever aggregates after every worker
@@ -573,7 +601,9 @@ main(int argc, char **argv)
                         "%zu runs repaired from partials, sweep %s\n",
                         sweep.shardsStolen, sweep.runsRepaired,
                         sweep.complete ? "complete" : "incomplete");
-            return sweep.complete ? 0 : 1;
+            if (!sweep.complete)
+                return 1;
+            return sweep.runsQuarantined > 0 ? 3 : 0;
         }
         std::printf("best reward per config: %s\n",
                     summarize(sweep.bestRewards).str().c_str());
@@ -600,7 +630,7 @@ main(int argc, char **argv)
                     columnar ? "columnar" : "CSV");
         if (pareto)
             printParetoFront(dataset.flatten(), env->metricNames());
-        return 0;
+        return sweep.runsQuarantined > 0 ? 3 : 0;
     }
 
     HyperParams hp;

@@ -1,6 +1,7 @@
 #include "columnar.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <unordered_map>
@@ -78,9 +79,16 @@ ColumnarDatasetWriter::~ColumnarDatasetWriter()
 {
     try {
         close();
-    } catch (...) {
+    } catch (const std::exception &e) {
         // Destructor cleanup must not throw; an explicit close() is the
-        // durable path and surfaces errors.
+        // durable path and surfaces errors. A failure here still gets
+        // reported (with the file it hit) rather than swallowed — the
+        // index on disk is incomplete and whoever reads it should be
+        // able to correlate that with this message.
+        std::fprintf(stderr,
+                     "ColumnarDatasetWriter: discarding close() failure "
+                     "for %s: %s\n",
+                     indexPath(stem_).c_str(), e.what());
     }
 }
 

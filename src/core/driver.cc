@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -69,6 +70,7 @@ runSearch(Environment &env, Agent &agent, const RunConfig &config)
     if (config.batchEval) {
         std::size_t i = 0;
         while (i < config.maxSamples) {
+            resilience::checkpoint();
             const std::vector<Action> actions =
                 agent.selectActionBatch(config.maxSamples - i);
             if (actions.empty())
@@ -84,6 +86,10 @@ runSearch(Environment &env, Agent &agent, const RunConfig &config)
         }
     } else {
         for (std::size_t i = 0; i < config.maxSamples; ++i) {
+            // Per-sample cancellation point: even an environment whose
+            // own loops carry no checkpoints (toy envs, foreign cost
+            // models) honours the run deadline at sample granularity.
+            resilience::checkpoint();
             Action action = agent.selectAction();
             const StepResult sr = env.step(action);
             agent.observe(action, sr.observation, sr.reward);
@@ -264,6 +270,77 @@ renderResultLine(std::size_t config_index, std::uint64_t seed,
     return line;
 }
 
+/**
+ * Final-format gap line of a quarantined configuration. Deliberately
+ * deterministic: class and error come from the configuration's own
+ * failure (identical on every worker), never from worker identity,
+ * timestamps, or measured durations — so finals stay byte-identical
+ * at any worker count and across any steal/resume schedule.
+ */
+std::string
+renderGapLine(std::size_t config_index, std::uint64_t seed,
+              const HyperParams &hp, std::size_t attempts,
+              const std::string &failure_class, const std::string &error)
+{
+    std::string line = "{\"config\":";
+    line += std::to_string(config_index);
+    line += ",\"seed\":";
+    line += std::to_string(seed);
+    line += ",\"bestReward\":";
+    jsonio::appendDouble(line,
+                         -std::numeric_limits<double>::infinity());
+    line += ",\"bestSampleIndex\":0,\"samplesUsed\":0,\"bestAction\":[]";
+    line += ",\"quarantined\":1,\"attempts\":";
+    line += std::to_string(attempts);
+    line += ",\"failureClass\":\"";
+    line += jsonio::escape(failure_class);
+    line += "\",\"error\":\"";
+    line += jsonio::escape(error);
+    line += "\",\"hyper\":\"";
+    line += jsonio::escape(hp.str());
+    line += "\"}\n";
+    return line;
+}
+
+/** One attempt record of the durable quarantine ledger. */
+std::string
+renderAttemptLine(std::size_t config_index, std::uint64_t seed,
+                  std::size_t attempt, const std::string &failure_class,
+                  const std::string &error, const std::string &worker)
+{
+    std::string line = "{\"config\":";
+    line += std::to_string(config_index);
+    line += ",\"seed\":";
+    line += std::to_string(seed);
+    line += ",\"attempt\":";
+    line += std::to_string(attempt);
+    line += ",\"class\":\"";
+    line += jsonio::escape(failure_class);
+    line += "\",\"error\":\"";
+    line += jsonio::escape(error);
+    line += "\",\"worker\":\"";
+    line += jsonio::escape(worker);
+    line += "\"}\n";
+    return line;
+}
+
+/** Does one of our JSON lines carry `"key":` at all? (For fields that
+ *  are only present on gap records.) */
+bool
+hasField(const std::string &line, const char *key)
+{
+    return line.find(std::string("\"") + key + "\":") !=
+           std::string::npos;
+}
+
+/** Per-config attempt history recovered from a quarantine ledger. */
+struct LedgerEntry
+{
+    std::size_t attempts = 0;   ///< highest durable attempt number
+    std::string failureClass;   ///< of the latest attempt
+    std::string error;          ///< of the latest attempt
+};
+
 } // namespace
 
 ShardedSweepResult
@@ -360,6 +437,7 @@ runSweepSharded(const EnvFactory &env_factory,
                               -std::numeric_limits<double>::infinity());
     result.bestActions.resize(configs.size());
     result.samplesUsed.assign(configs.size(), 0);
+    result.quarantined.assign(configs.size(), 0);
     result.seeds.resize(configs.size());
     result.shardCount = shardCount;
     for (std::size_t i = 0; i < configs.size(); ++i)
@@ -424,6 +502,11 @@ runSweepSharded(const EnvFactory &env_factory,
                 jsonio::uintField(line, "samplesUsed", ctx));
             result.bestActions[idx] =
                 jsonio::doubleArrayField(line, "bestAction", ctx);
+            result.quarantined[idx] =
+                hasField(line, "quarantined") &&
+                        jsonio::uintField(line, "quarantined", ctx) != 0
+                    ? 1
+                    : 0;
             const std::uint64_t seed = jsonio::uintField(line, "seed", ctx);
             if (seed != result.seeds[idx])
                 throw std::runtime_error(
@@ -538,6 +621,10 @@ runSweepSharded(const EnvFactory &env_factory,
                 jsonio::uintField(line, "samplesUsed", ctx));
             result.bestActions[config] =
                 jsonio::doubleArrayField(line, "bestAction", ctx);
+            // A durable gap record repairs like any other run: the
+            // previous owner already paid the attempts, never re-run.
+            result.quarantined[config] =
+                hasField(line, "quarantined") ? 1 : 0;
             lines[config - lo] = line;
             if (writer)
                 writer->appendSerialized(config,
@@ -549,6 +636,70 @@ runSweepSharded(const EnvFactory &env_factory,
             partialJsonl.string(),
             options.exportDataset ? partialCsvf.string() : std::string(),
             pr.validBytes, cr.validBytes);
+
+        // Durable attempt history of this shard's poison candidates:
+        // what previous owners already tried, by config. The ledger
+        // outlives steals *and* shard completion (it is the quarantine
+        // post-mortem record), so attempt budgets are fleet-wide.
+        const fs::path quarantinePath =
+            dir / (stem + ".quarantine.jsonl");
+        const RunAttemptPolicy &pol = options.attempts;
+        const std::size_t maxAttempts =
+            std::max<std::size_t>(1, pol.maxAttempts);
+        const bool isolated = pol.isolated();
+        PartialReadResult qr;
+        std::map<std::size_t, LedgerEntry> ledger;
+        if (isolated) {
+            qr = readPartialResultLines(quarantinePath.string());
+            for (const auto &rec : qr.records) {
+                const std::string ctx =
+                    "shard quarantine " + quarantinePath.string();
+                if (rec.config < lo || rec.config >= hi)
+                    throw std::runtime_error(
+                        ctx + ": config index " +
+                        std::to_string(rec.config) +
+                        " is outside this shard [" + std::to_string(lo) +
+                        ", " + std::to_string(hi) +
+                        ") — delete the ledger to re-run it");
+                const std::uint64_t seed =
+                    jsonio::uintField(rec.resultLine, "seed", ctx);
+                if (seed != result.seeds[rec.config])
+                    throw std::runtime_error(
+                        ctx + ": seed is " + std::to_string(seed) +
+                        ", expected " +
+                        std::to_string(result.seeds[rec.config]) +
+                        " at config " + std::to_string(rec.config) +
+                        " — delete the ledger to re-run it");
+                const auto attempt = static_cast<std::size_t>(
+                    jsonio::uintField(rec.resultLine, "attempt", ctx));
+                LedgerEntry &entry = ledger[rec.config];
+                if (attempt > entry.attempts) {
+                    entry.attempts = attempt;
+                    entry.failureClass = jsonio::stringField(
+                        rec.resultLine, "class", ctx);
+                    entry.error =
+                        jsonio::stringField(rec.resultLine, "error", ctx);
+                }
+            }
+        }
+        std::mutex ledgerMutex;
+        std::unique_ptr<ShardPartialWriter> ledgerWriter;
+        const auto appendAttempt = [&](std::size_t config,
+                                       std::size_t attempt,
+                                       const std::string &failure_class,
+                                       const std::string &error) {
+            std::lock_guard<std::mutex> lock(ledgerMutex);
+            if (!ledgerWriter)
+                ledgerWriter = std::make_unique<ShardPartialWriter>(
+                    quarantinePath.string(), std::string(),
+                    qr.validBytes, 0);
+            ledgerWriter->append(
+                config,
+                renderAttemptLine(config, result.seeds[config], attempt,
+                                  failure_class, error,
+                                  leaseOpts.workerId),
+                std::string());
+        };
 
         RunConfig shardRun = run_config;
         // The engine persists scalars + streamed trajectories only;
@@ -566,23 +717,123 @@ runSweepSharded(const EnvFactory &env_factory,
         WorkerPool::shared().parallelFor(
             missing.size(),
             [&](std::size_t slot, std::size_t m) {
+                // Fenced while mid-shard (a peer judged us dead and
+                // stole the lease): stop burning work, the finalize
+                // step below yields to the thief's results.
+                if (lease.lost())
+                    return;
                 const std::size_t i = missing[m];
-                if (faultHooks().beforeRun)
-                    faultHooks().beforeRun(leaseOpts.workerId, shard, i);
-                auto &env = envs[slot];
-                if (!env)
-                    env = env_factory();
                 const std::uint64_t seed = result.seeds[i];
-                auto agent = builder(env->actionSpace(), configs[i], seed);
-                RunResult run = runSearch(*env, *agent, shardRun);
-                result.bestRewards[i] = run.bestReward;
-                result.bestActions[i] = run.bestAction;
-                result.samplesUsed[i] = run.samplesUsed;
-                lines[i - lo] = renderResultLine(i, seed, configs[i], run);
+
+                std::size_t attempt = 0;
+                std::string failClass, failError;
+                if (isolated) {
+                    if (const auto it = ledger.find(i);
+                        it != ledger.end()) {
+                        attempt = it->second.attempts;
+                        failClass = it->second.failureClass;
+                        failError = it->second.error;
+                    }
+                }
+
+                bool succeeded = false;
+                RunResult run;
+                while (attempt < maxAttempts) {
+                    if (attempt > 0) {
+                        const std::uint64_t delayMs =
+                            attemptBackoffMs(pol, seed, attempt);
+                        if (delayMs)
+                            std::this_thread::sleep_for(
+                                std::chrono::milliseconds(delayMs));
+                    }
+                    bool ok = false;
+                    try {
+                        // Arm the deadline before anything the attempt
+                        // executes (including the beforeRun hook): a
+                        // hang anywhere inside the attempt counts
+                        // against it, and the lease watchdog sees the
+                        // overstay even if no checkpoint ever runs.
+                        resilience::CancelScope scope(
+                            leaseOpts.workerId,
+                            isolated ? pol.runDeadlineMs : 0);
+                        if (faultHooks().beforeRun)
+                            faultHooks().beforeRun(leaseOpts.workerId,
+                                                   shard, i);
+                        auto &env = envs[slot];
+                        if (!env)
+                            env = env_factory();
+                        auto agent =
+                            builder(env->actionSpace(), configs[i], seed);
+                        run = runSearch(*env, *agent, shardRun);
+                        ok = true;
+                    } catch (const WorkerKilled &) {
+                        throw;  // injected SIGKILL: never isolated
+                    } catch (const RunTimeout &e) {
+                        if (!isolated)
+                            throw;
+                        failClass = "timeout";
+                        failError = e.what();
+                    } catch (const std::exception &e) {
+                        if (!isolated)
+                            throw;
+                        failClass = "throw";
+                        failError = e.what();
+                    }
+                    if (ok) {
+                        succeeded = true;
+                        break;
+                    }
+                    ++attempt;
+                    // The attempt count becomes durable *before* any
+                    // retry: a thief that steals this shard resumes
+                    // the count where it stands — without this, every
+                    // thief restarts the budget and a poison config
+                    // livelocks the fleet.
+                    appendAttempt(i, attempt, failClass, failError);
+                    if (faultHooks().afterRunPersisted)
+                        faultHooks().afterRunPersisted(
+                            leaseOpts.workerId, shard, i);
+                }
+
+                if (succeeded) {
+                    result.bestRewards[i] = run.bestReward;
+                    result.bestActions[i] = run.bestAction;
+                    result.samplesUsed[i] = run.samplesUsed;
+                    lines[i - lo] =
+                        renderResultLine(i, seed, configs[i], run);
+                    std::string block;
+                    if (writer)
+                        block = writer->serializeBlock(run.trajectory);
+                    // Run-granular durability: persist before reporting.
+                    pw.append(i, lines[i - lo], block);
+                    if (faultHooks().afterRunPersisted)
+                        faultHooks().afterRunPersisted(
+                            leaseOpts.workerId, shard, i);
+                    if (writer)
+                        writer->appendSerialized(i, block);
+                    return;
+                }
+
+                if (!pol.quarantine)
+                    throw std::runtime_error(
+                        "sweep config " + std::to_string(i) +
+                        " failed after " + std::to_string(attempt) +
+                        " attempts (" + failClass + "): " + failError);
+
+                // Quarantine: the configuration is accounted for with
+                // a deterministic gap record (result line + empty
+                // dataset block), so the sweep completes degraded and
+                // the finals stay byte-identical on every worker.
+                lines[i - lo] = renderGapLine(i, seed, configs[i],
+                                              attempt, failClass,
+                                              failError);
+                result.quarantined[i] = 1;
                 std::string block;
                 if (writer)
-                    block = writer->serializeBlock(run.trajectory);
-                // Run-granular durability: persist before reporting.
+                    block = writer->serializeBlock(TrajectoryLog(
+                                manifest.env, agent_name,
+                                configs[i].str())) +
+                            "# quarantined=1\n";
                 pw.append(i, lines[i - lo], block);
                 if (faultHooks().afterRunPersisted)
                     faultHooks().afterRunPersisted(leaseOpts.workerId,
@@ -591,6 +842,16 @@ runSweepSharded(const EnvFactory &env_factory,
                     writer->appendSerialized(i, block);
             },
             numThreads, /*chunk=*/1);
+
+        // A fenced stale owner must never reach the renames at all:
+        // historically both sides produced byte-identical shards, but
+        // an isolated run that overstays its deadline here while the
+        // thief *succeeds* on the same config would finalize a gap
+        // record over the thief's real result. Yield first.
+        if (lease.lost() || finalsExist()) {
+            lease.release();  // ownership-checked no-op if stolen
+            return false;
+        }
 
         // Atomic completion: stream-close + rename the CSV first, then
         // the .jsonl — its presence marks the shard done. Both renames
@@ -702,6 +963,9 @@ runSweepSharded(const EnvFactory &env_factory,
     }
 
     result.complete = remaining == 0;
+    for (const std::uint8_t q : result.quarantined)
+        if (q)
+            ++result.runsQuarantined;
     return result;
 }
 

@@ -21,6 +21,7 @@
 #include "core/agent.h"
 #include "core/environment.h"
 #include "core/hyperparams.h"
+#include "core/resilience.h"
 #include "core/trajectory.h"
 
 namespace archgym {
@@ -228,6 +229,20 @@ struct ShardedSweepOptions
      * deterministically; the returned result has complete == false.
      */
     std::size_t maxShards = 0;
+
+    /**
+     * Per-run fault isolation (core/resilience.h). The default policy
+     * is pass-through: one attempt, no deadline, a throwing run
+     * unwinds the whole sweep exactly as before. With isolation on,
+     * failures are classified (throw / timeout — an injected
+     * WorkerKilled is never caught), retried with backoff, recorded
+     * attempt-by-attempt in the shard's durable
+     * shard_NNNN.quarantine.jsonl ledger (so attempt counts survive
+     * steals and resumes), and — with attempts.quarantine — exhausted
+     * configurations become deterministic gap records in the final
+     * results and dataset instead of killing the fleet.
+     */
+    RunAttemptPolicy attempts;
 };
 
 /**
@@ -247,11 +262,18 @@ struct ShardedSweepResult
     std::vector<Action> bestActions;        ///< one per configuration
     std::vector<std::size_t> samplesUsed;   ///< one per configuration
     std::vector<std::uint64_t> seeds;       ///< per-config agent seeds
+    /**
+     * 1 where the configuration exhausted its attempt budget and was
+     * quarantined (bestReward stays -inf, samplesUsed 0): the explicit
+     * gap records of a degraded-but-complete sweep.
+     */
+    std::vector<std::uint8_t> quarantined;
     std::size_t shardCount = 0;
     std::size_t shardsSkipped = 0;  ///< resumed from completed files
     std::size_t shardsRun = 0;      ///< executed in this invocation
     std::size_t shardsStolen = 0;   ///< claims that evicted a stale lease
     std::size_t runsRepaired = 0;   ///< runs re-ingested from partials
+    std::size_t runsQuarantined = 0; ///< gap records, fleet-wide
     bool complete = false;          ///< every shard done
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/resilience.h"
 #include "core/worker_pool.h"
 
 namespace archgym {
@@ -42,7 +43,23 @@ Environment::parallelEvalBatch(
     // and bit-identical: every action is evaluated independently
     // against per-slot state, so chunk geometry cannot influence them.
     const std::size_t chunk = (count + slots - 1) / slots;
-    pool.parallelFor(count, body, slots, chunk);
+    // Carry the calling run's cancellation deadline (if any) into the
+    // slot bodies: a batched evaluation fanned out over pool threads
+    // must honour the same RunTimeout as a serial one. The adoption is
+    // safe because parallelFor blocks this thread — the owning
+    // CancelScope outlives every slot body.
+    const auto token = resilience::currentCancelState();
+    if (!token) {
+        pool.parallelFor(count, body, slots, chunk);
+        return true;
+    }
+    pool.parallelFor(
+        count,
+        [&body, &token](std::size_t slot, std::size_t index) {
+            resilience::AdoptCancelScope adopt(token);
+            body(slot, index);
+        },
+        slots, chunk);
     return true;
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/fault_hooks.h"
 #include "core/fsio.h"
+#include "core/resilience.h"
 
 namespace archgym {
 
@@ -271,6 +272,13 @@ ShardLease::heartbeatMain()
         const auto &stalled = faultHooks().heartbeatStalled;
         if (stalled && stalled(opts_.workerId))
             continue;  // injected stall: lease goes stale while we live
+        // Watchdog: once one of this worker's runs overstays its
+        // deadline, stop vouching for the worker. A wedged run that
+        // never reaches a cancellation checkpoint would otherwise keep
+        // a perfectly fresh lease forever and the shard could never be
+        // stolen — the heartbeat is a liveness *and* progress claim.
+        if (resilience::workerHasExpiredRun(opts_.workerId))
+            continue;
         lock.unlock();
         const bool stillOurs = refreshLocked();
         lock.lock();

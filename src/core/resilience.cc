@@ -1,0 +1,192 @@
+#include "resilience.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <vector>
+
+#include "core/lease.h"
+
+namespace archgym {
+
+std::uint64_t
+attemptBackoffMs(const RunAttemptPolicy &policy, std::uint64_t seed,
+                 std::size_t attempt)
+{
+    if (attempt == 0 || policy.backoffBaseMs == 0)
+        return 0;
+    double delay = static_cast<double>(policy.backoffBaseMs);
+    for (std::size_t k = 1; k < attempt; ++k) {
+        delay *= policy.backoffMultiplier;
+        if (delay >= static_cast<double>(policy.backoffMaxMs))
+            break;
+    }
+    delay = std::min(delay, static_cast<double>(policy.backoffMaxMs));
+
+    // splitmix64 over (seed, attempt): stateless deterministic jitter.
+    std::uint64_t z =
+        seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(attempt);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double unit =
+        static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+    const double jitter =
+        1.0 + policy.jitterFraction * (2.0 * unit - 1.0);
+    return static_cast<std::uint64_t>(
+        std::llround(delay * std::max(0.0, jitter)));
+}
+
+namespace resilience {
+
+struct CancelState : std::enable_shared_from_this<CancelState>
+{
+    std::atomic<std::uint64_t> deadlineNs{0};  ///< 0 = no deadline
+    std::uint64_t deadlineMs = 0;              ///< for the error message
+    std::atomic<bool> expired{false};
+    std::string workerId;
+};
+
+namespace {
+
+thread_local CancelState *t_active = nullptr;
+
+/**
+ * Watchdog registry: every armed deadline, keyed by worker id. Guarded
+ * by one mutex — entries change once per run attempt and heartbeat
+ * threads poll once per beat, so contention is negligible.
+ */
+struct WatchdogRegistry
+{
+    std::mutex mutex;
+    std::vector<CancelState *> entries;
+};
+
+WatchdogRegistry &
+watchdog()
+{
+    static WatchdogRegistry reg;
+    return reg;
+}
+
+void
+registerDeadline(CancelState *state)
+{
+    WatchdogRegistry &reg = watchdog();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries.push_back(state);
+}
+
+void
+unregisterDeadline(CancelState *state)
+{
+    WatchdogRegistry &reg = watchdog();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.entries.erase(
+        std::remove(reg.entries.begin(), reg.entries.end(), state),
+        reg.entries.end());
+}
+
+} // namespace
+
+CancelScope::CancelScope(const std::string &worker_id,
+                         std::uint64_t deadline_ms)
+    : state_(std::make_shared<CancelState>())
+{
+    state_->workerId = worker_id;
+    if (deadline_ms > 0) {
+        state_->deadlineMs = deadline_ms;
+        state_->deadlineNs.store(leaseClockNowNs() +
+                                     deadline_ms * 1000000ULL,
+                                 std::memory_order_relaxed);
+        if (!worker_id.empty()) {
+            registerDeadline(state_.get());
+            registered_ = true;
+        }
+    }
+    prev_ = t_active;
+    t_active = state_.get();
+}
+
+CancelScope::~CancelScope()
+{
+    t_active = prev_;
+    if (registered_)
+        unregisterDeadline(state_.get());
+}
+
+AdoptCancelScope::AdoptCancelScope(std::shared_ptr<CancelState> state)
+    : state_(std::move(state))
+{
+    if (state_) {
+        prev_ = t_active;
+        t_active = state_.get();
+        installed_ = true;
+    }
+}
+
+AdoptCancelScope::~AdoptCancelScope()
+{
+    if (installed_)
+        t_active = prev_;
+}
+
+std::shared_ptr<CancelState>
+currentCancelState()
+{
+    CancelState *st = t_active;
+    if (!st)
+        return nullptr;
+    return st->shared_from_this();
+}
+
+void
+checkpoint()
+{
+    CancelState *st = t_active;
+    if (!st)
+        return;
+    const std::uint64_t deadline =
+        st->deadlineNs.load(std::memory_order_relaxed);
+    if (deadline == 0)
+        return;
+    if (leaseClockNowNs() >= deadline) {
+        st->expired.store(true, std::memory_order_relaxed);
+        throw RunTimeout(st->deadlineMs);
+    }
+}
+
+bool
+deadlineExpired() noexcept
+{
+    CancelState *st = t_active;
+    if (!st)
+        return false;
+    const std::uint64_t deadline =
+        st->deadlineNs.load(std::memory_order_relaxed);
+    return deadline != 0 && leaseClockNowNs() >= deadline;
+}
+
+bool
+workerHasExpiredRun(const std::string &worker_id)
+{
+    WatchdogRegistry &reg = watchdog();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (reg.entries.empty())
+        return false;
+    const std::uint64_t now = leaseClockNowNs();
+    for (const CancelState *st : reg.entries) {
+        if (st->workerId != worker_id)
+            continue;
+        const std::uint64_t deadline =
+            st->deadlineNs.load(std::memory_order_relaxed);
+        if (deadline != 0 && now >= deadline)
+            return true;
+    }
+    return false;
+}
+
+} // namespace resilience
+
+} // namespace archgym

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Fault isolation for long-running evaluations: retry/backoff policy,
+ * cooperative run deadlines, and the lease-watchdog registry.
+ *
+ * Real architecture simulators crash and hang on pathological corner
+ * configurations — exactly the configurations a lottery sweep is
+ * guaranteed to visit. This layer lets the sweep engine complete
+ * *degraded and accounted-for* instead of dying:
+ *
+ *  - RunAttemptPolicy bounds how often a failing run is retried
+ *    (exponential backoff with deterministic jitter) and how long a
+ *    single attempt may spin (per-run wall-clock deadline).
+ *  - CancelScope installs the deadline for the current thread;
+ *    resilience::checkpoint() — called on a stride from the long eval
+ *    loops (DRAM controller cycle loop, Timeloop/Maestro mappers,
+ *    FARSI scan) and once per sample from runSearch — raises
+ *    RunTimeout once the deadline passes, so a runaway run unwinds
+ *    cooperatively instead of spinning forever.
+ *  - The watchdog registry tracks every active deadline per worker id.
+ *    Lease heartbeat threads consult it (core/lease.cc) and stop
+ *    refreshing once a run has overstayed its deadline, so even a run
+ *    that never reaches a checkpoint (truly wedged inside foreign
+ *    code) lets the worker's lease go stale and the shard get stolen.
+ *
+ * Deadlines are measured on the lease clock (leaseClockNowNs), so the
+ * injectable test clock drives run timeouts and lease staleness
+ * coherently. Checkpoints are a thread-local pointer test when no
+ * deadline is active — cheap enough to leave in release hot loops at a
+ * modest stride.
+ */
+
+#ifndef ARCHGYM_CORE_RESILIENCE_H
+#define ARCHGYM_CORE_RESILIENCE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace archgym {
+
+/**
+ * Raised (from resilience::checkpoint) when the active run exceeds its
+ * wall-clock deadline. The message is built from the configured
+ * deadline only — never from elapsed time or worker identity — so a
+ * quarantine record derived from it is byte-identical no matter which
+ * worker hit the timeout.
+ */
+class RunTimeout : public std::runtime_error
+{
+  public:
+    explicit RunTimeout(std::uint64_t deadline_ms)
+        : std::runtime_error("run deadline of " +
+                             std::to_string(deadline_ms) +
+                             " ms exceeded"),
+          deadlineMs_(deadline_ms)
+    {}
+
+    std::uint64_t deadlineMs() const { return deadlineMs_; }
+
+  private:
+    std::uint64_t deadlineMs_ = 0;
+};
+
+/**
+ * Per-run fault-isolation policy of the sharded sweep engine.
+ *
+ * The default policy is fully transparent (one attempt, no deadline,
+ * no quarantine): a throwing run unwinds the sweep exactly as before.
+ * Any non-default field switches the engine into isolated execution:
+ * failures are caught per run, classified (throw / timeout; an
+ * injected WorkerKilled is *never* caught), and retried up to
+ * maxAttempts with exponential backoff. What happens at exhaustion
+ * depends on `quarantine`: true appends a durable gap record and moves
+ * on; false rethrows the final error (the sweep dies, but only after
+ * the configured retries).
+ */
+struct RunAttemptPolicy
+{
+    /** Total attempts per configuration, fleet-wide (attempt counts
+     *  are persisted, so a thief resumes the count, never restarts
+     *  it). Must be >= 1. */
+    std::size_t maxAttempts = 1;
+
+    /** Wall-clock budget of a single attempt in ms; 0 = unlimited. */
+    std::uint64_t runDeadlineMs = 0;
+
+    /** Backoff before retry k (1-based) is
+     *  min(backoffBaseMs * backoffMultiplier^(k-1), backoffMaxMs),
+     *  scaled by a deterministic jitter in [1-j, 1+j]. 0 disables
+     *  backoff (tests). */
+    std::uint64_t backoffBaseMs = 100;
+    double backoffMultiplier = 2.0;
+    std::uint64_t backoffMaxMs = 5000;
+    double jitterFraction = 0.25;
+
+    /** Exhausted attempts become a durable quarantine record plus an
+     *  explicit gap in results/dataset instead of killing the sweep. */
+    bool quarantine = false;
+
+    /** True when any knob deviates from pass-through semantics. */
+    bool isolated() const
+    {
+        return quarantine || maxAttempts > 1 || runDeadlineMs > 0;
+    }
+};
+
+/**
+ * Backoff before retry `attempt` (1-based count of completed failed
+ * attempts) in ms. Jitter is derived from (seed, attempt) with a
+ * splitmix64 hash — deterministic and state-free, so retried runs
+ * never perturb any RNG stream and the schedule reproduces exactly.
+ */
+std::uint64_t attemptBackoffMs(const RunAttemptPolicy &policy,
+                               std::uint64_t seed, std::size_t attempt);
+
+namespace resilience {
+
+/** Shared cancellation/deadline state of one run attempt (opaque). */
+struct CancelState;
+
+/**
+ * RAII deadline for the current thread: construction arms a deadline
+ * of `deadline_ms` from now on the lease clock (0 arms nothing) and —
+ * when a worker id is given — registers it with the lease watchdog;
+ * destruction restores the previous scope. Scopes nest (the innermost
+ * one is the active one).
+ */
+class CancelScope
+{
+  public:
+    CancelScope(const std::string &worker_id, std::uint64_t deadline_ms);
+    ~CancelScope();
+
+    CancelScope(const CancelScope &) = delete;
+    CancelScope &operator=(const CancelScope &) = delete;
+
+    /** The scope's state, shareable across threads via adoption. */
+    std::shared_ptr<CancelState> state() const { return state_; }
+
+  private:
+    std::shared_ptr<CancelState> state_;
+    CancelState *prev_ = nullptr;
+    bool registered_ = false;
+};
+
+/**
+ * Adopt another thread's active cancel state on this thread (used by
+ * Environment::parallelEvalBatch to carry the calling run's deadline
+ * into pool-worker slot bodies). A null state adopts nothing.
+ */
+class AdoptCancelScope
+{
+  public:
+    explicit AdoptCancelScope(std::shared_ptr<CancelState> state);
+    ~AdoptCancelScope();
+
+    AdoptCancelScope(const AdoptCancelScope &) = delete;
+    AdoptCancelScope &operator=(const AdoptCancelScope &) = delete;
+
+  private:
+    std::shared_ptr<CancelState> state_;
+    CancelState *prev_ = nullptr;
+    bool installed_ = false;
+};
+
+/** The calling thread's active cancel state (null when none). */
+std::shared_ptr<CancelState> currentCancelState();
+
+/**
+ * Cooperative cancellation point: throws RunTimeout when the calling
+ * thread's active deadline has passed; no-op (a thread-local pointer
+ * test) otherwise. Long eval loops call this on a stride.
+ */
+void checkpoint();
+
+/** Non-throwing query: has the active deadline passed? */
+bool deadlineExpired() noexcept;
+
+/**
+ * Lease-watchdog query: does `worker_id` currently own any armed run
+ * deadline that has already passed? Heartbeat threads skip their
+ * refresh while this holds, so a wedged worker's lease goes stale and
+ * its shard can be stolen.
+ */
+bool workerHasExpiredRun(const std::string &worker_id);
+
+} // namespace resilience
+
+} // namespace archgym
+
+#endif // ARCHGYM_CORE_RESILIENCE_H

@@ -332,8 +332,18 @@ loadDirectoryInto(Dataset &dataset, const std::filesystem::path &directory)
     std::sort(subdirs.begin(), subdirs.end());
     for (const auto &file : files) {
         std::ifstream in(file);
-        for (auto &log : TrajectoryLog::readCsvAll(in))
-            dataset.add(std::move(log));
+        if (!in)
+            throw std::runtime_error("Dataset::loadDirectory: cannot "
+                                     "open " + file.string());
+        try {
+            for (auto &log : TrajectoryLog::readCsvAll(in))
+                dataset.add(std::move(log));
+        } catch (const std::exception &e) {
+            // Parse errors carry offsets within the stream; re-anchor
+            // them to the file so a corrupt shard CSV is identifiable.
+            throw std::runtime_error("Dataset::loadDirectory: " +
+                                     file.string() + ": " + e.what());
+        }
     }
     for (const auto &sub : subdirs)
         loadDirectoryInto(dataset, sub);

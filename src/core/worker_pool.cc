@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdio>
 #include <exception>
+#include <memory>
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -15,7 +16,13 @@ namespace {
 
 thread_local bool t_onWorkerThread = false;
 
-/** Shared state of one parallelFor invocation. */
+/**
+ * Shared state of one parallelFor invocation. Heap-allocated and shared
+ * with the queued slot tasks: the caller may finish the loop (and
+ * destroy the body) before a starved task is ever scheduled, so late
+ * tasks must find the loop already drained — they check `cancelled` and
+ * the claim counter, both of which live here, before touching `body`.
+ */
 struct LoopState
 {
     std::size_t count = 0;
@@ -27,13 +34,20 @@ struct LoopState
 
     std::mutex mutex;
     std::condition_variable done;
-    std::size_t pendingSlots = 0;
+    std::size_t activeSlots = 0;
     std::exception_ptr error;
 
     /** Drain chunks as logical worker `slot` until the loop is empty or
      *  cancelled; record the first exception and cancel on throw. */
     void runSlot(std::size_t slot)
     {
+        {
+            // Registered before any chunk claim: the caller cannot
+            // return while a slot that may still dereference `body`
+            // is in flight.
+            std::lock_guard<std::mutex> lock(mutex);
+            ++activeSlots;
+        }
         for (;;) {
             if (cancelled.load(std::memory_order_relaxed))
                 break;
@@ -57,9 +71,24 @@ struct LoopState
                 cancelled.store(true, std::memory_order_relaxed);
             }
         }
-        std::lock_guard<std::mutex> lock(mutex);
-        if (--pendingSlots == 0)
-            done.notify_all();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --activeSlots;
+        }
+        done.notify_all();
+    }
+
+    /** Caller-side completion: every index claimed (or the loop
+     *  errored out) and no slot is still inside the body. Slots that
+     *  never got scheduled don't count — once the work is drained they
+     *  can only no-op. Callers must hold `mutex`. */
+    bool finished()
+    {
+        if (activeSlots != 0)
+            return false;
+        if (error)
+            return true;
+        return next.load(std::memory_order_relaxed) >= count;
     }
 };
 
@@ -135,26 +164,34 @@ WorkerPool::parallelFor(
     slots = std::max<std::size_t>(1, std::min(slots, count));
     chunk = std::max<std::size_t>(1, chunk);
 
-    LoopState loop;
-    loop.count = count;
-    loop.chunk = chunk;
-    loop.body = &body;
-    loop.pendingSlots = slots;
+    auto loop = std::make_shared<LoopState>();
+    loop->count = count;
+    loop->chunk = chunk;
+    loop->body = &body;
 
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (std::size_t s = 0; s < slots; ++s)
-            queue_.emplace_back([&loop, s] { loop.runSlot(s); });
+    // The caller drains chunks as slot 0 alongside the pool: the loop is
+    // guaranteed to make progress even when every pool thread is wedged
+    // (e.g. a hung run blocking on a cooperative checkpoint). Queued
+    // tasks that only get scheduled after the caller has finished the
+    // loop find it drained and no-op — they hold the state alive via
+    // the shared_ptr, never the caller's stack.
+    if (slots > 1) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (std::size_t s = 1; s < slots; ++s)
+                queue_.emplace_back([loop, s] { loop->runSlot(s); });
+        }
+        if (slots == 2)
+            wake_.notify_one();
+        else
+            wake_.notify_all();
     }
-    if (slots == 1)
-        wake_.notify_one();
-    else
-        wake_.notify_all();
+    loop->runSlot(0);
 
-    std::unique_lock<std::mutex> lock(loop.mutex);
-    loop.done.wait(lock, [&loop] { return loop.pendingSlots == 0; });
-    if (loop.error)
-        std::rethrow_exception(loop.error);
+    std::unique_lock<std::mutex> lock(loop->mutex);
+    loop->done.wait(lock, [&loop] { return loop->finished(); });
+    if (loop->error)
+        std::rethrow_exception(loop->error);
 }
 
 WorkerPool &

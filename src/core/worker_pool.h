@@ -60,8 +60,13 @@ class WorkerPool
      * remaining chunks are abandoned and the first exception is rethrown
      * here, on the calling thread.
      *
-     * Must not be called from inside a pool task (the caller would wait
-     * on workers that can never be scheduled).
+     * The calling thread participates as slot 0 and the remaining slots
+     * are offered to the pool, so the loop always makes progress — even
+     * when every pool thread is blocked (e.g. wedged inside a hung run).
+     * Consequently the body may execute on the caller's thread, not only
+     * on pool threads. Calling from inside a pool task is safe for the
+     * same reason, but starves the outer loop of a thread; prefer
+     * consulting onWorkerThread() and degrading to a serial path.
      */
     void
     parallelFor(std::size_t count,
@@ -78,11 +83,12 @@ class WorkerPool
 
     /**
      * True when the calling thread is owned by any WorkerPool (set for
-     * the lifetime of the worker thread). parallelFor must not be
-     * called from a pool thread — the caller would wait on workers that
-     * can never be scheduled — so nested parallel constructs (e.g. a
-     * parallel Environment::stepBatch inside runSweepParallel) consult
-     * this and degrade to their serial path instead of deadlocking.
+     * the lifetime of the worker thread). A nested parallelFor from a
+     * pool thread cannot deadlock (the caller drains the loop itself),
+     * but it occupies a pool thread that the outer loop is waiting on,
+     * so nested parallel constructs (e.g. a parallel
+     * Environment::stepBatch inside runSweepParallel) consult this and
+     * degrade to their serial path instead.
      */
     static bool onWorkerThread();
 

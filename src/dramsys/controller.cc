@@ -5,6 +5,8 @@
 #include <cassert>
 #include <limits>
 
+#include "core/resilience.h"
+
 namespace archgym::dram {
 
 namespace {
@@ -522,7 +524,14 @@ DramController::run(const DecodedTrace &trace)
 
     std::uint64_t now = 0;
     const std::size_t total = trace.size();
+    std::uint64_t cancelStride = 0;
     while (resolvedCount_ < total) {
+        // Cooperative run deadline (core/resilience.h): a pathological
+        // config can make this cycle loop effectively unbounded, so it
+        // must be cancellable. Strided so the check costs nothing when
+        // no deadline is armed.
+        if ((++cancelStride & 0xFFFU) == 0)
+            resilience::checkpoint();
         retire(now);
         accrueRefreshDebt(now);
         admit(now);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "core/resilience.h"
+
 namespace archgym::farsi {
 
 namespace {
@@ -43,6 +45,11 @@ evaluateSoc(const SocConfig &config, const TaskGraph &graph)
 
     bool feasible = true;
     for (std::size_t i = 0; i < graph.tasks.size(); ++i) {
+        // Cooperative run deadline (core/resilience.h). Strided: the
+        // per-task body is sub-microsecond, checking every iteration
+        // would be measurable.
+        if ((i & 0xFFU) == 0)
+            resilience::checkpoint();
         const Task &t = graph.tasks[i];
 
         // Inputs must cross the bus after their producers finish;
@@ -200,6 +207,9 @@ evaluateSoc(const SocConfig &config, const TaskGraphView &view,
 
     bool feasible = true;
     for (std::size_t i = 0; i < numTasks; ++i) {
+        // Cooperative run deadline, same stride as the reference path.
+        if ((i & 0xFFU) == 0)
+            resilience::checkpoint();
         double dataReady = 0.0;
         for (const TaskGraphView::InEdge *e = view.inBegin(i);
              e != view.inEnd(i); ++e) {

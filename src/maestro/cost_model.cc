@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/resilience.h"
+
 namespace archgym::maestro {
 
 namespace {
@@ -163,6 +165,9 @@ evaluateMappingOnNetwork(const Mapping &mapping, const Network &network,
     MappingCost total;
     total.buffersFit = true;
     for (const auto &layer : network.layers) {
+        // Cooperative run deadline (core/resilience.h): per-layer, the
+        // natural stride of the mapper evaluation.
+        resilience::checkpoint();
         const MappingCost c = evaluateMapping(mapping, layer, hw);
         total.runtimeCycles += c.runtimeCycles;
         total.energyUj += c.energyUj;
@@ -360,6 +365,8 @@ evaluateMappingOnNetwork(const Mapping &mapping, const NetworkView &network,
     MappingCost total;
     total.buffersFit = true;
     for (const LayerView &layer : network.layers()) {
+        // Cooperative run deadline, mirroring the reference path.
+        resilience::checkpoint();
         const MappingCost c = evaluateMappingImpl(analysis, layer, hw);
         total.runtimeCycles += c.runtimeCycles;
         total.energyUj += c.energyUj;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "core/resilience.h"
+
 namespace archgym::timeloop {
 
 namespace {
@@ -119,6 +121,9 @@ evaluateLayer(const AcceleratorConfig &config, const ConvLayer &layer,
     double bestScore = std::numeric_limits<double>::infinity();
 
     for (std::uint32_t tk : tileCandidates(layer.outChannels)) {
+        // Cooperative run deadline: the mapper enumeration is the
+        // layer-evaluation hot loop (core/resilience.h).
+        resilience::checkpoint();
         for (std::uint32_t tc : tileCandidates(layer.inChannels)) {
             for (std::uint32_t tp : tileCandidates(layer.outH)) {
                 MappingCost mc;
@@ -236,6 +241,8 @@ evaluateLayer(const AcceleratorConfig &config, const LayerView &view,
     // (tk, tc) is hoisted out of the innermost loop, and the capacity
     // checks — monotone in the tile sizes — turn 'continue' into 'break'.
     for (std::uint32_t tk : view.tilesK) {
+        // Cooperative run deadline, mirroring the reference mapper loop.
+        resilience::checkpoint();
         const double tkD = tk;
         const double passesK =
             std::ceil(static_cast<double>(l.outChannels) / tk);

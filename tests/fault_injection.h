@@ -14,16 +14,20 @@
 #define ARCHGYM_TESTS_FAULT_INJECTION_H
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
 #include "core/fault_hooks.h"
+#include "core/resilience.h"
 
 namespace archgym {
 namespace testing {
@@ -121,6 +125,141 @@ class InjectedClock
   private:
     static std::uint64_t now() { return ns_.load(); }
     static inline std::atomic<std::uint64_t> ns_{1};
+};
+
+/**
+ * Make a set of sweep configs poisonous. Throwing poisons raise a
+ * deterministic std::runtime_error from the beforeRun hook on every
+ * attempt; hanging poisons spin at a cooperative checkpoint — with a
+ * deadline armed they raise RunTimeout once the (usually injected)
+ * clock passes it, without one they would wedge forever, which is
+ * exactly what the lease-watchdog tests need. Per-config attempt
+ * counts are recorded for exactly-once assertions.
+ */
+class PoisonConfigs
+{
+  public:
+    PoisonConfigs(std::set<std::size_t> throwing,
+                  std::set<std::size_t> hanging = {},
+                  std::uint64_t hang_advance_ms = 0)
+        : throwing_(std::move(throwing)), hanging_(std::move(hanging)),
+          hangAdvanceMs_(hang_advance_ms)
+    {
+        faultHooks().beforeRun = [this](const std::string &,
+                                        std::size_t,
+                                        std::size_t config) {
+            const bool throws = throwing_.count(config) != 0;
+            const bool hangs = hanging_.count(config) != 0;
+            if (throws || hangs) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++attempts_[config];
+            }
+            if (throws)
+                throw std::runtime_error("injected poison config " +
+                                         std::to_string(config));
+            if (!hangs)
+                return;
+            // Cooperative wedge: spin on the checkpoint until the
+            // armed deadline fires. Advancing the injected clock from
+            // inside the spin lets single-clock tests converge; with
+            // no deadline armed the spin is a genuine wedge (the
+            // watchdog/steal tests release it via a real kill or by a
+            // peer finishing the sweep — see releaseHangs()).
+            while (!released_.load()) {
+                resilience::checkpoint();
+                if (hangAdvanceMs_ > 0 && faultHooks().clockNowNs)
+                    InjectedClock::advanceMs(hangAdvanceMs_);
+                else
+                    std::this_thread::yield();
+            }
+        };
+    }
+
+    ~PoisonConfigs() { faultHooks().beforeRun = nullptr; }
+
+    /** Attempts observed for one config (0 if never tried). */
+    std::size_t attempts(std::size_t config) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = attempts_.find(config);
+        return it == attempts_.end() ? 0 : it->second;
+    }
+
+    /** Total attempts across every poisoned config. */
+    std::size_t totalAttempts() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t n = 0;
+        for (const auto &kv : attempts_)
+            n += kv.second;
+        return n;
+    }
+
+    /** Let any spinning hang-poison fall through (end-of-test). */
+    void releaseHangs() { released_.store(true); }
+
+  private:
+    std::set<std::size_t> throwing_;
+    std::set<std::size_t> hanging_;
+    std::uint64_t hangAdvanceMs_;
+    mutable std::mutex mutex_;
+    std::map<std::size_t, std::size_t> attempts_;
+    std::atomic<bool> released_{false};
+};
+
+/**
+ * Block one worker inside its next run (from the beforeRun hook, i.e.
+ * after the run's CancelScope is armed) until release() — a run that
+ * is wedged *non-cooperatively* from the engine's point of view, used
+ * to prove the lease watchdog stops heartbeating for it so peers can
+ * steal the shard. One-shot: only the first matching run blocks.
+ */
+class BlockRunOnce
+{
+  public:
+    explicit BlockRunOnce(std::string victim)
+        : victim_(std::move(victim))
+    {
+        faultHooks().beforeRun = [this](const std::string &worker,
+                                        std::size_t, std::size_t) {
+            if (worker != victim_)
+                return;
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (armed_) {
+                armed_ = false;
+                blocked_ = true;
+                blockedCv_.notify_all();
+                releaseCv_.wait(lock, [this] { return released_; });
+            }
+        };
+    }
+
+    ~BlockRunOnce() { faultHooks().beforeRun = nullptr; }
+
+    /** Wait until the victim is actually parked inside its run. */
+    void waitUntilBlocked()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        blockedCv_.wait(lock, [this] { return blocked_; });
+    }
+
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            released_ = true;
+        }
+        releaseCv_.notify_all();
+    }
+
+  private:
+    std::string victim_;
+    std::mutex mutex_;
+    std::condition_variable blockedCv_;
+    std::condition_variable releaseCv_;
+    bool armed_ = true;
+    bool blocked_ = false;
+    bool released_ = false;
 };
 
 /** Chop the last `bytes` bytes off a file (torn trailing record). */

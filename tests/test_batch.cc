@@ -15,9 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "agents/genetic_algorithm.h"
@@ -210,13 +212,23 @@ TEST_P(BatchEquivalence, NestedInvocationFallsBackToSerial)
         expected.push_back(serialEnv->step(a));
 
     std::vector<StepResult> got;
+    std::atomic<int> arrived{0};
     WorkerPool::shared().parallelFor(
-        1,
+        2,
         [&](std::size_t, std::size_t) {
-            EXPECT_TRUE(WorkerPool::onWorkerThread());
+            // Rendezvous: the caller participates in parallelFor as
+            // slot 0, so a single-index loop would run inline on the
+            // test thread. Forcing both executors into the loop
+            // guarantees exactly one body sits on a genuine pool
+            // thread — that one performs the nested batch.
+            arrived.fetch_add(1);
+            while (arrived.load() < 2)
+                std::this_thread::yield();
+            if (!WorkerPool::onWorkerThread())
+                return;
             got = env->stepBatch(actions);
         },
-        /*slots=*/1);
+        /*slots=*/2, /*chunk=*/1);
     ASSERT_EQ(got.size(), expected.size());
     for (std::size_t i = 0; i < got.size(); ++i)
         expectSameResult(got[i], expected[i], GetParam().name);

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Units for the fault-isolation layer (core/resilience.h): backoff
+ * schedule determinism and bounds, cooperative deadline scopes and
+ * checkpoints under the injected lease clock, cross-thread deadline
+ * adoption, and the lease-watchdog registry queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "core/resilience.h"
+#include "fault_injection.h"
+
+namespace archgym {
+namespace {
+
+using testing::FaultHookGuard;
+using testing::InjectedClock;
+
+// --------------------------------------------------------------------
+// RunAttemptPolicy / attemptBackoffMs
+// --------------------------------------------------------------------
+
+TEST(Resilience, DefaultPolicyIsPassThrough)
+{
+    const RunAttemptPolicy pol;
+    EXPECT_FALSE(pol.isolated());
+
+    RunAttemptPolicy retry;
+    retry.maxAttempts = 3;
+    EXPECT_TRUE(retry.isolated());
+
+    RunAttemptPolicy deadline;
+    deadline.runDeadlineMs = 100;
+    EXPECT_TRUE(deadline.isolated());
+
+    RunAttemptPolicy quarantine;
+    quarantine.quarantine = true;
+    EXPECT_TRUE(quarantine.isolated());
+}
+
+TEST(Resilience, BackoffIsDeterministicAndBounded)
+{
+    RunAttemptPolicy pol;
+    pol.backoffBaseMs = 100;
+    pol.backoffMultiplier = 2.0;
+    pol.backoffMaxMs = 5000;
+    pol.jitterFraction = 0.25;
+
+    EXPECT_EQ(attemptBackoffMs(pol, 7, 0), 0u);  // no wait before try 1
+
+    for (std::size_t attempt = 1; attempt <= 12; ++attempt) {
+        const std::uint64_t a = attemptBackoffMs(pol, 7, attempt);
+        const std::uint64_t b = attemptBackoffMs(pol, 7, attempt);
+        EXPECT_EQ(a, b) << "attempt " << attempt;  // stateless
+
+        const double nominal =
+            std::min(100.0 * std::pow(2.0, attempt - 1.0), 5000.0);
+        EXPECT_GE(static_cast<double>(a), nominal * 0.75 - 1.0)
+            << "attempt " << attempt;
+        EXPECT_LE(static_cast<double>(a), nominal * 1.25 + 1.0)
+            << "attempt " << attempt;
+    }
+
+    // Deep attempts saturate at backoffMaxMs (within jitter).
+    const std::uint64_t deep = attemptBackoffMs(pol, 7, 40);
+    EXPECT_LE(deep, static_cast<std::uint64_t>(5000 * 1.25 + 1));
+    EXPECT_GE(deep, static_cast<std::uint64_t>(5000 * 0.75 - 1));
+}
+
+TEST(Resilience, ZeroBaseDisablesBackoff)
+{
+    RunAttemptPolicy pol;
+    pol.backoffBaseMs = 0;
+    for (std::size_t attempt = 0; attempt < 5; ++attempt)
+        EXPECT_EQ(attemptBackoffMs(pol, 3, attempt), 0u);
+}
+
+TEST(Resilience, JitterVariesAcrossSeedsAndAttempts)
+{
+    RunAttemptPolicy pol;
+    pol.backoffBaseMs = 1000;
+    pol.backoffMultiplier = 1.0;  // flat nominal: only jitter differs
+    pol.backoffMaxMs = 1000;
+    pol.jitterFraction = 0.25;
+
+    bool anyDifferent = false;
+    const std::uint64_t first = attemptBackoffMs(pol, 0, 1);
+    for (std::uint64_t seed = 1; seed < 16 && !anyDifferent; ++seed)
+        anyDifferent = attemptBackoffMs(pol, seed, 1) != first;
+    EXPECT_TRUE(anyDifferent);
+}
+
+// --------------------------------------------------------------------
+// CancelScope / checkpoint
+// --------------------------------------------------------------------
+
+TEST(Resilience, CheckpointIsNoOpWithoutScopeOrDeadline)
+{
+    EXPECT_NO_THROW(resilience::checkpoint());
+    EXPECT_FALSE(resilience::deadlineExpired());
+
+    resilience::CancelScope scope("w", 0);  // 0 = unlimited
+    EXPECT_NO_THROW(resilience::checkpoint());
+    EXPECT_FALSE(resilience::deadlineExpired());
+}
+
+TEST(Resilience, CheckpointThrowsOncePastDeadline)
+{
+    FaultHookGuard guard;
+    InjectedClock clock;
+
+    resilience::CancelScope scope("w", 500);
+    EXPECT_NO_THROW(resilience::checkpoint());
+
+    InjectedClock::advanceMs(499);
+    EXPECT_NO_THROW(resilience::checkpoint());
+
+    InjectedClock::advanceMs(2);
+    EXPECT_TRUE(resilience::deadlineExpired());
+    try {
+        resilience::checkpoint();
+        FAIL() << "checkpoint did not throw past the deadline";
+    } catch (const RunTimeout &e) {
+        EXPECT_EQ(e.deadlineMs(), 500u);
+        // The message must be deterministic (no elapsed time, no
+        // worker id): quarantine records are byte-compared across
+        // workers.
+        EXPECT_STREQ(e.what(), "run deadline of 500 ms exceeded");
+    }
+}
+
+TEST(Resilience, ScopesNestAndRestore)
+{
+    FaultHookGuard guard;
+    InjectedClock clock;
+
+    resilience::CancelScope outer("w", 0);  // unlimited
+    {
+        resilience::CancelScope inner("w", 10);
+        InjectedClock::advanceMs(20);
+        EXPECT_THROW(resilience::checkpoint(), RunTimeout);
+    }
+    // Back to the outer (unlimited) scope: no throw.
+    EXPECT_NO_THROW(resilience::checkpoint());
+}
+
+TEST(Resilience, AdoptedScopeCancelsOnAnotherThread)
+{
+    FaultHookGuard guard;
+    InjectedClock clock;
+
+    resilience::CancelScope scope("w", 100);
+    InjectedClock::advanceMs(200);
+
+    bool threw = false;
+    std::thread worker([state = resilience::currentCancelState(),
+                        &threw] {
+        // A fresh thread has no scope of its own...
+        EXPECT_NO_THROW(resilience::checkpoint());
+        // ... until it adopts the owning run's.
+        resilience::AdoptCancelScope adopt(state);
+        try {
+            resilience::checkpoint();
+        } catch (const RunTimeout &) {
+            threw = true;
+        }
+    });
+    worker.join();
+    EXPECT_TRUE(threw);
+}
+
+TEST(Resilience, CurrentCancelStateIsNullWithoutScope)
+{
+    EXPECT_EQ(resilience::currentCancelState(), nullptr);
+}
+
+// --------------------------------------------------------------------
+// Lease-watchdog registry
+// --------------------------------------------------------------------
+
+TEST(Resilience, WatchdogSeesOverstayedRunsPerWorker)
+{
+    FaultHookGuard guard;
+    InjectedClock clock;
+
+    EXPECT_FALSE(resilience::workerHasExpiredRun("a"));
+    {
+        resilience::CancelScope scopeA("a", 100);
+        resilience::CancelScope scopeB("b", 1000);
+
+        EXPECT_FALSE(resilience::workerHasExpiredRun("a"));
+        EXPECT_FALSE(resilience::workerHasExpiredRun("b"));
+
+        InjectedClock::advanceMs(500);
+        EXPECT_TRUE(resilience::workerHasExpiredRun("a"));
+        EXPECT_FALSE(resilience::workerHasExpiredRun("b"));
+
+        InjectedClock::advanceMs(1000);
+        EXPECT_TRUE(resilience::workerHasExpiredRun("b"));
+    }
+    // Scope destruction deregisters: the worker vouches again.
+    EXPECT_FALSE(resilience::workerHasExpiredRun("a"));
+    EXPECT_FALSE(resilience::workerHasExpiredRun("b"));
+}
+
+TEST(Resilience, UnlimitedOrAnonymousScopesNeverTripTheWatchdog)
+{
+    FaultHookGuard guard;
+    InjectedClock clock;
+
+    resilience::CancelScope unlimited("a", 0);
+    resilience::CancelScope anonymous("", 100);
+    InjectedClock::advanceMs(10000);
+    EXPECT_FALSE(resilience::workerHasExpiredRun("a"));
+    EXPECT_FALSE(resilience::workerHasExpiredRun(""));
+}
+
+} // namespace
+} // namespace archgym

@@ -12,10 +12,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -23,6 +26,7 @@
 #include "core/agent.h"
 #include "core/driver.h"
 #include "core/lease.h"
+#include "core/resilience.h"
 #include "core/toy_envs.h"
 #include "core/trajectory.h"
 #include "fault_injection.h"
@@ -31,9 +35,11 @@ namespace archgym {
 namespace {
 
 namespace fs = std::filesystem;
+using testing::BlockRunOnce;
 using testing::FaultHookGuard;
 using testing::InjectedClock;
 using testing::KillAfterRuns;
+using testing::PoisonConfigs;
 using testing::StallHeartbeats;
 
 /** Minimal deterministic agent (same shape as test_core's). */
@@ -118,6 +124,35 @@ shardBytes(const std::string &dir, const std::string &extension)
     return bytes;
 }
 
+/**
+ * Like shardBytes, but only the *final* artifacts: quarantine ledgers
+ * (shard_NNNN.quarantine.jsonl) are deliberately excluded — they are
+ * durable post-mortem records that carry worker ids and attempt
+ * schedules, so their bytes legitimately differ across worker counts
+ * while the finals must not.
+ */
+std::string
+finalShardBytes(const std::string &dir, const std::string &extension)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (entry.path().extension() == extension &&
+            name.rfind("shard_", 0) == 0 &&
+            name.find(".quarantine.") == std::string::npos &&
+            name.find(".partial.") == std::string::npos)
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    std::string bytes;
+    for (const auto &f : files) {
+        bytes += f.filename().string();
+        bytes += '\n';
+        bytes += fileBytes(f);
+    }
+    return bytes;
+}
+
 void
 expectSameResult(const ShardedSweepResult &a, const ShardedSweepResult &b)
 {
@@ -126,6 +161,7 @@ expectSameResult(const ShardedSweepResult &a, const ShardedSweepResult &b)
     EXPECT_EQ(a.bestActions, b.bestActions);
     EXPECT_EQ(a.samplesUsed, b.samplesUsed);
     EXPECT_EQ(a.seeds, b.seeds);
+    EXPECT_EQ(a.quarantined, b.quarantined);
     EXPECT_EQ(a.shardCount, b.shardCount);
 }
 
@@ -499,6 +535,308 @@ TEST(SweepService, LeaseBusyForLivePeerAndRefreshedByHeartbeat)
     ASSERT_NE(second, nullptr);
     EXPECT_FALSE(second->stolen());
     second->release();
+}
+
+// --------------------------------------------------------------------
+// Fault isolation: retries, deadlines, quarantine
+// --------------------------------------------------------------------
+
+TEST(SweepService, TransientFailureIsRetriedAndMatchesFaultFreeRun)
+{
+    const Fixture fx;
+    const std::string refDir = tempDir("svc_retry_ref");
+    const ShardedSweepResult ref = fx.reference(refDir);
+
+    const std::string dir = tempDir("svc_retry");
+    FaultHookGuard guard;
+    // Config 4 fails exactly once — a transient glitch, not a poison.
+    std::atomic<std::size_t> glitches{0};
+    faultHooks().beforeRun = [&](const std::string &, std::size_t,
+                                 std::size_t config) {
+        if (config == 4 && glitches.fetch_add(1) == 0)
+            throw std::runtime_error("transient glitch");
+    };
+
+    auto opts = fx.options(dir, "w");
+    opts.attempts.maxAttempts = 3;
+    opts.attempts.backoffBaseMs = 0;  // no sleeps in tests
+    const ShardedSweepResult result = fx.run(opts);
+
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.runsQuarantined, 0u);
+    EXPECT_EQ(glitches.load(), 2u);  // failed once, succeeded once
+    expectSameResult(result, ref);
+    // The retry leaves no trace in the finals (the attempt record
+    // lives in the ledger, which is excluded by design).
+    EXPECT_EQ(finalShardBytes(dir, ".jsonl"),
+              finalShardBytes(refDir, ".jsonl"));
+    EXPECT_EQ(finalShardBytes(dir, ".csv"),
+              finalShardBytes(refDir, ".csv"));
+    // ... but the ledger holds the durable attempt for the post-mortem.
+    EXPECT_TRUE(
+        fs::exists(fs::path(dir) / "shard_0001.quarantine.jsonl"));
+}
+
+TEST(SweepService, ExhaustedAttemptsFailTheSweepUnlessQuarantined)
+{
+    const Fixture fx;
+    const std::string dir = tempDir("svc_exhaust");
+    FaultHookGuard guard;
+    InjectedClock clock;
+    PoisonConfigs poison({3});
+
+    auto opts = fx.options(dir, "first");
+    opts.leaseTtlMs = 1000;
+    opts.attempts.maxAttempts = 2;
+    opts.attempts.backoffBaseMs = 0;
+
+    // Without quarantine, exhaustion kills the sweep — but only after
+    // the configured retries, and with the failure named.
+    try {
+        fx.run(opts);
+        FAIL() << "poisoned sweep did not throw";
+    } catch (const std::exception &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("failed after 2 attempts (throw)"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("injected poison config 3"),
+                  std::string::npos)
+            << what;
+    }
+    EXPECT_EQ(poison.attempts(3), 2u);
+
+    // Resume with quarantine enabled: the durable ledger shows the
+    // budget is already spent, so the config is quarantined with NO
+    // further attempts — poison budgets are fleet-wide, not per-owner.
+    InjectedClock::advanceMs(2000);  // dead worker's lease goes stale
+    auto retry = fx.options(dir, "second");
+    retry.leaseTtlMs = 1000;
+    retry.attempts = opts.attempts;
+    retry.attempts.quarantine = true;
+    const ShardedSweepResult result = fx.run(retry);
+
+    EXPECT_TRUE(result.complete);
+    EXPECT_EQ(result.shardsStolen, 1u);
+    EXPECT_EQ(result.runsQuarantined, 1u);
+    ASSERT_EQ(result.quarantined.size(), 10u);
+    EXPECT_EQ(result.quarantined[3], 1);
+    EXPECT_EQ(poison.attempts(3), 2u);  // budget NOT restarted
+    EXPECT_EQ(result.bestRewards[3],
+              -std::numeric_limits<double>::infinity());
+    EXPECT_EQ(result.samplesUsed[3], 0u);
+
+    // A fresh degraded run (same policy, nothing to resume) produces
+    // byte-identical finals: gap records carry no worker identity.
+    const std::string freshDir = tempDir("svc_exhaust_fresh");
+    auto fresh = fx.options(freshDir, "solo");
+    fresh.attempts = retry.attempts;
+    const ShardedSweepResult freshResult = fx.run(fresh);
+    EXPECT_TRUE(freshResult.complete);
+    expectSameResult(result, freshResult);
+    EXPECT_EQ(finalShardBytes(dir, ".jsonl"),
+              finalShardBytes(freshDir, ".jsonl"));
+    EXPECT_EQ(finalShardBytes(dir, ".csv"),
+              finalShardBytes(freshDir, ".csv"));
+}
+
+TEST(SweepService, PoisonSweepQuarantinesExactlyOnceAcrossWorkerCounts)
+{
+    const Fixture fx;
+    FaultHookGuard guard;
+    InjectedClock clock;
+    // Configs 2 and 7 throw on every attempt; config 5 hangs at a
+    // cooperative checkpoint until its injected deadline fires.
+    PoisonConfigs poison({2, 7}, {5}, /*hang_advance_ms=*/25);
+
+    RunAttemptPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseMs = 0;
+    pol.runDeadlineMs = 100;
+    pol.quarantine = true;
+
+    const auto poisonOpts = [&](const std::string &dir,
+                                const std::string &worker) {
+        auto opts = fx.options(dir, worker);
+        // Hang spins advance the shared injected clock; a generous TTL
+        // keeps that from aging any live lease into staleness.
+        opts.leaseTtlMs = 1000000;
+        opts.attempts = pol;
+        return opts;
+    };
+
+    const std::string refDir = tempDir("svc_poison_ref");
+    const ShardedSweepResult ref = fx.run(poisonOpts(refDir, "ref"));
+    ASSERT_TRUE(ref.complete);
+    EXPECT_EQ(ref.runsQuarantined, 3u);
+    std::vector<std::uint8_t> expected(10, 0);
+    expected[2] = expected[5] = expected[7] = 1;
+    EXPECT_EQ(ref.quarantined, expected);
+    // Healthy configs keep real results.
+    EXPECT_GT(ref.samplesUsed[0], 0u);
+    EXPECT_TRUE(std::isfinite(ref.bestRewards[0]));
+
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+        const std::string dir =
+            tempDir("svc_poison_" + std::to_string(workers));
+        std::vector<ShardedSweepResult> results(workers);
+        std::vector<std::thread> threads;
+        for (std::size_t w = 0; w < workers; ++w)
+            threads.emplace_back([&, w] {
+                results[w] = fx.run(
+                    poisonOpts(dir, "w" + std::to_string(w)));
+            });
+        for (auto &t : threads)
+            t.join();
+
+        for (std::size_t w = 0; w < workers; ++w) {
+            EXPECT_TRUE(results[w].complete)
+                << workers << " workers, worker " << w;
+            EXPECT_EQ(results[w].runsQuarantined, 3u)
+                << workers << " workers, worker " << w;
+            expectSameResult(results[w], ref);
+        }
+        EXPECT_EQ(finalShardBytes(dir, ".jsonl"),
+                  finalShardBytes(refDir, ".jsonl"))
+            << workers << " workers";
+        EXPECT_EQ(finalShardBytes(dir, ".csv"),
+                  finalShardBytes(refDir, ".csv"))
+            << workers << " workers";
+    }
+
+    // Exactly-once fleet-wide: every sweep directory paid each poison
+    // config exactly maxAttempts attempts, no matter how many workers
+    // cooperated (4 sweeps ran in total above).
+    EXPECT_EQ(poison.attempts(2), 12u);
+    EXPECT_EQ(poison.attempts(5), 12u);
+    EXPECT_EQ(poison.attempts(7), 12u);
+
+    // Gap records are explicit in the exported dataset: every config
+    // contributes a block, quarantined ones just carry no transitions.
+    const Dataset dataset = Dataset::loadDirectory(refDir);
+    EXPECT_EQ(dataset.logCount(), 10u);
+    EXPECT_EQ(dataset.transitionCount(), 7u * fx.cfg.maxSamples);
+}
+
+TEST(SweepService, QuarantineAttemptBudgetSurvivesKillAndResume)
+{
+    const Fixture fx;
+    FaultHookGuard guard;
+    InjectedClock clock;
+    PoisonConfigs poison({1});
+
+    RunAttemptPolicy pol;
+    pol.maxAttempts = 3;
+    pol.backoffBaseMs = 0;
+    pol.quarantine = true;
+
+    const std::string dir = tempDir("svc_qkill");
+    auto victim = fx.options(dir, "victim");
+    victim.leaseTtlMs = 1000;
+    victim.attempts = pol;
+    {
+        // Shard 0 runs configs 0,1,2 in order on one thread: the kill
+        // fires on the second durable record — config 0's result, then
+        // poison config 1's first attempt record. Mid-retry SIGKILL.
+        KillAfterRuns kill("victim", 2);
+        EXPECT_THROW(fx.run(victim), WorkerKilled);
+        EXPECT_TRUE(kill.fired());
+    }
+    EXPECT_EQ(poison.attempts(1), 1u);
+    EXPECT_TRUE(
+        fs::exists(fs::path(dir) / "shard_0000.quarantine.jsonl"));
+
+    InjectedClock::advanceMs(2000);
+    auto medic = fx.options(dir, "medic");
+    medic.leaseTtlMs = 1000;
+    medic.attempts = pol;
+    const ShardedSweepResult repaired = fx.run(medic);
+
+    EXPECT_TRUE(repaired.complete);
+    EXPECT_EQ(repaired.shardsStolen, 1u);
+    EXPECT_EQ(repaired.runsRepaired, 1u);   // config 0, run-granular
+    EXPECT_EQ(repaired.runsQuarantined, 1u);
+    ASSERT_EQ(repaired.quarantined.size(), 10u);
+    EXPECT_EQ(repaired.quarantined[1], 1);
+    // The victim paid attempt 1; the medic resumed at 2 and 3 — the
+    // durable ledger carried the count across worker identities.
+    EXPECT_EQ(poison.attempts(1), 3u);
+
+    // Byte-identical to a fresh uninterrupted degraded sweep.
+    const std::string freshDir = tempDir("svc_qkill_fresh");
+    auto fresh = fx.options(freshDir, "solo");
+    fresh.attempts = pol;
+    const ShardedSweepResult freshResult = fx.run(fresh);
+    EXPECT_TRUE(freshResult.complete);
+    expectSameResult(repaired, freshResult);
+    EXPECT_EQ(finalShardBytes(dir, ".jsonl"),
+              finalShardBytes(freshDir, ".jsonl"));
+    EXPECT_EQ(finalShardBytes(dir, ".csv"),
+              finalShardBytes(freshDir, ".csv"));
+    // The gap line names the failure; it is part of the finals.
+    EXPECT_NE(finalShardBytes(dir, ".jsonl")
+                  .find("\"failureClass\":\"throw\""),
+              std::string::npos);
+    EXPECT_NE(finalShardBytes(dir, ".jsonl")
+                  .find("injected poison config 1"),
+              std::string::npos);
+}
+
+TEST(SweepService, HungRunStopsHeartbeatSoPeerStealsTheShard)
+{
+    const Fixture fx;
+    const std::string refDir = tempDir("svc_hung_ref");
+    const ShardedSweepResult ref = fx.reference(refDir);
+
+    const std::string dir = tempDir("svc_hung");
+    FaultHookGuard guard;
+    InjectedClock clock;
+    BlockRunOnce block("wedged");
+
+    // The wedged worker's first run parks inside the attempt (after
+    // its deadline is armed) and never reaches a checkpoint — the
+    // watchdog, not cooperative cancellation, must expose it.
+    auto wedgedOpts = fx.options(dir, "wedged");
+    wedgedOpts.leaseTtlMs = 1000;
+    wedgedOpts.heartbeatMs = 5;
+    wedgedOpts.attempts.runDeadlineMs = 500;
+    wedgedOpts.attempts.quarantine = true;
+    wedgedOpts.attempts.backoffBaseMs = 0;
+    ShardedSweepResult wedgedResult;
+    std::thread wedged([&] { wedgedResult = fx.run(wedgedOpts); });
+    block.waitUntilBlocked();
+
+    // Past the run deadline: the watchdog reports the overstay and the
+    // heartbeat thread stops refreshing the lease.
+    InjectedClock::advanceMs(2000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_TRUE(resilience::workerHasExpiredRun("wedged"));
+    // A refresh that raced the first advance could have stamped a
+    // fresh heartbeat; a second advance makes any such stamp stale
+    // too, so the steal below cannot flake.
+    InjectedClock::advanceMs(2000);
+
+    auto peerOpts = fx.options(dir, "peer");
+    peerOpts.leaseTtlMs = 1000;
+    const ShardedSweepResult peer = fx.run(peerOpts);
+    EXPECT_TRUE(peer.complete);
+    EXPECT_EQ(peer.shardsStolen, 1u);  // the wedged worker's shard
+    EXPECT_EQ(peer.runsQuarantined, 0u);
+
+    block.release();
+    wedged.join();
+
+    // The fenced worker's own timed-out attempt is discarded: it
+    // yields to the thief's finals (where the run SUCCEEDED — only
+    // the wedged worker was blocked) and re-ingests them.
+    EXPECT_TRUE(wedgedResult.complete);
+    EXPECT_EQ(wedgedResult.runsQuarantined, 0u);
+    expectSameResult(peer, ref);
+    expectSameResult(wedgedResult, ref);
+    EXPECT_EQ(finalShardBytes(dir, ".jsonl"),
+              finalShardBytes(refDir, ".jsonl"));
+    EXPECT_EQ(finalShardBytes(dir, ".csv"),
+              finalShardBytes(refDir, ".csv"));
 }
 
 // --------------------------------------------------------------------

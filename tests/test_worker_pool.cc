@@ -114,14 +114,61 @@ TEST(WorkerPool, CancellationAbandonsRemainingChunksAfterThrow)
     EXPECT_EQ(ran.load(), 3u);
 }
 
-TEST(WorkerPool, RunsOnPoolThreadsAndReusesThemAcrossLoops)
+TEST(WorkerPool, ConcurrentThrowersFromManySlotsStressTheErrorPath)
+{
+    // Every slot throws at (nearly) the same moment, over and over:
+    // exactly one exception must reach the caller per loop, no task
+    // may leak (pendingSlots must drain to zero each time, or the next
+    // parallelFor would hang), and the pool must stay fully usable.
+    WorkerPool pool(4);
+    constexpr std::size_t kSlots = 8;
+    constexpr int kRounds = 50;
+
+    for (int round = 0; round < kRounds; ++round) {
+        std::atomic<std::size_t> entered{0};
+        std::size_t caught = 0;
+        try {
+            pool.parallelFor(
+                kSlots * 4,
+                [&](std::size_t slot, std::size_t) {
+                    entered.fetch_add(1);
+                    throw std::runtime_error(
+                        "boom slot " + std::to_string(slot));
+                },
+                kSlots, /*chunk=*/1);
+        } catch (const std::runtime_error &e) {
+            ++caught;
+            EXPECT_EQ(std::string(e.what()).rfind("boom slot", 0), 0u)
+                << e.what();
+        }
+        // Exactly one exception per loop, and at least one body ran.
+        EXPECT_EQ(caught, 1u) << "round " << round;
+        EXPECT_GE(entered.load(), 1u) << "round " << round;
+
+        // The pool is immediately reusable with a clean slate: a full
+        // fault-free loop covers every index exactly once.
+        std::vector<std::atomic<int>> hits(64);
+        for (auto &h : hits)
+            h = 0;
+        pool.parallelFor(
+            hits.size(),
+            [&](std::size_t, std::size_t i) { ++hits[i]; }, kSlots, 1);
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "round " << round << " i=" << i;
+    }
+}
+
+TEST(WorkerPool, RunsOnPoolOrCallerThreadsAndReusesThemAcrossLoops)
 {
     WorkerPool pool(2);
     const auto poolIds = pool.threadIds();
     ASSERT_EQ(poolIds.size(), 2u);
-    const std::set<std::thread::id> poolSet(poolIds.begin(),
-                                            poolIds.end());
-    EXPECT_EQ(poolSet.count(std::this_thread::get_id()), 0u);
+    std::set<std::thread::id> allowed(poolIds.begin(), poolIds.end());
+    EXPECT_EQ(allowed.count(std::this_thread::get_id()), 0u);
+    // The caller participates as slot 0, so its thread is a legitimate
+    // executor alongside the pool threads — but nothing else is.
+    allowed.insert(std::this_thread::get_id());
 
     std::mutex mu;
     std::set<std::thread::id> seen;
@@ -133,8 +180,8 @@ TEST(WorkerPool, RunsOnPoolThreadsAndReusesThemAcrossLoops)
     }
     ASSERT_FALSE(seen.empty());
     for (const auto &id : seen)
-        EXPECT_EQ(poolSet.count(id), 1u)
-            << "work ran on a non-pool thread";
+        EXPECT_EQ(allowed.count(id), 1u)
+            << "work ran on a foreign thread";
     // The pool's threads are stable: same ids after the loops.
     EXPECT_EQ(pool.threadIds(), poolIds);
 }
