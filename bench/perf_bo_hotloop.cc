@@ -20,6 +20,19 @@
  *    of scalar predict() calls on a fitted 600-point GP, 256 queries
  *    per sweep — the candidate-scoring kernel in isolation.
  *
+ *  - kernel build: builds/sec of the GEMM-decomposed cross-distance
+ *    matrix (crossSquaredDistances) vs the naive per-pair loop at the
+ *    predictBatch shapes (600 x 256, dim 4).
+ *
+ *  - backward solve: columns/sec of the blocked multi-RHS L^T X = B
+ *    (Cholesky::solveUpperBatch) vs per-column scalar back-
+ *    substitution — the second triangular solve behind posteriorJoint.
+ *
+ *  - cohort proposal: env-steps/sec of the batch acquisition modes
+ *    (ThompsonBatch / BatchEI) dispatching whole cohorts through
+ *    batchEval at 1/2/8 workers, with the worker counts asserted
+ *    bit-identical (the bench exits nonzero on drift).
+ *
  *  - search dispatch: env-steps/sec of runSearch per-step vs batchEval
  *    for BO and RL on FARSIGym (microsecond steps, where the batched
  *    ask-tell path and chunked stepBatch dispatch matter).
@@ -228,6 +241,159 @@ main()
                 batchQps, "scalar", scalarQps, "speedup",
                 batchQps / scalarQps);
 
+    // --- GEMM kernel build vs naive pairwise --------------------------
+    const std::size_t kDim = 4;
+    std::vector<double> kbA(kGpPoints * kDim), kbB(kQueries * kDim);
+    {
+        Rng rng(77);
+        for (auto &v : kbA)
+            v = rng.uniform();
+        for (auto &v : kbB)
+            v = rng.uniform();
+    }
+    std::vector<double> kbBt(kDim * kQueries);
+    for (std::size_t j = 0; j < kQueries; ++j)
+        for (std::size_t k = 0; k < kDim; ++k)
+            kbBt[k * kQueries + j] = kbB[j * kDim + k];
+    std::vector<double> kbAn(kGpPoints), kbBn(kQueries);
+    rowSquaredNorms(kbA.data(), kGpPoints, kDim, kbAn.data());
+    rowSquaredNorms(kbB.data(), kQueries, kDim, kbBn.data());
+    std::vector<double> kbOut(kGpPoints * kQueries);
+    const double gemmBuildsPerSec = callsPerSecond([&] {
+        crossSquaredDistances(kbA.data(), kbAn.data(), kGpPoints,
+                              kbBt.data(), kbBn.data(), kQueries, kDim,
+                              kbOut.data());
+        guard += kbOut[0];
+    });
+    const double naiveBuildsPerSec = callsPerSecond([&] {
+        crossSquaredDistancesNaive(kbA.data(), kbAn.data(), kGpPoints,
+                                   kbB.data(), kbBn.data(), kQueries,
+                                   kDim, kbOut.data());
+        guard += kbOut[0];
+    });
+    std::printf("\nCross-distance kernel build, %zu x %zu dim %zu "
+                "(builds/sec)\n",
+                kGpPoints, kQueries, kDim);
+    std::printf("%-8s %14.1f\n%-8s %14.1f\n%-8s %13.2fx\n", "gemm",
+                gemmBuildsPerSec, "naive", naiveBuildsPerSec, "speedup",
+                gemmBuildsPerSec / naiveBuildsPerSec);
+
+    // --- Backward batched solve vs per-column scalar ------------------
+    double batchBackColsPerSec = 0.0;
+    double scalarBackColsPerSec = 0.0;
+    {
+        Rng rng(88);
+        Matrix spd(kGpPoints, kGpPoints);
+        for (std::size_t i = 0; i < kGpPoints; ++i)
+            for (std::size_t j = 0; j <= i; ++j) {
+                const double v = rng.uniform(-1.0, 1.0) /
+                                 static_cast<double>(kGpPoints);
+                spd(i, j) = v;
+                spd(j, i) = v;
+            }
+        for (std::size_t i = 0; i < kGpPoints; ++i)
+            spd(i, i) += 2.0;
+        const Cholesky chol(spd);
+        Matrix rhs(kGpPoints, kQueries);
+        for (std::size_t i = 0; i < kGpPoints; ++i)
+            for (std::size_t j = 0; j < kQueries; ++j)
+                rhs(i, j) = rng.uniform(-2.0, 2.0);
+        Matrix work;
+        batchBackColsPerSec =
+            callsPerSecond([&] {
+                work = rhs;
+                chol.solveUpperBatch(work);
+                guard += work(0, 0);
+            }) *
+            static_cast<double>(kQueries);
+        // Per-column scalar oracle: the back-substitution op order of
+        // Cholesky::solve, one column at a time.
+        const double *fac = chol.packedData();
+        const auto rowStart = [](std::size_t i) {
+            return i * (i + 1) / 2;
+        };
+        std::vector<double> col(kGpPoints);
+        scalarBackColsPerSec =
+            callsPerSecond([&] {
+                for (std::size_t j = 0; j < kQueries; ++j) {
+                    for (std::size_t i = 0; i < kGpPoints; ++i)
+                        col[i] = rhs(i, j);
+                    for (std::size_t ii = kGpPoints; ii > 0; --ii) {
+                        const std::size_t i = ii - 1;
+                        double s = col[i];
+                        for (std::size_t k = i + 1; k < kGpPoints; ++k)
+                            s -= fac[rowStart(k) + i] * col[k];
+                        col[i] = s / fac[rowStart(i) + i];
+                    }
+                    guard += col[0];
+                }
+            }) *
+            static_cast<double>(kQueries);
+    }
+    std::printf("\nBackward batched solve L^T X = B, %zu x %zu "
+                "(columns/sec)\n",
+                kGpPoints, kQueries);
+    std::printf("%-8s %14.1f\n%-8s %14.1f\n%-8s %13.2fx\n", "batch",
+                batchBackColsPerSec, "scalar", scalarBackColsPerSec,
+                "speedup", batchBackColsPerSec / scalarBackColsPerSec);
+
+    // --- Cohort proposals through batchEval at 1/2/8 workers ----------
+    std::printf("\nBO cohort proposals on FARSIGym, cohort 8 "
+                "(env-steps/sec; worker counts must agree bitwise)\n");
+    std::printf("%-14s %12s %12s %12s %10s\n", "mode", "1w/s", "2w/s",
+                "8w/s", "identical");
+    struct CohortModeResult
+    {
+        std::string config;
+        double w1 = 0.0, w2 = 0.0, w8 = 0.0;
+        bool identical = true;
+    };
+    std::vector<CohortModeResult> cohortModes;
+    bool cohortDrift = false;
+    {
+        const std::vector<std::pair<std::string, int>> modes = {
+            {"ThompsonBatch", 3}, {"BatchEI", 4}};
+        for (const auto &[name, acq] : modes) {
+            HyperParams hp{{"acquisition", acq},
+                           {"num_candidates", 64},
+                           {"max_history", 64},
+                           {"cohort", 8},
+                           {"n_init", 8}};
+            CohortModeResult r;
+            r.config = name;
+            std::vector<double> refHistory;
+            double refBest = 0.0;
+            for (const std::size_t workers : {1u, 2u, 8u}) {
+                FarsiGymEnv env;
+                env.setBatchWorkers(workers);
+                // One recorded run pins the trajectory for the
+                // bit-identity check...
+                RunConfig cfg;
+                cfg.maxSamples = 160;
+                cfg.batchEval = true;
+                auto probe = makeAgent("BO", env.actionSpace(), hp, 31);
+                const RunResult run = runSearch(env, *probe, cfg);
+                if (workers == 1) {
+                    refHistory = run.rewardHistory;
+                    refBest = run.bestReward;
+                } else if (run.rewardHistory != refHistory ||
+                           run.bestReward != refBest) {
+                    r.identical = false;
+                    cohortDrift = true;
+                }
+                // ...then the timed loop measures throughput.
+                const double sps = searchStepsPerSec(
+                    env, "BO", hp, /*batched=*/true, 160, guard);
+                (workers == 1 ? r.w1 : workers == 2 ? r.w2 : r.w8) =
+                    sps;
+            }
+            std::printf("%-14s %12.1f %12.1f %12.1f %10s\n",
+                        r.config.c_str(), r.w1, r.w2, r.w8,
+                        r.identical ? "yes" : "NO");
+            cohortModes.push_back(std::move(r));
+        }
+    }
+
     // --- Per-step vs batched search dispatch --------------------------
     std::printf("\nSearch dispatch on FARSIGym (env-steps/sec)\n");
     std::printf("%-8s %14s %14s %9s\n", "agent", "batched/s",
@@ -272,7 +438,28 @@ main()
          << kQueries << "\",\"batchQueriesPerSec\":" << batchQps
          << ",\"scalarQueriesPerSec\":" << scalarQps
          << ",\"speedup\":" << batchQps / scalarQps
-         << "},\"search\":{\"env\":\"FARSIGym\",\"agents\":[";
+         << "},\"kernelBuild\":{\"config\":\"n" << kGpPoints << "m"
+         << kQueries << "d" << kDim
+         << "\",\"gemmBuildsPerSec\":" << gemmBuildsPerSec
+         << ",\"naiveBuildsPerSec\":" << naiveBuildsPerSec
+         << ",\"speedup\":" << gemmBuildsPerSec / naiveBuildsPerSec
+         << "},\"backwardSolve\":{\"config\":\"n" << kGpPoints << "m"
+         << kQueries
+         << "\",\"batchColumnsPerSec\":" << batchBackColsPerSec
+         << ",\"scalarColumnsPerSec\":" << scalarBackColsPerSec
+         << ",\"speedup\":" << batchBackColsPerSec / scalarBackColsPerSec
+         << "},\"cohort\":{\"env\":\"FARSIGym\",\"modes\":[";
+    for (std::size_t i = 0; i < cohortModes.size(); ++i) {
+        const CohortModeResult &r = cohortModes[i];
+        if (i)
+            json << ",";
+        json << "{\"config\":\"" << r.config
+             << "\",\"workers1StepsPerSec\":" << r.w1
+             << ",\"workers2StepsPerSec\":" << r.w2
+             << ",\"workers8StepsPerSec\":" << r.w8
+             << ",\"bitIdentical\":" << (r.identical ? 1 : 0) << "}";
+    }
+    json << "]},\"search\":{\"env\":\"FARSIGym\",\"agents\":[";
     for (std::size_t i = 0; i < searches.size(); ++i) {
         const SearchResult &s = searches[i];
         if (i)
@@ -289,5 +476,12 @@ main()
     out << json.str() << "\n";
     if (guard == 0.0)
         std::fprintf(stderr, "warning: guard is zero\n");
+    if (cohortDrift) {
+        std::fprintf(stderr,
+                     "ERROR: cohort proposals drifted across worker counts; "
+                     "batched acquisition must be bit-identical at 1/2/8 "
+                     "workers\n");
+        return 1;
+    }
     return 0;
 }

@@ -147,6 +147,45 @@ class GaussianProcess
                       std::vector<double> &means,
                       std::vector<double> &variances) const;
 
+    /**
+     * Joint posterior over a whole query block: per-point means and
+     * variances (bitwise identical to predictBatch on the same block)
+     * plus the full m x m posterior covariance, all in original y
+     * units. The covariance comes from the factored cross-kernel
+     * block: with V = L^-1 K* (the forward solve predictBatch already
+     * does) and A = L^-T V (the backward batched solve), the joint
+     * covariance is K** - K*^T A. Diagonal entries of `cov` agree
+     * with `variances` only to solver roundoff — the variance path
+     * sums squares of V while the covariance path contracts K* with A
+     * — so callers wanting the predictBatch-exact marginal read
+     * `variances`, not the diagonal.
+     *
+     * Pre-fit contract: means are yMean(), cov is the prior
+     * yStd()^2 * K** (so its diagonal is the predict() prior variance).
+     *
+     * Not thread-safe across concurrent calls on the same GP (shared
+     * scratch).
+     */
+    void posteriorJoint(const std::vector<std::vector<double>> &xs,
+                        std::vector<double> &means,
+                        std::vector<double> &variances,
+                        Matrix &cov) const;
+
+    /**
+     * num_draws joint samples from the posterior over the query block,
+     * written row-major (num_draws x m) into draws: each row is
+     * means + C z with C the Cholesky factor of the posterior
+     * covariance and z standard normals. Consumes exactly
+     * num_draws * m gaussians from rng, draw-major then query-index
+     * ascending — the determinism contract batched Thompson sampling
+     * rides on. If the covariance cannot be factored even with jitter
+     * (degenerate candidate blocks), falls back to independent draws
+     * from the marginal variances.
+     */
+    void samplePosteriorBatch(const std::vector<std::vector<double>> &xs,
+                              std::size_t num_draws, Rng &rng,
+                              std::vector<double> &draws) const;
+
     /** Mean of the raw targets (0 before any data). */
     double yMean() const { return yMean_; }
     /** Stddev of the raw targets (1 before any data). */
@@ -164,6 +203,42 @@ class GaussianProcess
     void solveAlpha();
     /** Recompute y standardization and alpha against chol_. */
     void recomputeAlpha();
+    /** Covariance value from a squared distance (the shared kernel
+     *  formula both the scalar and GEMM-built paths apply). */
+    double kernelFromSquaredDistance(double d2) const;
+    /** Rebuild trainPacked_/trainNorms_ from xs_. */
+    void rebuildTrainCache();
+
+    /** Arena pointers staged by stageCrossSolve; valid until the next
+     *  staging call. */
+    struct PredictStage
+    {
+        double *fac = nullptr;     ///< packed factor copy
+        double *cross = nullptr;   ///< V = L^-1 K* (n x m) after staging
+        double *kstar = nullptr;   ///< preserved K* (n x m), joint only
+        double *qt = nullptr;      ///< dim x m transposed queries
+        double *qnorms = nullptr;  ///< m query squared norms
+        double *qpack = nullptr;   ///< m x dim packed queries, joint only
+        double *kss = nullptr;     ///< m x m scratch, joint only
+    };
+    /**
+     * Stage the arena for an m-query block and run the shared half of
+     * every batched posterior query: pack/transpose the queries, build
+     * the cross-kernel block through the GEMM distance decomposition,
+     * accumulate posterior means, forward-solve the block in place,
+     * and finalize means/variances in original y units. With
+     * want_kstar a copy of the unsolved K* block (and the query
+     * self-distance scratch) is staged as well for the covariance
+     * path. predictBatch is exactly this call; posteriorJoint extends
+     * it with the backward solve — running the identical code makes
+     * their mean/variance outputs bitwise equal by construction.
+     *
+     * @pre fitted_
+     */
+    PredictStage stageCrossSolve(const std::vector<std::vector<double>> &xs,
+                                 bool want_kstar,
+                                 std::vector<double> &means,
+                                 std::vector<double> &variances) const;
 
     double lengthScale_;
     double signalVar_;
@@ -172,6 +247,14 @@ class GaussianProcess
 
     std::vector<std::vector<double>> xs_;
     std::vector<double> ysRaw_;
+    /** xs_ flattened row-major (n x dim) with per-row squared norms,
+     *  maintained incrementally alongside the factor: the GEMM
+     *  distance kernel streams these instead of pointer-chasing
+     *  std::vectors, and the cached norms make the |a|^2 term of the
+     *  decomposition free per query block. */
+    AlignedVector trainPacked_;
+    AlignedVector trainNorms_;
+    std::size_t dim_ = 0;
     double yMean_ = 0.0;
     double yStd_ = 1.0;
     std::vector<double> alpha_;  ///< K^-1 y (standardized)
@@ -180,15 +263,21 @@ class GaussianProcess
     std::size_t reserveHint_ = 0;  ///< expected max training-set size
 
     /**
-     * predictBatch arena, reused across calls: a copy of the packed
-     * factor followed immediately by the n x m cross-kernel block, in
-     * one aligned allocation. Co-locating the two streams the blocked
-     * solve interleaves is worth ~3x over separately allocated
-     * buffers (whose relative placement is at the allocator's mercy);
-     * the factor copy is O(n^2) bytes once per refit — noise next to
-     * the O(n^2 m) solve it accelerates.
+     * predictBatch/posteriorJoint arena, reused across calls: a copy
+     * of the packed factor, the n x m cross-kernel block, the
+     * transposed query block (dim x m) the GEMM distance kernel
+     * streams, the query norms/packed queries, and — for
+     * posteriorJoint only — a preserved K* copy and the m x m query
+     * self-distance block, all in one aligned allocation. Co-locating
+     * the factor and the cross block the blocked solve interleaves is
+     * worth ~3x over separately allocated buffers (whose relative
+     * placement is at the allocator's mercy); the factor copy is
+     * O(n^2) bytes once per refit — noise next to the O(n^2 m) solve
+     * it accelerates.
      */
     mutable AlignedVector predictArena_;
+    mutable std::vector<double> jointMeansScratch_;
+    mutable std::vector<double> jointReductionsScratch_;
     mutable std::uint64_t arenaEpoch_ = ~0ull;  ///< factor copy is of
     std::uint64_t facEpoch_ = 0;  ///< bumped on every factor change
 };
@@ -196,7 +285,32 @@ class GaussianProcess
 class BayesianOptAgent : public Agent
 {
   public:
-    enum class Acquisition { EI = 0, UCB = 1, PI = 2 };
+    /**
+     * Acquisition modes. EI/UCB/PI are the scalar functions from the
+     * paper (Q3), proposing one point per iteration. ThompsonBatch and
+     * BatchEI are cohort modes: one selectActionBatch call proposes a
+     * whole batch of points for parallel evaluation —
+     *
+     *  - ThompsonBatch ranks one joint posterior draw
+     *    (GaussianProcess::samplePosteriorBatch) per cohort slot and
+     *    takes each draw's argmax over the not-yet-taken candidates;
+     *
+     *  - BatchEI picks the expected-improvement argmax, then
+     *    fantasizes the pick at its posterior mean (Kriging believer:
+     *    variances deflate through the joint covariance, means are
+     *    unchanged) and repeats, so later slots avoid the region the
+     *    earlier slots already cover.
+     *
+     * Out-of-range values throw at construction.
+     */
+    enum class Acquisition
+    {
+        EI = 0,
+        UCB = 1,
+        PI = 2,
+        ThompsonBatch = 3,
+        BatchEI = 4
+    };
 
     /**
      * Hyperparameters:
@@ -205,11 +319,15 @@ class BayesianOptAgent : public Agent
      *  - signal_var     (default 1.0)
      *  - noise_var      (default 1e-4)
      *  - kernel         (0 squared-exponential, 1 Matern-5/2; default 0)
-     *  - acquisition    (0 EI, 1 UCB, 2 PI; default 0)
+     *  - acquisition    (0 EI, 1 UCB, 2 PI, 3 ThompsonBatch, 4 BatchEI;
+     *                    default 0; out-of-range values throw)
      *  - kappa          (UCB exploration weight, default 2.0)
      *  - xi             (EI/PI improvement margin, default 0.01)
      *  - num_candidates (acquisition search points, default 256)
      *  - max_history    (GP window size, default 150)
+     *  - cohort         (proposals per selectActionBatch call in the
+     *                    batch acquisition modes, default 8, min 1;
+     *                    ignored by the scalar modes)
      *  - reference_impl (1 = pre-overhaul oracle path: full GP refit on
      *                    every history change and per-candidate scalar
      *                    predicts; default 0. For equivalence tests and
@@ -223,10 +341,15 @@ class BayesianOptAgent : public Agent
                  double reward) override;
     /** Batched Q1: during random warmup, drain up to maxActions of the
      *  remaining n_init proposals (mutually independent, drawn in the
-     *  same RNG order as repeated selectAction calls); once the
-     *  surrogate drives the search every proposal depends on the
-     *  previous feedback, so batches degrade to size 1. Either way the
-     *  trajectory is bit-identical to the per-step path. */
+     *  same RNG order as repeated selectAction calls). After warmup the
+     *  scalar acquisition modes degrade to size-1 batches — every
+     *  proposal depends on the previous feedback — and the trajectory
+     *  stays bit-identical to the per-step path. The batch modes
+     *  (ThompsonBatch/BatchEI) instead emit a whole cohort of
+     *  min(cohort, maxActions) proposals per call; that is their
+     *  per-step contract too (selectAction is the one-slot cohort), so
+     *  batched and per-step runs of a batch mode agree with each other,
+     *  while intentionally differing from the scalar modes. */
     std::vector<Action> selectActionBatch(std::size_t maxActions) override;
     void observeBatch(const std::vector<Action> &actions,
                       const std::vector<StepResult> &results) override;
@@ -249,10 +372,26 @@ class BayesianOptAgent : public Agent
 
     void refit();
     double acquisitionValue(double mean, double variance) const;
+    /** The EI formula shared by the scalar EI switch case and the
+     *  BatchEI cohort loop — one body so a one-slot BatchEI cohort
+     *  scores candidates bit-identically to scalar EI. */
+    double expectedImprovement(double mean, double variance) const;
     void trimHistory();
     void fillCandidate(std::vector<double> &cand, std::size_t c,
                        std::size_t local_cands);
     Action selectByAcquisition();
+    /**
+     * Propose min(want, num_candidates) actions for the batch
+     * acquisition modes: generate the candidate set (same RNG draws,
+     * same order as the scalar path), then fill cohort slots by
+     * ThompsonBatch posterior draws or BatchEI fantasized picks. Slots
+     * never repeat a candidate; ties break to the lowest candidate
+     * index (the scalar argmax rule).
+     *
+     * @pre acq_ is ThompsonBatch or BatchEI, and the surrogate is
+     *      refit (not dirty_)
+     */
+    std::vector<Action> proposeCohort(std::size_t want);
 
     Rng rng_;
     std::uint64_t seed_;
@@ -263,6 +402,8 @@ class BayesianOptAgent : public Agent
     double xi_;
     std::size_t numCandidates_;
     std::size_t maxHistory_;
+    std::size_t cohortSize_;
+    double noiseVar_;  ///< mirrors the GP's, for BatchEI fantasization
     bool referenceImpl_;
 
     GaussianProcess gp_;
@@ -279,6 +420,10 @@ class BayesianOptAgent : public Agent
     std::vector<std::vector<double>> candScratch_;
     std::vector<double> candMeans_;
     std::vector<double> candVars_;
+    // Cohort-proposal scratch (batch acquisition modes only).
+    Matrix cohortCov_;
+    std::vector<double> drawScratch_;
+    std::vector<char> takenScratch_;
 };
 
 } // namespace archgym

@@ -64,9 +64,12 @@ class Agent
      * produce, in the same order, so a batched search trajectory is
      * bit-identical to the sequential one. Population-based agents
      * override this to drain every unevaluated member of the current
-     * generation (GA) or cohort (ACO); the default returns a single
-     * selectAction() proposal. Returns an empty batch only when
-     * maxActions is 0. Every proposal must be answered by one
+     * generation (GA) or cohort (ACO); BO's batch acquisition modes
+     * (ThompsonBatch/BatchEI) propose acquisition-ranked cohorts, with
+     * selectAction defined as the one-slot cohort so the per-step and
+     * batched trajectories of the *same mode* still agree. The default
+     * returns a single selectAction() proposal. Returns an empty batch
+     * only when maxActions is 0. Every proposal must be answered by one
      * observeBatch() call before the next selectActionBatch().
      */
     virtual std::vector<Action> selectActionBatch(std::size_t maxActions)

@@ -15,7 +15,11 @@
  * rotations on the packed factor. Together they make a sliding-window
  * GP O(n^2) per sample in steady state. Batched posterior queries are
  * served by solveLowerBatch, a multi-RHS forward substitution that
- * makes one pass over the factor for a whole candidate set.
+ * makes one pass over the factor for a whole candidate set, and by its
+ * backward mirror solveUpperBatch (L^T X = B), which together give
+ * K^-1 K* for joint-posterior covariance blocks. The kernel matrix
+ * build itself is served by crossSquaredDistances, a blocked GEMM-style
+ * kernel computing |a|^2 + |b|^2 - 2 a.b for a whole point block.
  */
 
 #ifndef ARCHGYM_MATHUTIL_MATRIX_H
@@ -225,6 +229,19 @@ class Cholesky
      */
     void solveLowerBatch(Matrix &b) const;
 
+    /**
+     * Multi-RHS backward substitution, in place: overwrite the n x m
+     * matrix B with X where L^T X = B (each column an independent
+     * RHS). The backward mirror of solveLowerBatch: per column the
+     * operation order (i descending, k ascending from i+1,
+     * multiply-subtract, final divide) matches the backward half of
+     * solve() exactly, so chaining solveLowerBatch then
+     * solveUpperBatch on a single column is bit-identical to solve().
+     *
+     * @pre b.rows() == size()
+     */
+    void solveUpperBatch(Matrix &b) const;
+
     /** The packed lower-triangular factor (row i at i*(i+1)/2, i+1
      *  entries); valid while ok(). For callers that stage the factor
      *  in their own arena (see solveLowerPackedBatch). */
@@ -263,6 +280,65 @@ class Cholesky
  */
 void solveLowerPackedBatch(const double *packed_lower, std::size_t n,
                            double *b, std::size_t m);
+
+/**
+ * Multi-RHS backward substitution on raw storage: overwrite the n x m
+ * row-major array b with X where L^T X = b, L given as a packed lower
+ * triangle (Cholesky::packedData layout). The kernel behind
+ * Cholesky::solveUpperBatch, exposed for the same arena co-location
+ * reason as solveLowerPackedBatch. Per column the operation order
+ * matches the backward half of Cholesky::solve, so forward + backward
+ * on one column reproduces solve() bit for bit.
+ */
+void solveUpperPackedBatch(const double *packed_lower, std::size_t n,
+                           double *b, std::size_t m);
+
+/**
+ * Squared norm of each row of the n x dim row-major block a, written
+ * to out (n entries). Per row the accumulation is the plain k-ascending
+ * sum of squares — the exact arithmetic crossSquaredDistances assumes
+ * for its norm inputs.
+ */
+void rowSquaredNorms(const double *a, std::size_t n, std::size_t dim,
+                     double *out);
+
+/**
+ * All-pairs squared Euclidean distances between two point blocks via
+ * the GEMM decomposition d2(i,j) = (|a_i|^2 + |b_j|^2) - 2 a_i.b_j,
+ * clamped at zero (catastrophic cancellation between the norm and dot
+ * terms can drive tiny true distances a few ulps negative). One
+ * blocked pass computes the whole na x nb matrix: per (i, j) the dot
+ * product runs k-ascending with independent vector lanes over j, so
+ * every entry is bit-identical to crossSquaredDistancesNaive — the
+ * per-pair scalar loop with the same decomposition — at any block
+ * geometry.
+ *
+ * This is the kernel-matrix build behind GaussianProcess::predictBatch:
+ * O(na nb dim) flops that previously hid behind per-pair
+ * subtract-square loops over pointer-chased std::vectors.
+ *
+ * @param a        na x dim row-major point block
+ * @param a_norms  per-row squared norms of a (rowSquaredNorms layout)
+ * @param bt       dim x nb row-major: the b point block TRANSPOSED, so
+ *                 vector lanes over j read contiguous memory
+ * @param b_norms  per-row squared norms of b (nb entries)
+ * @param out      na x nb row-major squared distances
+ */
+void crossSquaredDistances(const double *a, const double *a_norms,
+                           std::size_t na, const double *bt,
+                           const double *b_norms, std::size_t nb,
+                           std::size_t dim, double *out);
+
+/**
+ * Reference implementation of crossSquaredDistances: same |a|^2 +
+ * |b|^2 - 2 a.b decomposition (NOT the subtract-and-square form — the
+ * two differ in roundoff), per pair, with b row-major (nb x dim). The
+ * in-tree oracle for the blocked kernel's equivalence suite.
+ */
+void crossSquaredDistancesNaive(const double *a, const double *a_norms,
+                                std::size_t na, const double *b,
+                                const double *b_norms, std::size_t nb,
+                                std::size_t dim, double *out);
 
 /** Dot product. @pre a.size() == b.size() */
 double dot(const std::vector<double> &a, const std::vector<double> &b);

@@ -17,6 +17,8 @@
 #include <limits>
 #include <memory>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "agents/ant_colony.h"
 #include "agents/bayesian_opt.h"
@@ -828,6 +830,235 @@ TEST(BayesianOpt, BatchedTrajectoryBitIdenticalToPerStep)
             expectBatchedRunMatchesPerStep("BO", hp, seed, 60);
             expectBatchedRunMatchesPerStep("BO", hp, seed, 4);
         }
+    }
+}
+
+TEST(BayesianOpt, OutOfRangeAcquisitionThrows)
+{
+    // Regression: the old static_cast of the raw int silently produced
+    // an agent whose acquisition switch fell through to EI. The
+    // constructor must reject out-of-range modes, naming the field and
+    // the value.
+    QuadraticEnv env({5.0, 5.0});
+    for (const int bad : {-1, 5, 9, 42}) {
+        try {
+            BayesianOptAgent agent(env.actionSpace(),
+                                   {{"acquisition", bad}}, 7);
+            FAIL() << "acquisition " << bad << " did not throw";
+        } catch (const std::runtime_error &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("'acquisition'"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find(std::to_string(bad)), std::string::npos)
+                << what;
+        }
+    }
+    // The boundary modes construct fine.
+    for (const int good : {0, 4}) {
+        EXPECT_NO_THROW(BayesianOptAgent(env.actionSpace(),
+                                         {{"acquisition", good}}, 7));
+    }
+}
+
+TEST(GaussianProcessModel, PosteriorJointMatchesPredictBatch)
+{
+    // posteriorJoint's means/variances run through the exact code
+    // predictBatch runs, so they are bitwise equal; the covariance
+    // diagonal agrees with the variances only to solver roundoff, and
+    // the matrix itself is symmetric with the cross terms decaying for
+    // distant pairs.
+    Rng rng(14);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 30; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform(-2.0, 2.0));
+    }
+    for (const GpKernel kernel :
+         {GpKernel::SquaredExponential, GpKernel::Matern52}) {
+        GaussianProcess gp(0.25, 1.2, 1e-4, kernel);
+        gp.fit(xs, ys);
+        ASSERT_TRUE(gp.fitted());
+
+        std::vector<std::vector<double>> queries;
+        for (int q = 0; q < 21; ++q)
+            queries.push_back({rng.uniform(), rng.uniform()});
+
+        std::vector<double> bm, bv, jm, jv;
+        gp.predictBatch(queries, bm, bv);
+        Matrix cov;
+        gp.posteriorJoint(queries, jm, jv, cov);
+        ASSERT_EQ(cov.rows(), queries.size());
+        ASSERT_EQ(cov.cols(), queries.size());
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            EXPECT_DOUBLE_EQ(jm[q], bm[q]) << "query " << q;
+            EXPECT_DOUBLE_EQ(jv[q], bv[q]) << "query " << q;
+            EXPECT_NEAR(cov(q, q), bv[q], 1e-8 * (1.0 + bv[q]))
+                << "diag " << q;
+        }
+        for (std::size_t a = 0; a < queries.size(); ++a)
+            for (std::size_t b = 0; b < queries.size(); ++b)
+                EXPECT_NEAR(cov(a, b), cov(b, a), 1e-10)
+                    << a << "," << b;
+    }
+}
+
+TEST(GaussianProcessModel, PosteriorJointPrefitIsScaledPriorCovariance)
+{
+    // Before any fit the joint covariance is the standardization-scaled
+    // prior kernel block, diagonal equal to the predict() prior
+    // variance.
+    GaussianProcess gp(0.3, 2.0, 1e-4);
+    std::vector<std::vector<double>> queries = {{0.1, 0.4}, {0.9, 0.2}};
+    std::vector<double> means, vars;
+    Matrix cov;
+    gp.posteriorJoint(queries, means, vars, cov);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        double m, v;
+        gp.predict(queries[q], m, v);
+        EXPECT_DOUBLE_EQ(means[q], m);
+        EXPECT_DOUBLE_EQ(cov(q, q), v);
+    }
+    EXPECT_DOUBLE_EQ(cov(0, 1),
+                     gp.kernel(queries[0], queries[1]) * gp.yStd() *
+                         gp.yStd());
+}
+
+TEST(GaussianProcessModel, SamplePosteriorBatchDeterministicFixedStream)
+{
+    // Same RNG seed, same draws — and the call consumes exactly
+    // num_draws * m gaussians regardless of internal branches, so the
+    // agent-side RNG stream stays reproducible.
+    Rng rng(3);
+    std::vector<std::vector<double>> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back({rng.uniform(), rng.uniform()});
+        ys.push_back(rng.uniform(-1.0, 1.0));
+    }
+    GaussianProcess gp(0.3, 1.0, 1e-4);
+    gp.fit(xs, ys);
+    ASSERT_TRUE(gp.fitted());
+    std::vector<std::vector<double>> queries;
+    for (int q = 0; q < 9; ++q)
+        queries.push_back({rng.uniform(), rng.uniform()});
+
+    const std::size_t numDraws = 4;
+    std::vector<double> d1, d2;
+    Rng r1(321), r2(321);
+    gp.samplePosteriorBatch(queries, numDraws, r1, d1);
+    gp.samplePosteriorBatch(queries, numDraws, r2, d2);
+    ASSERT_EQ(d1.size(), numDraws * queries.size());
+    EXPECT_EQ(d1, d2);
+
+    // Consumption contract: r1 must now be exactly a fresh rng
+    // advanced by numDraws * m gaussians.
+    Rng expect(321);
+    for (std::size_t i = 0; i < numDraws * queries.size(); ++i)
+        expect.gaussian(0.0, 1.0);
+    EXPECT_DOUBLE_EQ(r1.uniform(), expect.uniform());
+
+    // Draw rows differ from each other and stay near the posterior:
+    // at a training point the draws concentrate around its target.
+    bool anyDiffer = false;
+    for (std::size_t d = 1; d < numDraws && !anyDiffer; ++d)
+        for (std::size_t j = 0; j < queries.size(); ++j)
+            if (d1[d * queries.size() + j] != d1[j]) {
+                anyDiffer = true;
+                break;
+            }
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(BayesianOpt, BatchEICohortOfOneMatchesScalarEI)
+{
+    // A one-slot BatchEI cohort scores candidates through
+    // posteriorJoint (bitwise predictBatch means/variances) with the
+    // same EI formula and the same argmax rule as the scalar mode, and
+    // consumes no extra randomness — so the full trajectory must equal
+    // scalar EI's bit for bit.
+    QuadraticEnv eiEnv({11.0, 6.0}), cohortEnv({11.0, 6.0});
+    HyperParams ei{{"num_candidates", 32},
+                   {"max_history", 32},
+                   {"n_init", 6}};
+    HyperParams cohort1 = ei;
+    cohort1.set("acquisition", 4).set("cohort", 1);
+    BayesianOptAgent eiAgent(eiEnv.actionSpace(), ei, 19);
+    BayesianOptAgent cohortAgent(cohortEnv.actionSpace(), cohort1, 19);
+    RunConfig cfg;
+    cfg.maxSamples = 70;
+    cfg.batchEval = true;
+    const RunResult a = runSearch(eiEnv, eiAgent, cfg);
+    const RunResult b = runSearch(cohortEnv, cohortAgent, cfg);
+    EXPECT_EQ(a.rewardHistory, b.rewardHistory);
+    EXPECT_EQ(a.bestReward, b.bestReward);
+    EXPECT_EQ(a.bestAction, b.bestAction);
+}
+
+TEST(BayesianOpt, BatchModesDeterministicAndResettable)
+{
+    // Same seed, same trajectory — across fresh agents and across
+    // reset() — for both batch acquisition modes, per-step and
+    // batched.
+    for (const int mode : {3, 4}) {
+        QuadraticEnv env({8.0, 15.0});
+        HyperParams hp{{"acquisition", mode},
+                       {"num_candidates", 32},
+                       {"max_history", 32},
+                       {"cohort", 4},
+                       {"n_init", 6}};
+        for (const bool batched : {false, true}) {
+            RunConfig cfg;
+            cfg.maxSamples = 50;
+            cfg.batchEval = batched;
+            QuadraticEnv e1({8.0, 15.0}), e2({8.0, 15.0});
+            BayesianOptAgent a1(e1.actionSpace(), hp, 5);
+            BayesianOptAgent a2(e2.actionSpace(), hp, 5);
+            const RunResult r1 = runSearch(e1, a1, cfg);
+            const RunResult r2 = runSearch(e2, a2, cfg);
+            EXPECT_EQ(r1.rewardHistory, r2.rewardHistory)
+                << "mode " << mode << " batched " << batched;
+            a1.reset();
+            QuadraticEnv e3({8.0, 15.0});
+            const RunResult r3 = runSearch(e3, a1, cfg);
+            EXPECT_EQ(r1.rewardHistory, r3.rewardHistory)
+                << "mode " << mode << " batched " << batched
+                << " after reset";
+        }
+    }
+}
+
+TEST(BayesianOpt, CohortSizingAndTruncation)
+{
+    // After warmup a batch-mode agent emits min(cohort, maxActions)
+    // distinct proposals per call; a zero budget yields an empty batch.
+    for (const int mode : {3, 4}) {
+        QuadraticEnv env({5.0, 9.0});
+        BayesianOptAgent agent(env.actionSpace(),
+                               {{"acquisition", mode},
+                                {"num_candidates", 32},
+                                {"cohort", 8},
+                                {"n_init", 4}},
+                               13);
+        // Drain warmup.
+        for (int i = 0; i < 4; ++i) {
+            const Action a = agent.selectAction();
+            const auto sr = env.step(a);
+            agent.observe(a, sr.observation, sr.reward);
+        }
+        EXPECT_TRUE(agent.selectActionBatch(0).empty());
+        const auto full = agent.selectActionBatch(20);
+        EXPECT_EQ(full.size(), 8u) << "mode " << mode;
+        std::set<Action> unique(full.begin(), full.end());
+        EXPECT_EQ(unique.size(), full.size())
+            << "mode " << mode << ": cohort repeated a candidate";
+        // Feed the cohort back, then request a truncated one.
+        std::vector<StepResult> results;
+        for (const Action &a : full)
+            results.push_back(env.step(a));
+        agent.observeBatch(full, results);
+        EXPECT_EQ(agent.selectActionBatch(3).size(), 3u)
+            << "mode " << mode;
     }
 }
 

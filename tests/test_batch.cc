@@ -353,6 +353,54 @@ TEST(BatchDriver, BoAndRlSearchOnFarsiGymBitIdenticalToPerStep)
     }
 }
 
+TEST(BatchDriver, BoCohortSearchBitIdenticalAcrossWorkerCounts)
+{
+    // The batch acquisition modes (ThompsonBatch / BatchEI) emit whole
+    // cohorts through selectActionBatch, fanned out over stepBatch.
+    // Worker count must not leak into the search: the trajectory at 2
+    // and 8 workers must reproduce the 1-worker run bit for bit. The
+    // budget leaves a truncated final cohort (warmup 6, then cohorts
+    // of 8 with 47-6=41 model-driven samples = 5 cohorts + 1).
+    for (const int mode : {3, 4}) {
+        const HyperParams hp{{"acquisition", mode},
+                             {"num_candidates", 32},
+                             {"max_history", 32},
+                             {"cohort", 8},
+                             {"n_init", 6}};
+        RunConfig cfg;
+        cfg.maxSamples = 47;
+        cfg.batchEval = true;
+        cfg.logTrajectory = true;
+
+        FarsiGymEnv refEnv;
+        refEnv.setBatchWorkers(1);
+        auto refAgent = makeAgent("BO", refEnv.actionSpace(), hp, 71);
+        const RunResult expected = runSearch(refEnv, *refAgent, cfg);
+        EXPECT_EQ(expected.samplesUsed, 47u);
+
+        for (const std::size_t workers : {2u, 8u}) {
+            FarsiGymEnv env;
+            env.setBatchWorkers(workers);
+            auto agent = makeAgent("BO", env.actionSpace(), hp, 71);
+            const RunResult got = runSearch(env, *agent, cfg);
+            const std::string what = "mode=" + std::to_string(mode) +
+                                     " workers=" +
+                                     std::to_string(workers);
+            EXPECT_EQ(got.samplesUsed, expected.samplesUsed) << what;
+            EXPECT_EQ(got.rewardHistory, expected.rewardHistory) << what;
+            EXPECT_EQ(got.bestReward, expected.bestReward) << what;
+            EXPECT_EQ(got.bestAction, expected.bestAction) << what;
+            ASSERT_EQ(got.trajectory.size(), expected.trajectory.size())
+                << what;
+            for (std::size_t i = 0; i < got.trajectory.size(); ++i) {
+                EXPECT_EQ(got.trajectory.transitions()[i].action,
+                          expected.trajectory.transitions()[i].action)
+                    << what << " i=" << i;
+            }
+        }
+    }
+}
+
 TEST(BatchDriver, BatchedSweepInsidePoolMatchesSerialSweep)
 {
     // batchEval under runSweepParallel: stepBatch degrades to serial on

@@ -722,6 +722,214 @@ TEST(Cholesky, SolveLowerBatchBitIdenticalToScalar)
     }
 }
 
+TEST(Cholesky, SolveLowerBatchWideBlocksBitIdentical)
+{
+    // Column counts that route through the 32-column panel kernel, the
+    // 16-column kernel, and the scalar remainder in one call — and a
+    // row count spanning multiple panels so the tiled GEMM phase and
+    // the triangular finish both run. Every column must still match
+    // per-column solveLower bit for bit.
+    const std::size_t n = 150;
+    Rng rng(4242);
+    const Matrix a = randomSpd(n, rng, static_cast<double>(n));
+    const Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+
+    for (const std::size_t m :
+         {std::size_t{16}, std::size_t{32}, std::size_t{48},
+          std::size_t{71}}) {
+        Matrix rhs(n, m);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < m; ++j)
+                rhs(i, j) = rng.uniform(-3.0, 3.0);
+        Matrix batch = rhs;
+        chol.solveLowerBatch(batch);
+        for (std::size_t j = 0; j < m; ++j) {
+            std::vector<double> col(n);
+            for (std::size_t i = 0; i < n; ++i)
+                col[i] = rhs(i, j);
+            const auto y = chol.solveLower(col);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_DOUBLE_EQ(batch(i, j), y[i])
+                    << "m=" << m << " " << i << "," << j;
+        }
+    }
+}
+
+/** Scalar backward substitution L^T x = b against the lower factor —
+ *  the per-RHS oracle for solveUpperBatch (the op order of the
+ *  backward half of Cholesky::solve). */
+std::vector<double>
+solveUpperScalar(const Matrix &lower, const std::vector<double> &b)
+{
+    const std::size_t n = b.size();
+    std::vector<double> x = b;
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double s = x[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            s -= lower(k, i) * x[k];
+        x[i] = s / lower(i, i);
+    }
+    return x;
+}
+
+TEST(Cholesky, SolveUpperBatchBitIdenticalToScalar)
+{
+    // Backward mirror of the forward-batch contract: per column the
+    // blocked L^T X = B must equal scalar back-substitution bitwise.
+    // Column counts cover the scalar-only path (1), the exact block
+    // boundary (16), and block-plus-remainder (33).
+    const std::size_t n = 40;
+    Rng rng(777);
+    const Matrix a = randomSpd(n, rng, static_cast<double>(n));
+    const Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const Matrix low = chol.lower();
+
+    for (const std::size_t m :
+         {std::size_t{1}, std::size_t{16}, std::size_t{33}}) {
+        Matrix rhs(n, m);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j < m; ++j)
+                rhs(i, j) = rng.uniform(-3.0, 3.0);
+        Matrix batch = rhs;
+        chol.solveUpperBatch(batch);
+        for (std::size_t j = 0; j < m; ++j) {
+            std::vector<double> col(n);
+            for (std::size_t i = 0; i < n; ++i)
+                col[i] = rhs(i, j);
+            const auto x = solveUpperScalar(low, col);
+            for (std::size_t i = 0; i < n; ++i)
+                EXPECT_DOUBLE_EQ(batch(i, j), x[i])
+                    << "m=" << m << " " << i << "," << j;
+        }
+    }
+}
+
+TEST(Cholesky, SolveUpperBatchIllConditioned)
+{
+    // Bit-identity is an operation-order property, not an accuracy
+    // one: it must survive a nearly singular factor, where the values
+    // themselves are garbage in the same way on both paths.
+    const std::size_t n = 25;
+    Rng rng(31);
+    const Matrix a = randomSpd(n, rng, 1e-7);
+    const Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+    const Matrix low = chol.lower();
+
+    const std::size_t m = 17;
+    Matrix rhs(n, m);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < m; ++j)
+            rhs(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix batch = rhs;
+    chol.solveUpperBatch(batch);
+    for (std::size_t j = 0; j < m; ++j) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i)
+            col[i] = rhs(i, j);
+        const auto x = solveUpperScalar(low, col);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_DOUBLE_EQ(batch(i, j), x[i]) << i << "," << j;
+    }
+}
+
+TEST(Cholesky, ForwardThenBackwardSingleColumnMatchesSolve)
+{
+    // The documented chaining contract: solveLowerBatch then
+    // solveUpperBatch on a one-column RHS reproduces solve() bit for
+    // bit — what lets the GP run its joint-covariance path through the
+    // same kernels as the scalar posterior.
+    const std::size_t n = 30;
+    Rng rng(90210);
+    const Matrix a = randomSpd(n, rng, static_cast<double>(n));
+    const Cholesky chol(a);
+    ASSERT_TRUE(chol.ok());
+
+    std::vector<double> b(n);
+    for (auto &v : b)
+        v = rng.uniform(-2.0, 2.0);
+    Matrix col(n, 1);
+    for (std::size_t i = 0; i < n; ++i)
+        col(i, 0) = b[i];
+    chol.solveLowerBatch(col);
+    chol.solveUpperBatch(col);
+    const auto x = chol.solve(b);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_DOUBLE_EQ(col(i, 0), x[i]) << i;
+}
+
+TEST(CrossDistances, GemmMatchesNaiveBitIdentical)
+{
+    // The GEMM-decomposed distance matrix promises bitwise equality
+    // with the naive per-pair loop. Sizes cover the pure-scalar
+    // remainder (nb < 16), an exact block, block-plus-remainder, and
+    // assorted dims.
+    struct Shape
+    {
+        std::size_t na, nb, dim;
+    };
+    const Shape shapes[] = {{1, 1, 1},  {3, 17, 2}, {7, 16, 4},
+                            {5, 40, 3}, {2, 33, 8}, {11, 5, 6}};
+    Rng rng(1618);
+    for (const Shape &s : shapes) {
+        std::vector<double> a(s.na * s.dim), b(s.nb * s.dim);
+        for (auto &v : a)
+            v = rng.uniform(-2.0, 2.0);
+        for (auto &v : b)
+            v = rng.uniform(-2.0, 2.0);
+        std::vector<double> bt(s.dim * s.nb);
+        for (std::size_t j = 0; j < s.nb; ++j)
+            for (std::size_t k = 0; k < s.dim; ++k)
+                bt[k * s.nb + j] = b[j * s.dim + k];
+        std::vector<double> an(s.na), bn(s.nb);
+        rowSquaredNorms(a.data(), s.na, s.dim, an.data());
+        rowSquaredNorms(b.data(), s.nb, s.dim, bn.data());
+
+        std::vector<double> gemm(s.na * s.nb), naive(s.na * s.nb);
+        crossSquaredDistances(a.data(), an.data(), s.na, bt.data(),
+                              bn.data(), s.nb, s.dim, gemm.data());
+        crossSquaredDistancesNaive(a.data(), an.data(), s.na, b.data(),
+                                   bn.data(), s.nb, s.dim,
+                                   naive.data());
+        for (std::size_t i = 0; i < s.na * s.nb; ++i)
+            EXPECT_DOUBLE_EQ(gemm[i], naive[i])
+                << "na=" << s.na << " nb=" << s.nb << " dim=" << s.dim
+                << " idx=" << i;
+    }
+}
+
+TEST(CrossDistances, SelfDistanceIsExactZeroAndNeverNegative)
+{
+    // For identical points the decomposition cancels exactly — the
+    // norm and the dot product accumulate the same products in the
+    // same k order — and any residual negative roundoff elsewhere
+    // clamps to zero.
+    const std::size_t n = 37;
+    const std::size_t dim = 5;
+    Rng rng(55);
+    std::vector<double> a(n * dim);
+    for (auto &v : a)
+        v = rng.uniform(0.0, 1.0);
+    std::vector<double> at(dim * n);
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t k = 0; k < dim; ++k)
+            at[k * n + j] = a[j * dim + k];
+    std::vector<double> norms(n);
+    rowSquaredNorms(a.data(), n, dim, norms.data());
+
+    std::vector<double> d2(n * n);
+    crossSquaredDistances(a.data(), norms.data(), n, at.data(),
+                          norms.data(), n, dim, d2.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(d2[i * n + i], 0.0) << i;
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_GE(d2[i * n + j], 0.0) << i << "," << j;
+    }
+}
+
 TEST(Cholesky, LogDetMatchesProduct)
 {
     Matrix a(2, 2);
